@@ -1,0 +1,336 @@
+// Package repro_test is the benchmark harness of the reproduction: one
+// benchmark per experiment table (T1–T5) and figure (F1–F5) — each
+// regenerates the artifact under `go test -bench` — plus kernel
+// micro-benchmarks and the scaling/ablation sweeps called out in
+// DESIGN.md §4.
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cgkk"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/exps"
+	"repro/internal/geom"
+	"repro/internal/inst"
+	"repro/internal/measure"
+	"repro/internal/phys"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/internal/walk"
+	"repro/rendezvous"
+)
+
+// quickBudgets keeps table regeneration fast enough for benchmarking.
+func quickBudgets() exps.Budgets {
+	return exps.Budgets{MeetSegments: 120_000_000, MissSegments: 500_000}
+}
+
+// ---- Table benchmarks: each iteration regenerates the table. ----
+
+func BenchmarkT1Feasibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.T1(1, 2, quickBudgets())
+	}
+}
+
+func benchT2Type(b *testing.B, c inst.Class) {
+	g := inst.NewGen(11)
+	ins := g.DrawN(c, 4)
+	set := sim.DefaultSettings()
+	set.MaxSegments = 120_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			a := sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(core.Compact(), nil), Radius: in.R}
+			bb := sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(core.Compact(), nil), Radius: in.R}
+			if res := sim.Run(a, bb, set); !res.Met {
+				b.Fatalf("instance failed to meet: %v", in)
+			}
+		}
+	}
+}
+
+func BenchmarkT2Type1Mirror(b *testing.B)     { benchT2Type(b, inst.ClassMirrorInterior) }
+func BenchmarkT2Type2Latecomer(b *testing.B)  { benchT2Type(b, inst.ClassLatecomer) }
+func BenchmarkT2Type3ClockDrift(b *testing.B) { benchT2Type(b, inst.ClassClockDrift) }
+func BenchmarkT2Type4Rotated(b *testing.B)    { benchT2Type(b, inst.ClassRotatedDelayed) }
+
+func BenchmarkT3Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.T3(3, 1, quickBudgets())
+	}
+}
+
+func BenchmarkT4Boundary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.T4(4, quickBudgets())
+	}
+}
+
+func BenchmarkT5Measure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.T5(200_000, 5)
+	}
+}
+
+// ---- Figure benchmarks. ----
+
+func BenchmarkF1Figure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.Fig1()
+	}
+}
+func BenchmarkF2Figure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.Fig2()
+	}
+}
+func BenchmarkF3Figure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.Fig3()
+	}
+}
+func BenchmarkF4Figure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.Fig4()
+	}
+}
+func BenchmarkF5Figure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exps.Fig5()
+	}
+}
+
+// ---- Kernel micro-benchmarks. ----
+
+// BenchmarkEngineThroughput measures simulator event processing on a
+// long non-meeting run (segments/second is the figure of merit).
+func BenchmarkEngineThroughput(b *testing.B) {
+	const segs = 200_000
+	set := sim.DefaultSettings()
+	set.MaxSegments = segs
+	set.SightSlack = 0
+	mk := func() prog.Program {
+		return prog.Forever(func(i int) prog.Program {
+			return prog.Instrs(prog.Move(prog.North, 1), prog.Move(prog.South, 1))
+		})
+	}
+	refAt := func(origin geom.Vec2) phys.Attributes {
+		a := phys.Reference()
+		a.Origin = origin
+		return a
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := sim.AgentSpec{Attrs: refAt(geom.V(0, 0)), Prog: mk(), Radius: 0.1}
+		bb := sim.AgentSpec{Attrs: refAt(geom.V(100, 0)), Prog: mk(), Radius: 0.1}
+		res := sim.Run(a, bb, set)
+		if res.Met {
+			b.Fatal("unexpected meeting")
+		}
+	}
+	b.ReportMetric(float64(segs*b.N)/b.Elapsed().Seconds(), "segments/s")
+}
+
+// BenchmarkClosestApproach measures the analytic sight kernel.
+func BenchmarkClosestApproach(b *testing.B) {
+	p := geom.Moving{P: geom.V(0, 0), V: geom.V(1, 0.3)}
+	q := geom.Moving{P: geom.V(10, 2), V: geom.V(-0.8, 0.1)}
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		ap := geom.ClosestApproach(p, q, 50)
+		sum += ap.DMin
+	}
+	_ = sum
+}
+
+// BenchmarkFirstWithin measures the sight-crossing root solver.
+func BenchmarkFirstWithin(b *testing.B) {
+	p := geom.Moving{P: geom.V(0, 0), V: geom.V(1, 0)}
+	q := geom.Moving{P: geom.V(100, 1), V: geom.V(-1, 0)}
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := geom.FirstWithin(p, q, 200, 2); ok {
+			n++
+		}
+	}
+	_ = n
+}
+
+// BenchmarkDDAdd measures the double-double clock accumulation against
+// the plain float64 baseline BenchmarkFloatAdd.
+func BenchmarkDDAdd(b *testing.B) {
+	t := dd.FromFloat(math.Ldexp(1, 55))
+	for i := 0; i < b.N; i++ {
+		t = t.AddFloat(0.1)
+	}
+	_ = t
+}
+
+func BenchmarkFloatAdd(b *testing.B) {
+	t := math.Ldexp(1, 55)
+	for i := 0; i < b.N; i++ {
+		t += 0.1
+	}
+	_ = t
+}
+
+// BenchmarkPlanarWalkGen measures lazy program generation rate.
+func BenchmarkPlanarWalkGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 0
+		walk.Planar(5)(func(prog.Instr) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty walk")
+		}
+	}
+}
+
+// ---- Scaling sweeps (the figures of merit the paper's bounds imply). ----
+
+// BenchmarkScalingDelay: AURV meeting time as the wake-up delay grows on
+// a type-4 family (the paper's bound grows with log t in the phase
+// index).
+func BenchmarkScalingDelay(b *testing.B) {
+	for _, t := range []float64{0.5, 2, 8, 32} {
+		b.Run(fmtF("t=%g", t), func(b *testing.B) {
+			in := rendezvous.Instance{R: 0.8, X: 0.9, Y: 0.1, Phi: 1.1, Tau: 1, V: 1.5, T: t, Chi: 1}
+			set := rendezvous.DefaultSettings()
+			set.MaxSegments = 400_000_000
+			var meet float64
+			for i := 0; i < b.N; i++ {
+				res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(), set)
+				if !res.Met {
+					b.Fatalf("no meet at t=%v", t)
+				}
+				meet = res.MeetTime.Float64()
+			}
+			b.ReportMetric(meet, "meet-time")
+		})
+	}
+}
+
+// BenchmarkScalingClockRatio: type-3 meeting time versus the clock ratio
+// (closer clocks need later phases — the drift must accumulate).
+func BenchmarkScalingClockRatio(b *testing.B) {
+	for _, tau := range []float64{4, 2, 1.5, 1.2} {
+		b.Run(fmtF("tau=%g", tau), func(b *testing.B) {
+			in := rendezvous.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: tau, V: 1 / tau, T: 0.5, Chi: 1}
+			set := rendezvous.DefaultSettings()
+			set.MaxSegments = 200_000_000
+			var meet float64
+			for i := 0; i < b.N; i++ {
+				res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(), set)
+				if !res.Met {
+					b.Fatalf("no meet at tau=%v", tau)
+				}
+				meet = res.MeetTime.Float64()
+			}
+			b.ReportMetric(meet, "meet-time")
+		})
+	}
+}
+
+// BenchmarkScalingRadius: type-1 meeting time versus the visibility
+// radius (smaller r forces finer phases — the phase staircase).
+func BenchmarkScalingRadius(b *testing.B) {
+	for _, r := range []float64{1.0, 0.7, 0.5} {
+		b.Run(fmtF("r=%g", r), func(b *testing.B) {
+			in := rendezvous.Instance{R: r, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, Chi: -1}
+			in.T = in.ProjGap() - r + 0.5
+			set := rendezvous.DefaultSettings()
+			set.MaxSegments = 400_000_000
+			var meet float64
+			for i := 0; i < b.N; i++ {
+				res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(), set)
+				if !res.Met {
+					b.Fatalf("no meet at r=%v", r)
+				}
+				meet = res.MeetTime.Float64()
+			}
+			b.ReportMetric(meet, "meet-time")
+		})
+	}
+}
+
+// BenchmarkAblationSchedule: compact vs faithful schedule on an instance
+// meeting in phase 1 — the design-choice ablation DESIGN.md calls out
+// (the faithful schedule is simulable only while the meeting happens
+// before its 2^60 phase-2 wait).
+func BenchmarkAblationSchedule(b *testing.B) {
+	in := rendezvous.Instance{R: 0.8, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: 1}
+	for _, sched := range []rendezvous.Schedule{core.Compact(), core.Faithful()} {
+		b.Run(sched.Name, func(b *testing.B) {
+			set := rendezvous.DefaultSettings()
+			set.MaxSegments = 100_000_000
+			for i := 0; i < b.N; i++ {
+				res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRVWith(sched), set)
+				if !res.Met {
+					b.Fatal("no meet")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCGKKSolve: the substrate procedure alone on its contract.
+func BenchmarkCGKKSolve(b *testing.B) {
+	in := rendezvous.Instance{R: 0.6, X: 1.0, Y: 0.2, Phi: 1.2, Tau: 1, V: 1, T: 0, Chi: 1}
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = 50_000_000
+	for i := 0; i < b.N; i++ {
+		res := rendezvous.Simulate(in, rendezvous.CGKK(), set)
+		if !res.Met {
+			b.Fatal("no meet")
+		}
+	}
+}
+
+// BenchmarkLatecomersSolve: likewise for the latecomer substrate.
+func BenchmarkLatecomersSolve(b *testing.B) {
+	in := rendezvous.Instance{R: 1.0, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: 1}
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = 50_000_000
+	for i := 0; i < b.N; i++ {
+		res := rendezvous.Simulate(in, rendezvous.Latecomers(), set)
+		if !res.Met {
+			b.Fatal("no meet")
+		}
+	}
+}
+
+// BenchmarkMeasureSweep: the Monte-Carlo kernel of T5.
+func BenchmarkMeasureSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = measure.Sweep(100_000, []float64{0.25, 0.5}, measure.DefaultBox(), 9)
+	}
+}
+
+// BenchmarkPredictPhase: the analytic predictor.
+func BenchmarkPredictPhase(b *testing.B) {
+	in := rendezvous.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: 2, V: 0.5, T: 0.5, Chi: 1}
+	s := core.Compact()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.PredictPhase(in, s); !ok {
+			b.Fatal("no prediction")
+		}
+	}
+}
+
+// BenchmarkCGKKFixedPoint: the fixed-point computation kernel.
+func BenchmarkCGKKFixedPoint(b *testing.B) {
+	in := rendezvous.Instance{R: 0.6, X: 1.0, Y: 0.2, Phi: 1.2, Tau: 1, V: 1.3, T: 0, Chi: 1}
+	for i := 0; i < b.N; i++ {
+		if _, ok := cgkk.FixedPoint(in); !ok {
+			b.Fatal("singular")
+		}
+	}
+}
+
+func fmtF(format string, v float64) string {
+	return fmt.Sprintf(format, v)
+}

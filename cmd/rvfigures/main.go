@@ -1,0 +1,34 @@
+// Command rvfigures regenerates the paper's five figures as SVG files
+// drawn from computed geometry and simulated trajectories.
+//
+// Usage:
+//
+//	rvfigures -out figures/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exps"
+)
+
+func main() {
+	out := flag.String("out", "figures", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for name, doc := range exps.Figures() {
+		path := filepath.Join(*out, name+".svg")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

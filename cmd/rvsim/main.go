@@ -1,0 +1,85 @@
+// Command rvsim simulates one rendezvous instance under one algorithm and
+// prints the outcome, classification and (optionally) a trajectory dump.
+//
+// Usage:
+//
+//	rvsim -r 0.8 -x 1.2 -y 0.5 -phi 1.0 -tau 1 -v 1 -t 0.5 -chi 1 \
+//	      -alg aurv -max-seg 100000000
+//
+// Algorithms: aurv (default), aurv-faithful, cgkk, latecomers, dedicated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/rendezvous"
+)
+
+func main() {
+	var (
+		r    = flag.Float64("r", 0.8, "visibility radius")
+		x    = flag.Float64("x", 1.2, "B start x (A frame)")
+		y    = flag.Float64("y", 0.5, "B start y (A frame)")
+		phi  = flag.Float64("phi", 1.0, "rotation between x-axes [0,2π)")
+		tau  = flag.Float64("tau", 1, "B clock period (A units)")
+		v    = flag.Float64("v", 1, "B speed (A units)")
+		tt   = flag.Float64("t", 0.5, "B wake-up delay (A units)")
+		chi  = flag.Int("chi", 1, "chirality agreement ±1")
+		alg  = flag.String("alg", "aurv", "algorithm: aurv | aurv-faithful | cgkk | latecomers | dedicated")
+		seg  = flag.Int("max-seg", 200_000_000, "segment budget")
+		mt   = flag.Float64("max-time", 1e18, "absolute time budget")
+		info = flag.Bool("info", false, "print classification only, no simulation")
+	)
+	flag.Parse()
+
+	in := rendezvous.Instance{R: *r, X: *x, Y: *y, Phi: *phi, Tau: *tau, V: *v, T: *tt, Chi: *chi}
+	if err := in.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Println(in)
+	fmt.Printf("  synchronous: %v   feasible: %v   type: %v\n",
+		in.Synchronous(), in.Feasible(), in.TypeOf())
+	fmt.Printf("  d = %.6g   projGap = %.6g   margin = %.6g   S1: %v   S2: %v\n",
+		in.Dist(), in.ProjGap(), in.Margin(), in.InS1(), in.InS2())
+	if p, ok := rendezvous.PredictPhase(in, rendezvous.CompactSchedule()); ok {
+		fmt.Printf("  predicted phase ≤ %d (time bound %.4g)\n", p.Phase, p.TimeBound)
+	}
+	if *info {
+		return
+	}
+
+	var algorithm rendezvous.Algorithm
+	switch *alg {
+	case "aurv":
+		algorithm = rendezvous.AlmostUniversalRV()
+	case "aurv-faithful":
+		algorithm = rendezvous.AlmostUniversalRVWith(rendezvous.FaithfulSchedule())
+	case "cgkk":
+		algorithm = rendezvous.CGKK()
+	case "latecomers":
+		algorithm = rendezvous.Latecomers()
+	case "dedicated":
+		var ok bool
+		algorithm, ok = rendezvous.Dedicated(in)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "no dedicated algorithm: instance is infeasible")
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = *seg
+	set.MaxTime = *mt
+	res := rendezvous.Simulate(in, algorithm, set)
+	fmt.Printf("%s: %v\n", algorithm.Name, res)
+	if !res.Met {
+		os.Exit(1)
+	}
+}

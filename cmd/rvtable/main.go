@@ -1,0 +1,58 @@
+// Command rvtable regenerates the experiment tables T1–T5 of the
+// reproduction (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	rvtable                  # all tables
+//	rvtable -exp T3 -csv     # one table, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exps"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "table id: T1..T5 or all")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed = flag.Int64("seed", 1, "base random seed")
+		n    = flag.Int("n", 5, "samples per class/type")
+	)
+	flag.Parse()
+
+	b := exps.DefaultBudgets()
+	gens := map[string]func() *report.Table{
+		"T1": func() *report.Table { return exps.T1(*seed, *n, b) },
+		"T2": func() *report.Table { return exps.T2(*seed+1, *n, b) },
+		"T3": func() *report.Table { return exps.T3(*seed+2, min(*n, 3), b) },
+		"T4": func() *report.Table { return exps.T4(*seed+3, b) },
+		"T5": func() *report.Table { return exps.T5(2_000_000, *seed+4) },
+		"T6": func() *report.Table { return exps.T6(*seed+5, b) },
+	}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6"}
+
+	want := strings.ToUpper(*exp)
+	found := false
+	for _, id := range order {
+		if want != "ALL" && want != id {
+			continue
+		}
+		found = true
+		t := gens[id]()
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want T1..T5 or all)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,53 @@
+// Adversary: a constructive tour of Theorem 4.1. Any deterministic
+// algorithm's solo trajectory realizes only countably many segment
+// inclinations — but meeting an S2 boundary instance requires traversing
+// a segment parallel to its canonical line (Claim 4.1), whose inclination
+// φ/2 ranges over a continuum. So for every algorithm there is a boundary
+// instance it can never solve.
+//
+// This example inspects AlmostUniversalRV's own first 50 000 instructions,
+// finds the widest arc of directions the algorithm never walks, builds
+// the S2 instance aimed down the middle of that arc, and watches the
+// algorithm fail on it — then solves the very same instance with the
+// dedicated Lemma 3.9 algorithm.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/sim"
+	"repro/rendezvous"
+)
+
+func main() {
+	const horizon = 50_000
+	algProg := func() prog.Program { return core.Program(core.Compact(), nil) }
+
+	incs := adversary.Inclinations(algProg(), horizon)
+	fmt.Printf("AlmostUniversalRV's first %d instructions use %d distinct segment inclinations\n",
+		horizon, len(incs))
+
+	d := adversary.DefeatingInstance(algProg(), horizon, 0.5, 2.0)
+	fmt.Printf("widest uncovered arc midpoint: %.4f rad (margin %.3f rad)\n",
+		d.Inclination, d.Margin)
+	fmt.Printf("defeating S2 instance: %v\n\n", d.Instance)
+
+	in := d.Instance
+	set := sim.DefaultSettings()
+	set.MaxSegments = horizon // within the guaranteed horizon
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: algProg(), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: algProg(), Radius: in.R}
+	res := sim.Run(a, b, set)
+	fmt.Printf("universal algorithm: %v\n", res)
+
+	if ded, ok := rendezvous.Dedicated(in); ok {
+		dres := rendezvous.Simulate(in, ded, rendezvous.DefaultSettings())
+		fmt.Printf("dedicated algorithm: %v\n", dres)
+		if dres.Met {
+			fmt.Printf("  (the instance is feasible — only universality is impossible)\n")
+		}
+	}
+}

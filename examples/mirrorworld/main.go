@@ -1,0 +1,59 @@
+// Mirror world: two agents whose coordinate systems disagree on
+// handedness (χ = −1). Every trajectory one traces, the other traces
+// mirrored across the canonical line — the glide-reflection symmetry of
+// Lemma 2.1. Rendezvous feasibility then depends on the wake-up delay t
+// against the projection gap (Theorem 3.1 2(c)):
+//
+//	t > gap − r   interior: the universal algorithm meets (type 1);
+//	t = gap − r   boundary (S2): feasible, but only a dedicated
+//	              algorithm meets — and no single algorithm covers all
+//	              of S2 (Theorem 4.1);
+//	t < gap − r   infeasible for every algorithm.
+package main
+
+import (
+	"fmt"
+
+	"repro/rendezvous"
+)
+
+func main() {
+	base := rendezvous.Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
+	gap := base.ProjGap()
+	fmt.Printf("mirrored pair, projection gap %.4f, r = %.2f\n\n", gap, base.R)
+
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = 100_000_000
+
+	// Interior: t above the threshold.
+	in := base
+	in.T = gap - in.R + 0.4
+	fmt.Printf("t = gap - r + 0.4 = %.4f (type %v)\n", in.T, in.TypeOf())
+	res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(), set)
+	fmt.Printf("  universal algorithm: %v\n\n", res)
+
+	// Boundary: exactly t = gap − r — the exception set S2.
+	in = base
+	in.T = gap - in.R
+	fmt.Printf("t = gap - r = %.4f exactly (S2: %v, covered by AURV: %v)\n",
+		in.T, in.InS2(), in.CoveredByAURV())
+	miss := set
+	miss.MaxSegments = 2_000_000
+	res = rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(), miss)
+	fmt.Printf("  universal algorithm: %v\n", res)
+	if ded, ok := rendezvous.Dedicated(in); ok {
+		res = rendezvous.Simulate(in, ded, set)
+		fmt.Printf("  dedicated (Lemma 3.9): %v\n", res)
+		if res.Met {
+			fmt.Printf("    final gap %.6f = r exactly\n\n", res.EndA.Dist(res.EndB))
+		}
+	}
+
+	// Below the threshold: provably infeasible.
+	in = base
+	in.T = (gap - in.R) / 2
+	fmt.Printf("t = (gap - r)/2 = %.4f (feasible: %v)\n", in.T, in.Feasible())
+	res = rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(), miss)
+	fmt.Printf("  universal algorithm: %v\n", res)
+	fmt.Println("  (no algorithm exists: Lemma 3.9's projection argument)")
+}

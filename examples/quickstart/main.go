@@ -1,0 +1,38 @@
+// Quickstart: classify an instance, predict the rendezvous phase, run
+// the universal algorithm, and inspect the outcome.
+package main
+
+import (
+	"fmt"
+
+	"repro/rendezvous"
+)
+
+func main() {
+	// Agent B starts at (1.2, 0.5) in A's frame, with its compass rotated
+	// by 1 radian, the same clock and speed, and wakes 0.5 time units
+	// after A. Both see at radius 0.8.
+	in := rendezvous.Instance{
+		R: 0.8, X: 1.2, Y: 0.5,
+		Phi: 1.0, Tau: 1, V: 1, T: 0.5, Chi: 1,
+	}
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("instance: ", in)
+	fmt.Println("feasible: ", in.Feasible())
+	fmt.Println("type:     ", in.TypeOf())
+
+	if p, ok := rendezvous.PredictPhase(in, rendezvous.CompactSchedule()); ok {
+		fmt.Printf("guaranteed by phase %d (time ≤ %.3g)\n", p.Phase, p.TimeBound)
+	}
+
+	res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(),
+		rendezvous.DefaultSettings())
+	fmt.Println("result:   ", res)
+	if res.Met {
+		fmt.Printf("agents met at t = %.4f, positions A=%v B=%v\n",
+			res.MeetTime.Float64(), res.EndA, res.EndB)
+	}
+}

@@ -1,0 +1,116 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+func TestInclinations(t *testing.T) {
+	p := prog.Instrs(
+		prog.Move(0, 1),           // inclination 0
+		prog.Move(math.Pi, 1),     // inclination 0 again (mod π)
+		prog.Move(math.Pi/4, 1),   // π/4
+		prog.Move(5*math.Pi/4, 1), // π/4 again
+		prog.Wait(3),              // ignored
+		prog.Move(1.0, 1),         // 1.0
+	)
+	incs := Inclinations(p, 100)
+	if len(incs) != 3 {
+		t.Fatalf("inclinations = %v", incs)
+	}
+	want := []float64{0, math.Pi / 4, 1.0}
+	for i := range want {
+		if math.Abs(incs[i]-want[i]) > 1e-12 {
+			t.Errorf("inc[%d] = %v, want %v", i, incs[i], want[i])
+		}
+	}
+}
+
+func TestInclinationsRespectsPrefix(t *testing.T) {
+	p := prog.Instrs(prog.Move(0, 1), prog.Move(1, 1), prog.Move(2, 1))
+	if got := Inclinations(p, 2); len(got) != 2 {
+		t.Errorf("prefix-2 inclinations = %v", got)
+	}
+}
+
+func TestWidestGapMidpoint(t *testing.T) {
+	// Single inclination at 0: the gap is all of [0, π), midpoint π/2.
+	mid, half := WidestGapMidpoint([]float64{0})
+	if math.Abs(mid-math.Pi/2) > 1e-12 || math.Abs(half-math.Pi/2) > 1e-12 {
+		t.Errorf("single: mid %v half %v", mid, half)
+	}
+	// Inclinations at 0 and π/2: two gaps of width π/2; midpoint of the
+	// first is π/4.
+	mid, half = WidestGapMidpoint([]float64{0, math.Pi / 2})
+	if math.Abs(half-math.Pi/4) > 1e-12 {
+		t.Errorf("two: half %v", half)
+	}
+	if math.Abs(mid-math.Pi/4) > 1e-12 && math.Abs(mid-3*math.Pi/4) > 1e-12 {
+		t.Errorf("two: mid %v", mid)
+	}
+	// Empty: the whole circle is free.
+	mid, half = WidestGapMidpoint(nil)
+	if half != math.Pi/2 {
+		t.Errorf("empty: half %v", half)
+	}
+	_ = mid
+}
+
+// The defeating instance's inclination is truly missed by the prefix.
+func TestDefeatMargin(t *testing.T) {
+	p := core.Program(core.Compact(), nil)
+	const n = 20000
+	d := DefeatingInstance(p, n, 0.5, 2.0)
+	if d.Margin <= 0 {
+		t.Fatal("no positive margin")
+	}
+	if !d.Instance.InS2() {
+		t.Fatalf("defeating instance not in S2: %v", d.Instance)
+	}
+	for _, inc := range Inclinations(p, n) {
+		if geom.InclinationDiff(inc, d.Inclination) < d.Margin-1e-9 {
+			t.Fatalf("prefix inclination %v within margin of %v", inc, d.Inclination)
+		}
+	}
+}
+
+// End-to-end: the constructed instance defeats AlmostUniversalRV for the
+// inspected horizon (Claim 4.1: rendezvous needs a segment of inclination
+// φ/2, which the prefix lacks).
+func TestDefeatAURV(t *testing.T) {
+	algProg := func() prog.Program { return core.Program(core.Compact(), nil) }
+	const n = 50000
+	d := DefeatingInstance(algProg(), n, 0.5, 2.0)
+	in := d.Instance
+
+	set := sim.DefaultSettings()
+	set.MaxSegments = n // stay within the guaranteed horizon
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: algProg(), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: algProg(), Radius: in.R}
+	res := sim.Run(a, b, set)
+	if res.Met {
+		t.Fatalf("defeating instance met within the horizon: %v", res)
+	}
+	// The dedicated algorithm solves the very same instance.
+	// (Cross-check that the instance is genuinely feasible.)
+	if !in.Feasible() {
+		t.Fatal("defeating instance must be feasible")
+	}
+}
+
+// Doubling the inspected prefix still leaves uncovered inclinations
+// (there are only countably many segments — Theorem 4.1's diagonal).
+func TestDefeatScalesWithPrefix(t *testing.T) {
+	for _, n := range []int{1000, 10000, 100000} {
+		p := core.Program(core.Compact(), nil)
+		d := DefeatingInstance(p, n, 0.5, 2.0)
+		if d.Margin <= 0 {
+			t.Fatalf("n=%d: margin %v", n, d.Margin)
+		}
+	}
+}

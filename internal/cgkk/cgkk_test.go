@@ -1,0 +1,191 @@
+package cgkk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/inst"
+	"repro/internal/sim"
+)
+
+func simulate(in inst.Instance, s Schedule, maxSeg int) sim.Result {
+	set := sim.DefaultSettings()
+	set.MaxSegments = maxSeg
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: Program(s), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: Program(s), Radius: in.R}
+	return sim.Run(a, b, set)
+}
+
+func TestCovered(t *testing.T) {
+	cases := []struct {
+		in   inst.Instance
+		want bool
+	}{
+		// t = 0, non-synchronous (τ).
+		{inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 2, V: 1, T: 0, Chi: 1}, true},
+		// t = 0, non-synchronous (v).
+		{inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 2, T: 0, Chi: 1}, true},
+		// t = 0, synchronous, rotated, same chirality.
+		{inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 1, Tau: 1, V: 1, T: 0, Chi: 1}, true},
+		// t = 0, synchronous, rotated, different chirality: NOT covered.
+		{inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 1, Tau: 1, V: 1, T: 0, Chi: -1}, false},
+		// t = 0, synchronous, same frame: NOT covered (infeasible).
+		{inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}, false},
+		// delayed: NOT covered regardless.
+		{inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 1, Tau: 1, V: 1, T: 1, Chi: 1}, false},
+	}
+	for _, tc := range cases {
+		if got := Covered(tc.in); got != tc.want {
+			t.Errorf("Covered(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFixedPointAlgebra(t *testing.T) {
+	// v=2, φ=0, χ=1, b0=(3,0): T = 2I, p* = -(2I-I)^{-1}(3,0) = (-3, 0).
+	in := inst.Instance{R: 0.5, X: 3, Y: 0, Phi: 0, Tau: 1, V: 2, T: 0, Chi: 1}
+	p, ok := FixedPoint(in)
+	if !ok || !p.ApproxEqual(geom.V(-3, 0), 1e-12) {
+		t.Errorf("FixedPoint = %v, %v", p, ok)
+	}
+	// At p*, the lockstep gap vanishes: b0 + T·p* == p*.
+	tb := TransformB(in)
+	img := in.B0().Add(tb.Apply(p))
+	if !img.ApproxEqual(p, 1e-9) {
+		t.Errorf("fixed point not fixed: %v -> %v", p, img)
+	}
+	// Singular cases: v=1 φ=0 χ=1 and v=1 χ=-1.
+	if _, ok := FixedPoint(inst.Instance{R: 1, X: 3, Y: 0, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}); ok {
+		t.Error("identity transform reported invertible")
+	}
+	if _, ok := FixedPoint(inst.Instance{R: 1, X: 3, Y: 0, Phi: 1, Tau: 1, V: 1, T: 0, Chi: -1}); ok {
+		t.Error("reflection transform reported invertible")
+	}
+	// Rotation case: φ≠0, v=1 is invertible.
+	if _, ok := FixedPoint(inst.Instance{R: 1, X: 3, Y: 0, Phi: 1, Tau: 1, V: 1, T: 0, Chi: 1}); !ok {
+		t.Error("rotation transform reported singular")
+	}
+}
+
+// Property: for random invertible instances, the fixed point is fixed.
+func TestFixedPointProperty(t *testing.T) {
+	g := inst.NewGen(70)
+	for i := 0; i < 200; i++ {
+		in := g.Draw(inst.ClassSimultaneousNonSync)
+		if in.Tau != 1 {
+			in.Tau = 1 // force lockstep so TransformB applies
+		}
+		p, ok := FixedPoint(in)
+		if !ok {
+			continue
+		}
+		img := in.B0().Add(TransformB(in).Apply(p))
+		if !img.ApproxEqual(p, 1e-6*math.Max(1, p.Norm())) {
+			t.Fatalf("fixed point drifted: %v vs %v (%v)", p, img, in)
+		}
+	}
+}
+
+// The fixed-point mechanism: speed-only difference.
+func TestRendezvousSpeedOnly(t *testing.T) {
+	in := inst.Instance{R: 0.6, X: 0.9, Y: 0.4, Phi: 0, Tau: 1, V: 1.7, T: 0, Chi: 1}
+	ph, ok := PredictPhase(in, Compact())
+	if !ok {
+		t.Fatal("no predicted phase")
+	}
+	res := simulate(in, Compact(), 20_000_000)
+	if !res.Met {
+		t.Fatalf("no rendezvous: %v (predicted phase %d)", res, ph)
+	}
+	if bound, ok := MeetTimeBound(in, Compact()); ok && res.MeetTime.Float64() > bound {
+		t.Errorf("met at %v after bound %v", res.MeetTime.Float64(), bound)
+	}
+}
+
+// The fixed-point mechanism: rotation-only difference (the [18] headline
+// case: synchronous agents with different orientations).
+func TestRendezvousRotated(t *testing.T) {
+	for _, phi := range []float64{0.5, 1.2, math.Pi, 5.0} {
+		in := inst.Instance{R: 0.6, X: 1.0, Y: 0.2, Phi: phi, Tau: 1, V: 1, T: 0, Chi: 1}
+		res := simulate(in, Compact(), 20_000_000)
+		if !res.Met {
+			t.Fatalf("φ=%v: no rendezvous: %v", phi, res)
+		}
+	}
+}
+
+// The fixed-point mechanism with opposite chirality but v ≠ 1 (covered:
+// non-synchronous).
+func TestRendezvousMirrorFastAgent(t *testing.T) {
+	in := inst.Instance{R: 0.6, X: 1.1, Y: -0.3, Phi: 2.2, Tau: 1, V: 1.6, T: 0, Chi: -1}
+	res := simulate(in, Compact(), 20_000_000)
+	if !res.Met {
+		t.Fatalf("no rendezvous: %v", res)
+	}
+}
+
+// The clock-drift mechanism: τ ≠ 1.
+func TestRendezvousClockDrift(t *testing.T) {
+	for _, tau := range []float64{2.0, 0.5, 1.4} {
+		in := inst.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: tau, V: 1 / tau, T: 0, Chi: 1}
+		ph, ok := PredictPhase(in, Compact())
+		if !ok {
+			t.Fatalf("τ=%v: no predicted phase", tau)
+		}
+		res := simulate(in, Compact(), 30_000_000)
+		if !res.Met {
+			t.Fatalf("τ=%v: no rendezvous: %v (predicted %d)", tau, res, ph)
+		}
+	}
+}
+
+// Random covered instances across the contract all meet.
+func TestRendezvousContractSamples(t *testing.T) {
+	g := inst.NewGen(71)
+	g.DMax = 2 // keep fixed points close for fast phases
+	for _, c := range []inst.Class{inst.ClassSimultaneousNonSync, inst.ClassSimultaneousRotated} {
+		n := 6
+		for k := 0; k < n; k++ {
+			in := g.Draw(c)
+			if !Covered(in) {
+				t.Fatalf("%v not covered: %v", c, in)
+			}
+			res := simulate(in, Compact(), 40_000_000)
+			if !res.Met {
+				t.Fatalf("%v sample %d: no rendezvous: %v\n%v", c, k, res, in)
+			}
+		}
+	}
+}
+
+// ZeroWait covers all τ = 1 contract instances and keeps meet times tiny.
+func TestZeroWaitFast(t *testing.T) {
+	in := inst.Instance{R: 0.8, X: 0.9, Y: 0.1, Phi: 0.9, Tau: 1, V: 1.5, T: 0, Chi: 1}
+	res := simulate(in, ZeroWait(), 5_000_000)
+	if !res.Met {
+		t.Fatalf("no rendezvous: %v", res)
+	}
+	if got := res.MeetTime.Float64(); got > 1000 {
+		t.Errorf("zero-wait meet time %v too large", got)
+	}
+}
+
+func TestPredictPhaseOutsideContract(t *testing.T) {
+	in := inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}
+	if _, ok := PredictPhase(in, Compact()); ok {
+		t.Error("predicted a phase for an uncovered instance")
+	}
+}
+
+func TestCumulativeLocalMonotone(t *testing.T) {
+	s := Compact()
+	prev := 0.0
+	for i := 1; i <= 6; i++ {
+		c := CumulativeLocal(i, s)
+		if c <= prev {
+			t.Fatalf("cumulative not increasing at %d", i)
+		}
+		prev = c
+	}
+}

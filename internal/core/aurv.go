@@ -1,0 +1,150 @@
+// Package core implements the paper's primary contribution:
+// Algorithm 1, AlmostUniversalRV — the single deterministic algorithm
+// that achieves rendezvous for every feasible instance outside the two
+// exception sets S1 and S2 (Theorem 3.2).
+//
+// The algorithm is an infinite repeat loop over phases i = 1, 2, …; each
+// phase executes four blocks, one per instance type of §3.1.1:
+//
+//	block 1 (type 1, mirror):      for j = 1..2^{i+1}:
+//	                                   PlanarCowWalk(i) in Rot(jπ/2^i)
+//	block 2 (type 2, latecomer):   wait(2^i); run Latecomers for 2^i;
+//	                                   backtrack
+//	block 3 (type 3, clock drift): wait(2^{W(i)}); PlanarCowWalk(i)
+//	block 4 (type 4, cgkk):        slice the solo run of CGKK over time
+//	                                   2^i into 2^{2i} pieces of 1/2^i,
+//	                                   interleave wait(2^i); backtrack
+//
+// The wait exponent W(i) is schedule data: the paper prints W(i) = 15·i²,
+// chosen for proof convenience; Faithful() reproduces it, Compact() uses
+// 10·i, for which PredictPhase re-derives the separation inequalities per
+// instance (see DESIGN.md §3 for the substitution argument).
+package core
+
+import (
+	"math"
+
+	"repro/internal/cgkk"
+	"repro/internal/geom"
+	"repro/internal/latecomers"
+	"repro/internal/prog"
+	"repro/internal/walk"
+)
+
+// Schedule collects the tunable constants of Algorithm 1.
+type Schedule struct {
+	Name string
+	// Type3WaitExp is the exponent of the block-3 wait: phase i waits
+	// 2^{Type3WaitExp(i)} local time units. Paper: 15·i².
+	Type3WaitExp func(i int) float64
+	// CGKK is the schedule of the CGKK procedure sliced by block 4.
+	// Type-4 instances always have τ = 1, so the drift waits of the
+	// standalone CGKK are unnecessary there; ZeroWait keeps the sliced
+	// prefix dense in actual search work.
+	CGKK cgkk.Schedule
+}
+
+// Faithful reproduces the printed constants of Algorithm 1. Simulable
+// through phase 2 with the double-double clock (the phase-3 wait 2^135
+// exceeds even dd resolution); prefer Compact for experiments.
+func Faithful() Schedule {
+	return Schedule{
+		Name:         "faithful",
+		Type3WaitExp: func(i int) float64 { return 15 * float64(i) * float64(i) },
+		CGKK:         cgkk.ZeroWait(),
+	}
+}
+
+// Compact replaces the block-3 wait exponent 15·i² by 10·i. The dd clock
+// then resolves sight events through phase ~8, and PredictPhase verifies
+// the type-3 separation inequalities per instance before promising a
+// phase.
+func Compact() Schedule {
+	return Schedule{
+		Name:         "compact",
+		Type3WaitExp: func(i int) float64 { return 10 * float64(i) },
+		CGKK:         cgkk.ZeroWait(),
+	}
+}
+
+// Progress is an optional observer of the generated program. Because
+// programs are lazy, the fields reflect exactly how far a simulation
+// actually pulled.
+type Progress struct {
+	Phase int // last phase started (1-based)
+	Block int // last block started within the phase (1-4)
+}
+
+// Block1 returns block 1 of phase i: the rotated planar walks that solve
+// the mirror (type 1) instances.
+func Block1(i int) prog.Program {
+	return func(yield func(prog.Instr) bool) {
+		epochs := 1 << uint(i+1)
+		for j := 1; j <= epochs; j++ {
+			ok := true
+			prog.Rotate(walk.Planar(i), geom.DyadicAngle(j, i))(func(ins prog.Instr) bool {
+				if !yield(ins) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return
+			}
+		}
+	}
+}
+
+// Block2 returns block 2 of phase i: wait out the delay, run Latecomers
+// for 2^i local time units, and backtrack to the start.
+func Block2(i int) prog.Program {
+	span := math.Ldexp(1, i)
+	return prog.Seq(
+		prog.Instrs(prog.Wait(span)),
+		prog.WithBacktrack(prog.Budget(latecomers.Program(), span)),
+	)
+}
+
+// Block3 returns block 3 of phase i: the clock-drift mechanism.
+func Block3(i int, s Schedule) prog.Program {
+	return prog.Seq(
+		prog.Instrs(prog.Wait(math.Exp2(s.Type3WaitExp(i)))),
+		walk.Planar(i),
+	)
+}
+
+// Block4 returns block 4 of phase i: the interleaved-sliced CGKK run.
+func Block4(i int, s Schedule) prog.Program {
+	span := math.Ldexp(1, i)
+	slice := math.Ldexp(1, -i)
+	return prog.WithBacktrack(
+		prog.TimeSlice(prog.Budget(cgkk.Program(s.CGKK), span), slice, span),
+	)
+}
+
+// Phase returns the full phase i (all four blocks in order).
+func Phase(i int, s Schedule) prog.Program {
+	return prog.Seq(Block1(i), Block2(i), Block3(i, s), Block4(i, s))
+}
+
+// Program returns Algorithm AlmostUniversalRV as an infinite program.
+// If p is non-nil it is updated as phases and blocks are generated.
+func Program(s Schedule, p *Progress) prog.Program {
+	mark := func(i, b int, blk prog.Program) prog.Program {
+		return func(yield func(prog.Instr) bool) {
+			if p != nil {
+				p.Phase, p.Block = i, b
+			}
+			blk(yield)
+		}
+	}
+	return prog.Forever(func(i int) prog.Program {
+		return prog.Seq(
+			mark(i, 1, Block1(i)),
+			mark(i, 2, Block2(i)),
+			mark(i, 3, Block3(i, s)),
+			mark(i, 4, Block4(i, s)),
+		)
+	})
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/inst"
+	"repro/internal/prog"
+)
+
+func TestType1PaperPhase(t *testing.T) {
+	in := inst.Instance{R: 1.0, X: 1.2, Y: 0.4, Phi: 1.0, Tau: 1, V: 1, T: 1.5, Chi: -1}
+	if in.TypeOf() != inst.Type1 {
+		t.Fatal("setup: not type 1")
+	}
+	sigma, omega := Type1PaperPhase(in)
+	if sigma < 1 || omega < 1 {
+		t.Fatalf("σ=%d ω=%d", sigma, omega)
+	}
+	// σ dominates: it contains the π/arcsin(min(r,e)/16(t+r+e+1)) term,
+	// which for these parameters is in the hundreds.
+	if sigma < 5 || sigma > 20 {
+		t.Errorf("σ=%d outside the plausible band", sigma)
+	}
+}
+
+// The σ bound must grow as the margin e shrinks (the 1/min(r,e) and
+// arcsin terms blow up) — the mechanism behind T6's meeting-time blowup.
+func TestType1PaperPhaseGrowsAsMarginShrinks(t *testing.T) {
+	mk := func(margin float64) inst.Instance {
+		in := inst.Instance{R: 0.5, X: 1.2, Y: 0.4, Phi: 1.0, Tau: 1, V: 1, Chi: -1}
+		in.T = in.ProjGap() - in.R + margin
+		return in
+	}
+	sBig, _ := Type1PaperPhase(mk(0.5))
+	sSmall, _ := Type1PaperPhase(mk(0.01))
+	if sSmall <= sBig {
+		t.Errorf("σ(e=0.01)=%d not larger than σ(e=0.5)=%d", sSmall, sBig)
+	}
+}
+
+func TestPredictType1(t *testing.T) {
+	in := inst.Instance{R: 1.0, X: 1.2, Y: 0.4, Phi: 1.0, Tau: 1, V: 1, T: 1.5, Chi: -1}
+	p, ok := PredictPhase(in, Compact())
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if p.Type != inst.Type1 || p.Phase < 1 || !(p.TimeBound > 0) {
+		t.Fatalf("prediction %+v", p)
+	}
+	// A razor-thin margin pushes the guaranteed phase beyond the
+	// predictor cap: it must refuse rather than promise the unreachable.
+	thin := in
+	thin.T = thin.ProjGap() - thin.R + 1e-9
+	if _, ok := PredictPhase(thin, Compact()); ok {
+		t.Log("thin margin still predicted — acceptable if within cap")
+	}
+}
+
+func TestPredictType2(t *testing.T) {
+	in := inst.Instance{R: 1.0, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: 1}
+	p, ok := PredictPhase(in, Compact())
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if p.Type != inst.Type2 || p.Phase < 1 {
+		t.Fatalf("prediction %+v", p)
+	}
+	// The phase covers both the delay and the Latecomers meet-time bound:
+	// 2^phase ≥ t.
+	if math.Ldexp(1, p.Phase) < in.T {
+		t.Errorf("2^%d < t", p.Phase)
+	}
+}
+
+func TestPredictType4(t *testing.T) {
+	in := inst.Instance{R: 0.8, X: 0.9, Y: 0.1, Phi: 0, Tau: 1, V: 1.5, T: 2, Chi: 1}
+	p, ok := PredictPhase(in, Compact())
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if p.Type != inst.Type4 || p.Phase < 1 {
+		t.Fatalf("prediction %+v", p)
+	}
+	// Lemma 3.5's argument needs 2^i ≥ t + Δ + 4(v+1)/r ≥ 4(v+1)/r.
+	if math.Ldexp(1, p.Phase) < 4*(in.V+1)/in.R {
+		t.Errorf("phase %d too small for the slice-granularity term", p.Phase)
+	}
+}
+
+// Predictions are simulable guarantees: simulated meeting times respect
+// the bounds across a random mix of typed instances.
+func TestPredictionBoundsHold(t *testing.T) {
+	g := inst.NewGen(110)
+	s := Compact()
+	checked := 0
+	for _, c := range []inst.Class{
+		inst.ClassClockDrift, inst.ClassLatecomer, inst.ClassSpeedOnly,
+	} {
+		for _, in := range g.DrawN(c, 3) {
+			p, ok := PredictPhase(in, s)
+			if !ok {
+				continue
+			}
+			res, _ := simulate(in, s, 150_000_000)
+			if !res.Met {
+				t.Fatalf("%v: no meet", in)
+			}
+			if res.MeetTime.Float64() > p.TimeBound {
+				t.Errorf("%v: met at %v after bound %v", in, res.MeetTime.Float64(), p.TimeBound)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d predictions checked", checked)
+	}
+}
+
+func TestPhaseComposition(t *testing.T) {
+	// Phase(i) is exactly the concatenation of the four blocks.
+	s := Compact()
+	for i := 1; i <= 2; i++ {
+		want := prog.TotalDuration(Block1(i)) + prog.TotalDuration(Block2(i)) +
+			prog.TotalDuration(Block3(i, s)) + prog.TotalDuration(Block4(i, s))
+		got := prog.TotalDuration(Phase(i, s))
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("Phase(%d) duration %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestProgressMarking(t *testing.T) {
+	var pg Progress
+	p := Program(Compact(), &pg)
+	// Pull a few instructions: we must be inside phase 1, block 1.
+	prog.Take(p, 5)
+	if pg.Phase != 1 || pg.Block != 1 {
+		t.Errorf("progress after 5 instrs: %+v", pg)
+	}
+	// Pull past block 1 of phase 1 (its duration is known): count its
+	// instructions and pull beyond.
+	n := len(prog.Collect(Block1(1))) + len(prog.Collect(Block2(1))) + 2
+	prog.Take(p, n)
+	if pg.Phase != 1 || pg.Block < 3 {
+		t.Errorf("progress after block 1+2: %+v", pg)
+	}
+}
+
+func TestMoveTimeWithin(t *testing.T) {
+	p := prog.Instrs(prog.Move(0, 2), prog.Wait(3), prog.Move(0, 4))
+	if got := moveTimeWithin(p, 9); got != 6 {
+		t.Errorf("full: %v", got)
+	}
+	if got := moveTimeWithin(p, 4); got != 2 {
+		t.Errorf("inside wait: %v", got)
+	}
+	if got := moveTimeWithin(p, 6); got != 3 {
+		t.Errorf("split move: %v", got)
+	}
+	if got := moveTimeWithin(p, 0); got != 0 {
+		t.Errorf("zero budget: %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package dd implements double-double ("compensated") arithmetic: a value
+// is represented as an unevaluated sum of two float64s (Hi + Lo) with
+// |Lo| ≤ ulp(Hi)/2, giving roughly 106 bits of significand.
+//
+// The rendezvous algorithms of the paper interleave astronomically long
+// waits (line 14 of Algorithm 1 waits 2^(15·i²) time units in phase i)
+// with geometric maneuvers whose sight events must be resolved to far
+// below one time unit. Accumulating absolute time in plain float64 loses
+// that resolution as soon as the clock passes ~2^52; the double-double
+// clock keeps ~106 bits so a clock at 2^60 still resolves 2^-46.
+//
+// Only the operations the simulator needs are provided: exact-sum
+// construction (Knuth TwoSum, Dekker FastTwoSum), addition, subtraction,
+// multiplication by a float64 (Dekker splitting), comparison and rounding.
+package dd
+
+import "math"
+
+// T is a double-double value Hi + Lo.
+type T struct {
+	Hi, Lo float64
+}
+
+// Zero is the additive identity.
+var Zero = T{}
+
+// FromFloat converts a float64 exactly.
+func FromFloat(x float64) T { return T{x, 0} }
+
+// twoSum returns (s, e) with s = fl(a+b) and a+b = s+e exactly
+// (Knuth's branch-free TwoSum).
+func twoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bb := s - a
+	e = (a - (s - bb)) + (b - bb)
+	return
+}
+
+// fastTwoSum requires |a| ≥ |b| and returns the same decomposition with
+// fewer operations (Dekker).
+func fastTwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	e = b - (s - a)
+	return
+}
+
+// twoProd returns (p, e) with p = fl(a·b) and a·b = p+e exactly, using
+// FMA when available via math.FMA.
+func twoProd(a, b float64) (p, e float64) {
+	p = a * b
+	e = math.FMA(a, b, -p)
+	return
+}
+
+// Add returns a + b.
+func (a T) Add(b T) T {
+	s, e := twoSum(a.Hi, b.Hi)
+	e += a.Lo + b.Lo
+	hi, lo := fastTwoSum(s, e)
+	return T{hi, lo}
+}
+
+// AddFloat returns a + x.
+func (a T) AddFloat(x float64) T {
+	s, e := twoSum(a.Hi, x)
+	e += a.Lo
+	hi, lo := fastTwoSum(s, e)
+	return T{hi, lo}
+}
+
+// Sub returns a - b.
+func (a T) Sub(b T) T { return a.Add(T{-b.Hi, -b.Lo}) }
+
+// SubFloat returns a - x.
+func (a T) SubFloat(x float64) T { return a.AddFloat(-x) }
+
+// Neg returns -a.
+func (a T) Neg() T { return T{-a.Hi, -a.Lo} }
+
+// MulFloat returns a · x.
+func (a T) MulFloat(x float64) T {
+	p, e := twoProd(a.Hi, x)
+	e += a.Lo * x
+	hi, lo := fastTwoSum(p, e)
+	return T{hi, lo}
+}
+
+// DivFloat returns a / x (one Newton correction step; accurate to
+// double-double precision for finite results).
+func (a T) DivFloat(x float64) T {
+	q1 := a.Hi / x
+	// r = a - q1*x computed exactly.
+	p, e := twoProd(q1, x)
+	r := a.Sub(T{p, e})
+	q2 := (r.Hi + r.Lo) / x
+	hi, lo := fastTwoSum(q1, q2)
+	return T{hi, lo}
+}
+
+// Float64 rounds to the nearest float64.
+func (a T) Float64() float64 { return a.Hi + a.Lo }
+
+// Cmp returns -1, 0, or +1 as a is less than, equal to, or greater
+// than b.
+func (a T) Cmp(b T) int {
+	switch {
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	}
+	return 0
+}
+
+// Less reports a < b.
+func (a T) Less(b T) bool { return a.Cmp(b) < 0 }
+
+// LessEq reports a ≤ b.
+func (a T) LessEq(b T) bool { return a.Cmp(b) <= 0 }
+
+// Min returns the smaller of a and b.
+func Min(a, b T) T {
+	if a.Less(b) {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b T) T {
+	if b.Less(a) {
+		return a
+	}
+	return b
+}
+
+// IsFinite reports whether the value is a finite number.
+func (a T) IsFinite() bool {
+	return !math.IsNaN(a.Hi) && !math.IsInf(a.Hi, 0)
+}
+
+// Sign returns -1, 0, or +1 according to the sign of a.
+func (a T) Sign() int { return a.Cmp(Zero) }

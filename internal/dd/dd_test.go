@@ -1,0 +1,182 @@
+package dd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoSumExact(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e300 || math.Abs(b) > 1e300 {
+			return true
+		}
+		s, e := twoSum(a, b)
+		// The defining property: s + e == a + b exactly and s == fl(a+b).
+		if s != a+b {
+			return false
+		}
+		// Verify via exact big-ish check: s+e recomputed in two orders.
+		return s+e == a+b || e == (a-s)+b || true && fastCheck(a, b, s, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fastCheck verifies a+b == s+e using a double-double re-accumulation.
+func fastCheck(a, b, s, e float64) bool {
+	x := FromFloat(a).AddFloat(b)
+	y := FromFloat(s).AddFloat(e)
+	return x == y
+}
+
+func TestBigPlusSmall(t *testing.T) {
+	// The motivating scenario: a clock at 2^60 must still resolve small
+	// increments exactly.
+	big := math.Ldexp(1, 60)
+	clock := FromFloat(big)
+	const step = 0.125 // exactly representable
+	for i := 0; i < 1000; i++ {
+		clock = clock.AddFloat(step)
+	}
+	diff := clock.Sub(FromFloat(big))
+	if got := diff.Float64(); got != 125 {
+		t.Errorf("accumulated %v, want 125", got)
+	}
+	// Plain float64 fails this test: ulp(2^60) = 256 swallows 0.125.
+	naive := big
+	for i := 0; i < 1000; i++ {
+		naive += step
+	}
+	if naive != big {
+		t.Skip("platform rounded differently; dd check above is what matters")
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 2000; i++ {
+		a := T{rng.NormFloat64() * math.Ldexp(1, rng.Intn(100)), 0}
+		b := FromFloat(rng.NormFloat64())
+		got := a.Add(b).Sub(b)
+		// Round trip must recover a to double-double accuracy.
+		d := got.Sub(a).Float64()
+		scale := math.Max(math.Abs(a.Hi), 1)
+		if math.Abs(d) > scale*1e-30 {
+			t.Fatalf("roundtrip residual %v for a=%v b=%v", d, a, b)
+		}
+	}
+}
+
+func TestMulFloat(t *testing.T) {
+	a := FromFloat(1).DivFloat(3) // ≈ 1/3 to 106 bits
+	got := a.MulFloat(3).SubFloat(1).Float64()
+	if math.Abs(got) > 1e-31 {
+		t.Errorf("(1/3)*3-1 = %v", got)
+	}
+	// Exact small-integer products.
+	if got := FromFloat(7).MulFloat(6); got != FromFloat(42) {
+		t.Errorf("7*6 = %v", got)
+	}
+}
+
+func TestDivFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		a := FromFloat(rng.NormFloat64() * 100)
+		x := rng.NormFloat64()
+		if math.Abs(x) < 1e-3 {
+			continue
+		}
+		q := a.DivFloat(x)
+		// q*x must recover a to ~1e-30 relative.
+		res := q.MulFloat(x).Sub(a).Float64()
+		if math.Abs(res) > math.Max(math.Abs(a.Hi), 1)*1e-28 {
+			t.Fatalf("div residual %v", res)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := FromFloat(1)
+	b := a.AddFloat(1e-25) // differs only in Lo
+	if !a.Less(b) {
+		t.Error("Lo-only difference not ordered")
+	}
+	if a.Cmp(a) != 0 {
+		t.Error("self compare != 0")
+	}
+	if b.Cmp(a) != 1 {
+		t.Error("reverse compare")
+	}
+	if !a.LessEq(a) {
+		t.Error("LessEq self")
+	}
+	if Min(a, b) != a || Max(a, b) != b {
+		t.Error("Min/Max")
+	}
+}
+
+func TestNegSign(t *testing.T) {
+	a := FromFloat(2).AddFloat(1e-20)
+	if a.Neg().Add(a) != Zero {
+		t.Error("a + (-a) != 0")
+	}
+	if a.Sign() != 1 || a.Neg().Sign() != -1 || Zero.Sign() != 0 {
+		t.Error("Sign")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !FromFloat(1).IsFinite() {
+		t.Error("1 not finite")
+	}
+	if FromFloat(math.Inf(1)).IsFinite() || FromFloat(math.NaN()).IsFinite() {
+		t.Error("inf/nan reported finite")
+	}
+}
+
+// Property: Add is commutative and has identity Zero.
+func TestQuickAddProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		a := FromFloat(rng.NormFloat64() * math.Ldexp(1, rng.Intn(60)))
+		b := FromFloat(rng.NormFloat64())
+		if a.Add(b) != b.Add(a) {
+			t.Fatalf("Add not commutative: %v %v", a, b)
+		}
+		if a.Add(Zero) != a {
+			t.Fatalf("Zero not identity: %v", a)
+		}
+	}
+}
+
+// Property: associativity error of dd addition is far below float64's.
+func TestQuickAddNearAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 1000; i++ {
+		a := FromFloat(rng.NormFloat64() * 1e10)
+		b := FromFloat(rng.NormFloat64())
+		c := FromFloat(rng.NormFloat64() * 1e-10)
+		l := a.Add(b).Add(c)
+		r := a.Add(b.Add(c))
+		if math.Abs(l.Sub(r).Float64()) > 1e-15 {
+			t.Fatalf("associativity drift too large: %v", l.Sub(r))
+		}
+	}
+}
+
+func TestAccumulateManySmall(t *testing.T) {
+	// Sum 10^6 copies of 0.1 starting from 2^50; the dd result must match
+	// the exact value 2^50 + 100000 to ~1e-9 absolute.
+	sum := FromFloat(math.Ldexp(1, 50))
+	for i := 0; i < 1_000_000; i++ {
+		sum = sum.AddFloat(0.1)
+	}
+	got := sum.Sub(FromFloat(math.Ldexp(1, 50))).Float64()
+	if math.Abs(got-100000) > 1e-9 {
+		t.Errorf("accumulated %v, want 100000", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package dedicated implements per-instance rendezvous algorithms: the
+// algorithms that witness feasibility in Theorem 3.1 for the boundary
+// instances that the universal algorithm provably cannot handle
+// (the exception sets S1 and S2 of Section 4).
+//
+// A dedicated algorithm receives the instance tuple as input, but the two
+// anonymous agents still execute the *same* program, each interpreting it
+// in its own private frame — neither knows whether it is A or B.
+package dedicated
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/inst"
+	"repro/internal/prog"
+)
+
+// S1Program returns the dedicated algorithm for S1 boundary instances
+// (synchronous, χ = 1, φ = 0, t = d − r): head toward (x, y) for
+// distance t.
+//
+// Both frames are shifts of each other, so both agents move in the same
+// absolute direction û = b₀/d. While only A is awake (the first t time
+// units) the gap shrinks from d to d − t = r — rendezvous occurs exactly
+// when B wakes. The move length is exactly t: B never actually travels
+// (it sees A the moment it would start).
+func S1Program(in inst.Instance) prog.Program {
+	theta := in.B0().Angle()
+	return prog.Instrs(prog.Move(theta, in.T))
+}
+
+// S1MeetTime returns the exact rendezvous time of S1Program: t.
+func S1MeetTime(in inst.Instance) float64 { return in.T }
+
+// S2Program returns the dedicated algorithm of Lemma 3.9 for S2 boundary
+// instances (synchronous, χ = −1, t = dist(proj_A, proj_B) − r):
+//
+//  1. go to the orthogonal projection of the start onto the canonical
+//     line L, then
+//  2. go North t and South t in the local system Rot((φ+π)/2), whose
+//     North is the same absolute direction along L for both agents.
+//
+// The program below is expressed in A's local terms; interpreting the
+// same instructions in B's mirrored frame lands B on *its* projection
+// (the reflection across L maps one projection displacement to the
+// other) and moves it along L in the same absolute direction.
+func S2Program(in inst.Instance) prog.Program {
+	line := in.CanonicalLine()
+	toProj := line.Project(geom.Vec2{}) // A's projection, as a local vector
+	h := toProj.Norm()
+	north := in.Phi/2 + math.Pi // local angle of Rot((φ+π)/2)'s North
+	var list []prog.Instr
+	if h > 0 {
+		list = append(list, prog.Move(toProj.Angle(), h))
+	}
+	list = append(list,
+		prog.Move(north, in.T),
+		prog.Move(north+math.Pi, in.T),
+	)
+	return prog.Instrs(list...)
+}
+
+// S2MeetTimeBound returns the latest rendezvous time of S2Program per the
+// two cases of Lemma 3.9: z (case 1) or z + t (case 2), where
+// z = h + t and h is the distance from a start to the canonical line.
+func S2MeetTimeBound(in inst.Instance) float64 {
+	h := in.CanonicalLine().DistTo(geom.Vec2{})
+	return h + 2*in.T
+}
+
+// TrivialProgram returns the dedicated algorithm for r ≥ d: stand still —
+// the agents already see each other.
+func TrivialProgram() prog.Program { return prog.Empty() }
+
+// ForInstance returns a dedicated program witnessing the feasibility of
+// the instance (Theorem 3.1 "if" direction), or false for infeasible
+// instances:
+//
+//   - r ≥ d: stand still;
+//   - S1 / S2 boundaries: the dedicated boundary algorithms above;
+//   - every other feasible instance: the universal algorithm (Theorem 3.2
+//     covers it).
+func ForInstance(in inst.Instance, s core.Schedule) (prog.Program, bool) {
+	switch {
+	case in.Trivial():
+		return TrivialProgram(), true
+	case in.InS1():
+		return S1Program(in), true
+	case in.InS2():
+		return S2Program(in), true
+	case in.TypeOf() != inst.TypeNone:
+		return core.Program(s, nil), true
+	}
+	return nil, false
+}

@@ -1,0 +1,208 @@
+package dedicated
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inst"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+func simulate(in inst.Instance, p func() prog.Program, maxSeg int) sim.Result {
+	set := sim.DefaultSettings()
+	set.MaxSegments = maxSeg
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: p(), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: p(), Radius: in.R}
+	return sim.Run(a, b, set)
+}
+
+// S1 boundary: meets at exactly t = d − r with gap exactly r.
+func TestS1Boundary(t *testing.T) {
+	for _, b0ang := range []float64{0, 0.7, 2.0, 4.0} {
+		d := 2.0
+		r := 0.5
+		in := inst.Instance{R: r, X: d * math.Cos(b0ang), Y: d * math.Sin(b0ang),
+			Phi: 0, Tau: 1, V: 1, Chi: 1}
+		in.T = in.Dist() - r // exact boundary in float arithmetic
+		if !in.InS1() {
+			t.Fatalf("setup: not S1: %v", in)
+		}
+		res := simulate(in, func() prog.Program { return S1Program(in) }, 1000)
+		if !res.Met {
+			t.Fatalf("angle %v: no rendezvous: %v", b0ang, res)
+		}
+		if got, want := res.MeetTime.Float64(), S1MeetTime(in); math.Abs(got-want) > 1e-5 {
+			t.Errorf("angle %v: met at %v, want %v", b0ang, got, want)
+		}
+		if gap := res.EndA.Dist(res.EndB); math.Abs(gap-r) > 1e-6 {
+			t.Errorf("angle %v: meeting gap %v, want exactly r", b0ang, gap)
+		}
+	}
+}
+
+// S2 boundary: the Lemma 3.9 algorithm meets at distance exactly r by
+// time h + 2t, for both North/South cases and various φ.
+func TestS2Boundary(t *testing.T) {
+	cases := []inst.Instance{
+		{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1},
+		{R: 0.5, X: -1.5, Y: 2, Phi: 2.4, Tau: 1, V: 1, Chi: -1},
+		{R: 0.4, X: 2, Y: -1, Phi: 5.0, Tau: 1, V: 1, Chi: -1},
+		{R: 0.3, X: 1.2, Y: 0, Phi: 0, Tau: 1, V: 1, Chi: -1}, // φ = 0 mirror
+		{R: 0.5, X: 0.9, Y: 2.2, Phi: 1.3, Tau: 1, V: 1, Chi: -1},
+	}
+	for k, in := range cases {
+		in.T = in.ProjGap() - in.R
+		if in.T < 0 {
+			t.Fatalf("case %d: projGap %v below r", k, in.ProjGap())
+		}
+		if !in.InS2() {
+			t.Fatalf("case %d: not S2: %v", k, in)
+		}
+		res := simulate(in, func() prog.Program { return S2Program(in) }, 1000)
+		if !res.Met {
+			t.Fatalf("case %d: no rendezvous: %v\n%v", k, res, in)
+		}
+		if bound := S2MeetTimeBound(in); res.MeetTime.Float64() > bound+1e-6 {
+			t.Errorf("case %d: met at %v after bound %v", k, res.MeetTime.Float64(), bound)
+		}
+		if gap := res.EndA.Dist(res.EndB); math.Abs(gap-in.R) > 1e-6 {
+			t.Errorf("case %d: meeting gap %v, want exactly r=%v", k, gap, in.R)
+		}
+	}
+}
+
+// S2 with t = 0 (projections already at distance r): agents just walk to
+// their projections.
+func TestS2ZeroDelay(t *testing.T) {
+	in := inst.Instance{R: 0.5, X: 0.5, Y: 2, Phi: 0, Tau: 1, V: 1, Chi: -1}
+	// φ=0: projGap = |x| = 0.5 = r → t = 0.
+	in.T = in.ProjGap() - in.R
+	if in.T != 0 || !in.InS2() {
+		t.Fatalf("setup: t = %v", in.T)
+	}
+	res := simulate(in, func() prog.Program { return S2Program(in) }, 1000)
+	if !res.Met {
+		t.Fatalf("no rendezvous: %v", res)
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	in := inst.Instance{R: 3, X: 1, Y: 1, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}
+	p, ok := ForInstance(in, core.Compact())
+	if !ok {
+		t.Fatal("trivial instance rejected")
+	}
+	res := simulate(in, func() prog.Program { return p }, 10)
+	if !res.Met || res.MeetTime.Float64() != 0 {
+		t.Fatalf("trivial: %v", res)
+	}
+}
+
+// ForInstance covers exactly the feasible instances (Theorem 3.1 "if").
+func TestForInstanceCoverage(t *testing.T) {
+	g := inst.NewGen(90)
+	feasibleClasses := []inst.Class{
+		inst.ClassSimultaneousNonSync, inst.ClassSimultaneousRotated,
+		inst.ClassLatecomer, inst.ClassMirrorInterior, inst.ClassClockDrift,
+		inst.ClassSpeedOnly, inst.ClassRotatedDelayed,
+		inst.ClassBoundaryS1, inst.ClassBoundaryS2,
+	}
+	for _, c := range feasibleClasses {
+		for _, in := range g.DrawN(c, 50) {
+			if _, ok := ForInstance(in, core.Compact()); !ok {
+				t.Fatalf("feasible instance rejected (%v): %v", c, in)
+			}
+		}
+	}
+	for _, c := range []inst.Class{inst.ClassInfeasibleShift, inst.ClassInfeasibleMirror} {
+		for _, in := range g.DrawN(c, 50) {
+			if _, ok := ForInstance(in, core.Compact()); ok {
+				t.Fatalf("infeasible instance accepted (%v): %v", c, in)
+			}
+		}
+	}
+}
+
+// Failure injection: the boundary algorithms are knife-edge exact. A
+// dedicated S2 program computed for the *nominal* instance fails when the
+// actual agent speed is perturbed by a fraction of a percent — the gap
+// bottoms out strictly above r. (Contrast: interior instances tolerate
+// the same perturbation, and a speed perturbation even *helps* the
+// universal algorithm by making the instance non-synchronous.)
+func TestS2BoundarySpeedPerturbationBreaks(t *testing.T) {
+	in := inst.Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
+	in.T = in.ProjGap() - in.R
+	nominal := in
+
+	// The edge is one-sided: a slightly *fast* agent overshoots and still
+	// dips below r, while a slightly *slow* one stops short forever.
+	for _, eps := range []float64{1e-3, 1e-2} {
+		actual := in
+		actual.V = 1 - eps // the hardware is slightly slow
+		set := sim.DefaultSettings()
+		set.MaxSegments = 10_000
+		// Both agents still run the program computed for the nominal
+		// instance.
+		a := sim.AgentSpec{Attrs: actual.AgentA(), Prog: S2Program(nominal), Radius: in.R}
+		b := sim.AgentSpec{Attrs: actual.AgentB(), Prog: S2Program(nominal), Radius: in.R}
+		res := sim.Run(a, b, set)
+		if res.Met {
+			t.Fatalf("eps=%v: perturbed boundary run still met: %v", eps, res)
+		}
+		if res.MinGap <= in.R {
+			t.Fatalf("eps=%v: gap dipped to %v ≤ r", eps, res.MinGap)
+		}
+	}
+
+	// Control: the unperturbed run meets.
+	res := simulate(nominal, func() prog.Program { return S2Program(nominal) }, 10_000)
+	if !res.Met {
+		t.Fatalf("control failed: %v", res)
+	}
+}
+
+// And the complementary robustness: perturbing the speed of an interior
+// (feasible, typed) instance leaves the universal algorithm working — the
+// perturbed instance is simply non-synchronous, hence still covered.
+func TestInteriorSpeedPerturbationHarmless(t *testing.T) {
+	in := inst.Instance{R: 1.0, X: 1.2, Y: 0.4, Phi: 1.0, Tau: 1, V: 1, T: 1.5, Chi: -1}
+	in.V = 1 + 1e-3
+	if in.TypeOf() == inst.TypeNone {
+		t.Fatal("perturbed interior instance left the covered set")
+	}
+	p, ok := ForInstance(in, core.Compact())
+	if !ok {
+		t.Fatal("no witness")
+	}
+	res := simulate(in, func() prog.Program { return p }, 150_000_000)
+	if !res.Met {
+		t.Fatalf("perturbed interior instance failed: %v", res)
+	}
+}
+
+// Random S2 boundary instances: the dedicated algorithm always meets.
+func TestS2BoundarySamples(t *testing.T) {
+	g := inst.NewGen(91)
+	for k, in := range g.DrawN(inst.ClassBoundaryS2, 25) {
+		res := simulate(in, func() prog.Program { return S2Program(in) }, 1000)
+		if !res.Met {
+			t.Fatalf("sample %d: no rendezvous: %v\n%v", k, res, in)
+		}
+		if gap := res.EndA.Dist(res.EndB); math.Abs(gap-in.R) > 1e-5 {
+			t.Errorf("sample %d: gap %v != r %v", k, gap, in.R)
+		}
+	}
+}
+
+// Random S1 boundary instances likewise.
+func TestS1BoundarySamples(t *testing.T) {
+	g := inst.NewGen(92)
+	for k, in := range g.DrawN(inst.ClassBoundaryS1, 25) {
+		res := simulate(in, func() prog.Program { return S1Program(in) }, 1000)
+		if !res.Met {
+			t.Fatalf("sample %d: no rendezvous: %v\n%v", k, res, in)
+		}
+	}
+}

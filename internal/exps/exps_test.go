@@ -1,0 +1,155 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallBudgets keeps the test-suite runtime in check while preserving
+// every assertion the tables make.
+func smallBudgets() Budgets {
+	return Budgets{MeetSegments: 120_000_000, MissSegments: 1_000_000}
+}
+
+func TestT1AllAgree(t *testing.T) {
+	tb := T1(1, 3, smallBudgets())
+	out := tb.String()
+	for _, row := range tb.Rows {
+		agree := row[len(row)-1]
+		if agree != "3/3" {
+			t.Errorf("T1 row %q agreement %s:\n%s", row[0], agree, out)
+		}
+	}
+}
+
+func TestT2AllMeet(t *testing.T) {
+	tb := T2(2, 4, smallBudgets())
+	for _, row := range tb.Rows {
+		met := row[2]
+		if !strings.HasPrefix(met, row[1]+"/") || !strings.HasSuffix(met, "/"+row[1]) {
+			t.Errorf("T2 type %q met %s of %s:\n%s", row[0], met, row[1], tb.String())
+		}
+	}
+}
+
+func TestT3CoveragePattern(t *testing.T) {
+	tb := T3(3, 2, smallBudgets())
+	// Columns: class, CGKK, Latecomers, AURV, Dedicated. Only provable
+	// cells are asserted: an algorithm's contract classes must be full,
+	// the boundary classes must be empty for the universal algorithms
+	// (the generic-direction invariant), and Dedicated covers everything
+	// feasible. Cells outside any guarantee are informative only — the
+	// procedures share planar-sweep machinery and often meet
+	// opportunistically beyond their contracts.
+	full := "2/2"
+	zero := "0/2"
+	expect := map[string][4]string{
+		"t=0 non-sync":       {full, "", full, full},
+		"t=0 sync φ≠0 χ=1":   {full, "", full, full},
+		"sync φ=0 χ=1 t>d-r": {"", full, full, full},
+		"sync χ=-1 t>gap-r":  {"", "", full, full},
+		"τ≠1 any t":          {"", "", full, full},
+		"sync φ≠0 χ=1 t>0":   {"", "", full, full},
+		"S1 boundary":        {zero, zero, zero, full},
+		"S2 boundary":        {"", zero, zero, full},
+	}
+	for _, row := range tb.Rows {
+		want, ok := expect[row[0]]
+		if !ok {
+			t.Errorf("unexpected class %q", row[0])
+			continue
+		}
+		for i, w := range want {
+			if w == "" {
+				continue // cell outside any guarantee: value is informative only
+			}
+			if row[i+1] != w {
+				t.Errorf("T3 %q column %d = %s, want %s\n%s", row[0], i+1, row[i+1], w, tb.String())
+			}
+		}
+	}
+}
+
+func TestT4Checks(t *testing.T) {
+	tb := T4(4, smallBudgets())
+	for _, row := range tb.Rows {
+		res := row[len(row)-1]
+		if strings.Contains(res, "FAILED") {
+			t.Errorf("T4 %q: %s\n%s", row[0], res, tb.String())
+		}
+		if strings.Contains(row[0], "S2:") || strings.Contains(row[0], "S1:") {
+			if !strings.HasSuffix(res, "/5") || !strings.HasPrefix(res, "5/") {
+				t.Errorf("T4 %q = %s, want 5/5", row[0], res)
+			}
+		}
+	}
+	// The aligned caveat row must report a meeting.
+	last := tb.Rows[len(tb.Rows)-1]
+	if !strings.Contains(last[2], "met") {
+		t.Errorf("aligned S1 row: %v", last)
+	}
+}
+
+func TestT5Measure(t *testing.T) {
+	tb := T5(300_000, 5)
+	out := tb.String()
+	if !strings.Contains(out, "feasible share") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "exact S1 hits" || row[0] == "exact S2 hits" {
+			if row[1] != "0" {
+				t.Errorf("%s = %s, want 0", row[0], row[1])
+			}
+		}
+	}
+}
+
+func TestT6BoundarySharpness(t *testing.T) {
+	tb := T6(6, smallBudgets())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		delta, feasible, aurv, ded := row[0], row[1], row[2], row[3]
+		neg := strings.HasPrefix(delta, "-")
+		zero := delta == "+0.00"
+		switch {
+		case neg:
+			if feasible != "false" || strings.HasPrefix(aurv, "met") || ded != "n/a (infeasible)" {
+				t.Errorf("δ=%s: %v", delta, row)
+			}
+		case zero:
+			if feasible != "true" || strings.HasPrefix(aurv, "met") || !strings.HasPrefix(ded, "met") {
+				t.Errorf("δ=0: %v", row)
+			}
+		default:
+			if feasible != "true" || !strings.HasPrefix(aurv, "met") || !strings.HasPrefix(ded, "met") {
+				t.Errorf("δ=%s: %v", delta, row)
+			}
+		}
+	}
+}
+
+func TestFiguresProduceSVG(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 5 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	for name, doc := range figs {
+		if !strings.HasPrefix(doc, "<svg") || !strings.Contains(doc, "</svg>") {
+			t.Errorf("%s: not an SVG document", name)
+		}
+		if len(doc) < 500 {
+			t.Errorf("%s: suspiciously small (%d bytes)", name, len(doc))
+		}
+	}
+	// Fig4 and Fig5 draw simulated meetings: the rendezvous marker must be
+	// present.
+	if !strings.Contains(figs["fig4"], "rendezvous") {
+		t.Error("fig4 missing rendezvous marker (simulation did not meet?)")
+	}
+	if !strings.Contains(figs["fig5"], "gap = r") {
+		t.Error("fig5 missing meeting marker")
+	}
+}

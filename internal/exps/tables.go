@@ -1,0 +1,381 @@
+// Package exps regenerates every experiment table (T1–T5) and figure
+// (F1–F5) of the reproduction, as indexed in DESIGN.md §4. The paper is a
+// theory paper; each of its theorems becomes a table of empirical checks
+// and each of its illustrative figures is redrawn from computed geometry
+// and actually simulated trajectories.
+package exps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/dedicated"
+	"repro/internal/inst"
+	"repro/internal/latecomers"
+	"repro/internal/measure"
+	"repro/internal/prog"
+	"repro/internal/report"
+	"repro/internal/sim"
+
+	"repro/internal/cgkk"
+)
+
+// Budgets bound each simulation of the experiment suite.
+type Budgets struct {
+	MeetSegments int // budget for runs expected to meet
+	MissSegments int // budget for runs expected not to meet
+}
+
+// DefaultBudgets returns budgets that finish the whole suite in minutes
+// on one core.
+func DefaultBudgets() Budgets {
+	return Budgets{MeetSegments: 120_000_000, MissSegments: 2_000_000}
+}
+
+func settings(maxSeg int) sim.Settings {
+	s := sim.DefaultSettings()
+	s.MaxSegments = maxSeg
+	return s
+}
+
+// runAURV simulates AlmostUniversalRV on the instance, reporting the
+// phase/block in which generation stopped (= where the meeting happened,
+// programs being lazy).
+func runAURV(in inst.Instance, maxSeg int) (sim.Result, core.Progress) {
+	var pg core.Progress
+	s := core.Compact()
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(s, &pg), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(s, nil), Radius: in.R}
+	return sim.Run(a, b, settings(maxSeg)), pg
+}
+
+func runProg(in inst.Instance, mk func() prog.Program, maxSeg int) sim.Result {
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(), Radius: in.R}
+	return sim.Run(a, b, settings(maxSeg))
+}
+
+// T1 validates Theorem 3.1: for every instance class, the feasibility
+// predicate must agree with simulation ground truth — feasible classes
+// meet under their dedicated (or universal) algorithm, infeasible classes
+// keep the gap above the analytic lower bound and never meet.
+func T1(seed int64, nPerClass int, b Budgets) *report.Table {
+	t := report.New("T1 — Theorem 3.1: feasibility characterization vs simulation",
+		"class", "n", "predicted", "sim outcome", "agree")
+	g := inst.NewGen(seed)
+	type row struct {
+		class    inst.Class
+		feasible bool
+	}
+	rows := []row{
+		{inst.ClassSimultaneousNonSync, true},
+		{inst.ClassSimultaneousRotated, true},
+		{inst.ClassLatecomer, true},
+		{inst.ClassMirrorInterior, true},
+		{inst.ClassClockDrift, true},
+		{inst.ClassSpeedOnly, true},
+		{inst.ClassRotatedDelayed, true},
+		{inst.ClassBoundaryS1, true},
+		{inst.ClassBoundaryS2, true},
+		{inst.ClassInfeasibleShift, false},
+		{inst.ClassInfeasibleMirror, false},
+	}
+	for _, r := range rows {
+		met, agree := 0, 0
+		for _, in := range g.DrawN(r.class, nPerClass) {
+			if in.Feasible() != r.feasible {
+				continue // predicate disagrees with the class label: counted as non-agree
+			}
+			if r.feasible {
+				p, ok := dedicated.ForInstance(in, core.Compact())
+				if !ok {
+					continue
+				}
+				res := runProg(in, func() prog.Program { return p }, b.MeetSegments)
+				if res.Met {
+					met++
+					agree++
+				}
+			} else {
+				res := runProg(in, func() prog.Program { return core.Program(core.Compact(), nil) }, b.MissSegments)
+				bound := gapLowerBound(in)
+				if !res.Met && res.MinGap >= bound-1e-6 {
+					agree++
+				}
+			}
+		}
+		outcome := fmt.Sprintf("met %d/%d", met, nPerClass)
+		if !r.feasible {
+			outcome = fmt.Sprintf("no meet, gap ≥ bound (%d/%d)", agree, nPerClass)
+		}
+		pred := "feasible"
+		if !r.feasible {
+			pred = "infeasible"
+		}
+		t.Add(r.class.String(), nPerClass, pred, outcome,
+			fmt.Sprintf("%d/%d", agree, nPerClass))
+	}
+	t.Note("feasible classes run their Theorem-3.1 witness algorithm; infeasible classes run AlmostUniversalRV under a %d-segment budget with the analytic gap bound asserted", b.MissSegments)
+	return t
+}
+
+// gapLowerBound returns the provable all-time gap lower bound for
+// infeasible synchronous instances (from the proofs of Lemmas 3.8/3.9).
+func gapLowerBound(in inst.Instance) float64 {
+	if in.Chi == 1 {
+		return in.Dist() - in.T // φ = 0 shift case
+	}
+	// Mirror case: projections can close by at most t.
+	return 0 // position gap can get small; the projection bound is separate
+}
+
+// T2 validates Theorem 3.2: AlmostUniversalRV meets on every sampled
+// instance of each type, with the phase it needed.
+func T2(seed int64, nPerType int, b Budgets) *report.Table {
+	t := report.New("T2 — Theorem 3.2: AlmostUniversalRV per instance type",
+		"type", "n", "met", "median time", "max time", "max phase")
+	g := inst.NewGen(seed)
+	classes := map[inst.Type][]inst.Class{
+		inst.Type1: {inst.ClassMirrorInterior},
+		inst.Type2: {inst.ClassLatecomer},
+		inst.Type3: {inst.ClassClockDrift},
+		inst.Type4: {inst.ClassSpeedOnly, inst.ClassRotatedDelayed},
+	}
+	for _, ty := range []inst.Type{inst.Type1, inst.Type2, inst.Type3, inst.Type4} {
+		var times []float64
+		met, maxPhase := 0, 0
+		n := 0
+		for _, c := range classes[ty] {
+			for _, in := range g.DrawN(c, nPerType/len(classes[ty])) {
+				n++
+				res, pg := runAURV(in, b.MeetSegments)
+				if res.Met {
+					met++
+					times = append(times, res.MeetTime.Float64())
+					if pg.Phase > maxPhase {
+						maxPhase = pg.Phase
+					}
+				}
+			}
+		}
+		sort.Float64s(times)
+		med, max := math.NaN(), math.NaN()
+		if len(times) > 0 {
+			med = times[len(times)/2]
+			max = times[len(times)-1]
+		}
+		t.Add(ty.String(), n, fmt.Sprintf("%d/%d", met, n), med, max, maxPhase)
+	}
+	t.Note("compact schedule; success must be n/n for every type (Theorem 3.2)")
+	return t
+}
+
+// T3 reproduces the coverage comparison of §1.3 ("Our results"): which
+// algorithm handles which instance class. AURV strictly contains the
+// union of CGKK and Latecomers and misses only the boundary sets.
+func T3(seed int64, nPerCell int, b Budgets) *report.Table {
+	t := report.New("T3 — §1.3 coverage matrix (met k/n per cell)",
+		"instance class", "CGKK", "Latecomers", "AURV", "Dedicated")
+	g := inst.NewGen(seed)
+	classes := []inst.Class{
+		inst.ClassSimultaneousNonSync,
+		inst.ClassSimultaneousRotated,
+		inst.ClassLatecomer,
+		inst.ClassMirrorInterior,
+		inst.ClassClockDrift,
+		inst.ClassRotatedDelayed,
+		inst.ClassBoundaryS1,
+		inst.ClassBoundaryS2,
+	}
+	algs := []struct {
+		name string
+		mk   func(in inst.Instance) (func() prog.Program, bool)
+		// guaranteed reports whether the algorithm's contract covers the
+		// class; uncovered cells get the miss budget.
+		guaranteed func(in inst.Instance) bool
+	}{
+		{"CGKK",
+			func(inst.Instance) (func() prog.Program, bool) {
+				return func() prog.Program { return cgkk.Program(cgkk.Compact()) }, true
+			},
+			cgkk.Covered},
+		{"Latecomers",
+			func(inst.Instance) (func() prog.Program, bool) {
+				return func() prog.Program { return latecomers.Program() }, true
+			},
+			latecomers.Covered},
+		{"AURV",
+			func(inst.Instance) (func() prog.Program, bool) {
+				return func() prog.Program { return core.Program(core.Compact(), nil) }, true
+			},
+			inst.Instance.CoveredByAURV},
+		{"Dedicated",
+			func(in inst.Instance) (func() prog.Program, bool) {
+				p, ok := dedicated.ForInstance(in, core.Compact())
+				if !ok {
+					return nil, false
+				}
+				return func() prog.Program { return p }, true
+			},
+			inst.Instance.Feasible},
+	}
+	for _, c := range classes {
+		samples := g.DrawN(c, nPerCell)
+		cells := make([]any, 0, len(algs)+1)
+		cells = append(cells, c.String())
+		for _, alg := range algs {
+			met := 0
+			for _, in := range samples {
+				mk, ok := alg.mk(in)
+				if !ok {
+					continue
+				}
+				budget := b.MissSegments
+				if alg.guaranteed(in) {
+					budget = b.MeetSegments
+				}
+				if res := runProg(in, mk, budget); res.Met {
+					met++
+				}
+			}
+			cells = append(cells, fmt.Sprintf("%d/%d", met, nPerCell))
+		}
+		t.Add(cells...)
+	}
+	t.Note("cells outside an algorithm's contract run under a %d-segment budget; 0/n there means no accidental rendezvous within it", b.MissSegments)
+	t.Note("boundary classes use generic (non-dyadic) directions; AURV meets aligned boundary instances only — see T4")
+	return t
+}
+
+// T4 validates Section 4 and Theorem 4.1: boundary behaviour and the
+// adversarial construction.
+func T4(seed int64, b Budgets) *report.Table {
+	t := report.New("T4 — Section 4: exception sets and Theorem 4.1",
+		"check", "detail", "result")
+	g := inst.NewGen(seed)
+
+	// 1. Generic S2 instances: AURV does not meet; dedicated meets at
+	// gap exactly r within the Lemma 3.9 bound.
+	okAURV, okDed := 0, 0
+	const n = 5
+	for _, in := range g.DrawN(inst.ClassBoundaryS2, n) {
+		res, _ := runAURV(in, b.MissSegments)
+		if !res.Met {
+			okAURV++
+		}
+		dres := runProg(in, func() prog.Program { return dedicated.S2Program(in) }, 10_000)
+		if dres.Met && math.Abs(dres.EndA.Dist(dres.EndB)-in.R) < 1e-5 &&
+			dres.MeetTime.Float64() <= dedicated.S2MeetTimeBound(in)+1e-6 {
+			okDed++
+		}
+	}
+	t.Add("S2: AURV misses (generic φ)", fmt.Sprintf("budget %d segs", b.MissSegments), fmt.Sprintf("%d/%d", okAURV, n))
+	t.Add("S2: dedicated meets at gap=r", "Lemma 3.9 algorithm, time ≤ h+2t", fmt.Sprintf("%d/%d", okDed, n))
+
+	// 2. Same for S1.
+	okAURV, okDed = 0, 0
+	for _, in := range g.DrawN(inst.ClassBoundaryS1, n) {
+		res, _ := runAURV(in, b.MissSegments)
+		if !res.Met {
+			okAURV++
+		}
+		dres := runProg(in, func() prog.Program { return dedicated.S1Program(in) }, 10_000)
+		if dres.Met && math.Abs(dres.MeetTime.Float64()-dedicated.S1MeetTime(in)) < 1e-5 {
+			okDed++
+		}
+	}
+	t.Add("S1: AURV misses (generic angle)", fmt.Sprintf("budget %d segs", b.MissSegments), fmt.Sprintf("%d/%d", okAURV, n))
+	t.Add("S1: dedicated meets at t=d-r", "head-to-target algorithm", fmt.Sprintf("%d/%d", okDed, n))
+
+	// 3. Theorem 4.1 adversary: a defeating S2 instance for AURV's
+	// inspected prefix.
+	const horizon = 50_000
+	d := adversary.DefeatingInstance(core.Program(core.Compact(), nil), horizon, 0.5, 2.0)
+	res := runProg(d.Instance, func() prog.Program { return core.Program(core.Compact(), nil) }, horizon)
+	verdict := "defeated"
+	if res.Met {
+		verdict = "FAILED (met)"
+	}
+	t.Add("Thm 4.1: adversarial φ/2 defeats AURV",
+		fmt.Sprintf("inclination %.4f, margin %.2e rad, horizon %d", d.Inclination, d.Margin, horizon), verdict)
+
+	// 4. The aligned-direction caveat: AURV does meet an S1 instance whose
+	// target direction lies exactly on its dyadic grid.
+	aligned := inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, Chi: 1}
+	aligned.T = aligned.Dist() - aligned.R
+	ares, _ := runAURV(aligned, b.MeetSegments)
+	verdict = "met at gap exactly r"
+	if !ares.Met {
+		verdict = "no meet"
+	}
+	t.Add("S1 aligned (dyadic direction)", "universality fails only on generic directions", verdict)
+	return t
+}
+
+// T5 validates the measure-theoretic smallness argument of Section 4.
+func T5(samples int, seed int64) *report.Table {
+	t := report.New("T5 — Section 4: exception sets are slim",
+		"quantity", "value", "theory")
+	eps := []float64{0.25, 0.35, 0.5}
+	s := measure.Sweep(samples, eps, measure.DefaultBox(), seed)
+	t.Add("samples", s.Samples, "-")
+	t.Add("feasible share", fmt.Sprintf("%.3f", s.FeasibleShare), "> 0 (fat set)")
+	t.Add("exact S1 hits", s.ExactS1, "0 (measure zero)")
+	t.Add("exact S2 hits", s.ExactS2, "0 (measure zero)")
+	if sl, ok := measure.FitExponent(s.NearS2ByEps); ok {
+		t.Add("S2 ε-neighborhood exponent", fmt.Sprintf("%.2f", sl), fmt.Sprintf("%d (codim)", measure.CodimS2))
+	}
+	if sl, ok := measure.FitExponent(s.NearS1ByEps); ok {
+		t.Add("S1 ε-neighborhood exponent", fmt.Sprintf("%.2f", sl), fmt.Sprintf("%d (codim)", measure.CodimS1))
+	}
+	for _, e := range eps {
+		t.Add(fmt.Sprintf("near-S2 hits (ε=%.2f)", e), s.NearS2ByEps[e], "∝ ε^3")
+	}
+	t.Note("a continuous box hits the synchronous slice (τ = v = 1) with probability 0, so Theorem 3.1(1) makes almost every sample feasible — the share ≈ 1 restates the theorem")
+	return t
+}
+
+// T6 probes the sharpness of the feasibility boundary (an ablation this
+// reproduction adds): sweeping the delay t across the S2 threshold
+// t* = projGap − r, the outcome flips exactly at the boundary —
+//
+//	δ = t − t* < 0:  infeasible, nobody meets (Theorem 3.1 2c);
+//	δ = 0:           only the dedicated algorithm meets (S2, Thm 4.1);
+//	δ > 0:           the universal algorithm meets too (Theorem 3.2).
+func T6(seed int64, b Budgets) *report.Table {
+	t := report.New("T6 — boundary sharpness: delay sweep across t* = projGap − r",
+		"δ = t - t*", "feasible", "AURV", "dedicated")
+	base := inst.Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
+	tStar := base.ProjGap() - base.R
+	for _, delta := range []float64{-0.2, -0.05, 0, 0.05, 0.2} {
+		in := base
+		in.T = tStar + delta
+		aurvBudget := b.MissSegments
+		if delta > 0 {
+			aurvBudget = b.MeetSegments
+		}
+		res, _ := runAURV(in, aurvBudget)
+		aurv := "no meet"
+		if res.Met {
+			aurv = fmt.Sprintf("met t=%.3g", res.MeetTime.Float64())
+		}
+		ded := "n/a (infeasible)"
+		if p, ok := dedicated.ForInstance(in, core.Compact()); ok {
+			budget := b.MissSegments
+			if in.Feasible() {
+				budget = b.MeetSegments
+			}
+			dres := runProg(in, func() prog.Program { return p }, budget)
+			ded = "no meet"
+			if dres.Met {
+				ded = fmt.Sprintf("met t=%.3g (gap %.4g)", dres.MeetTime.Float64(), dres.EndA.Dist(dres.EndB))
+			}
+		}
+		t.Add(fmt.Sprintf("%+.2f", delta), in.Feasible(), aurv, ded)
+	}
+	t.Note("base instance %v, threshold t* = %.4f", base, tStar)
+	return t
+}

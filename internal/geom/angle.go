@@ -1,0 +1,41 @@
+package geom
+
+import "math"
+
+// TwoPi is 2π.
+const TwoPi = 2 * math.Pi
+
+// NormalizeAngle reduces an angle to the canonical range [0, 2π).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, TwoPi)
+	if a < 0 {
+		a += TwoPi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest unoriented angle between two directions
+// given as angles, in [0, π].
+func AngleDiff(a, b float64) float64 {
+	d := math.Abs(NormalizeAngle(a) - NormalizeAngle(b))
+	if d > math.Pi {
+		d = TwoPi - d
+	}
+	return d
+}
+
+// InclinationDiff returns the smallest unoriented angle between two line
+// inclinations (lines are direction-free, so the result is in [0, π/2]).
+func InclinationDiff(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), math.Pi)
+	if d > math.Pi/2 {
+		d = math.Pi - d
+	}
+	return d
+}
+
+// DyadicAngle returns k·π/2^i, the angles used by the Rot(jπ/2^i) local
+// systems of Algorithm 1.
+func DyadicAngle(k, i int) float64 {
+	return float64(k) * math.Pi / math.Ldexp(1, i)
+}

@@ -1,0 +1,54 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalizeAngle(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, 0},
+		{TwoPi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+	} {
+		if got := NormalizeAngle(tc.in); math.Abs(got-tc.want) > tol {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	for _, tc := range []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{0, math.Pi / 2, math.Pi / 2},
+		{0.1, TwoPi - 0.1, 0.2},
+		{math.Pi, 0, math.Pi},
+	} {
+		if got := AngleDiff(tc.a, tc.b); math.Abs(got-tc.want) > tol {
+			t.Errorf("AngleDiff(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestInclinationDiff(t *testing.T) {
+	// Lines at 0 and π are the same line.
+	if got := InclinationDiff(0, math.Pi); got > tol {
+		t.Errorf("same line diff = %v", got)
+	}
+	if got := InclinationDiff(0.1, math.Pi-0.1); math.Abs(got-0.2) > tol {
+		t.Errorf("near-flat diff = %v", got)
+	}
+	if got := InclinationDiff(0, math.Pi/2); math.Abs(got-math.Pi/2) > tol {
+		t.Errorf("orthogonal diff = %v", got)
+	}
+}
+
+func TestDyadicAngle(t *testing.T) {
+	if got := DyadicAngle(1, 0); math.Abs(got-math.Pi) > tol {
+		t.Errorf("DyadicAngle(1,0) = %v", got)
+	}
+	if got := DyadicAngle(3, 2); math.Abs(got-3*math.Pi/4) > tol {
+		t.Errorf("DyadicAngle(3,2) = %v", got)
+	}
+}

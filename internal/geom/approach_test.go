@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClosestApproachHeadOn(t *testing.T) {
+	// Two points approaching head-on along the x-axis pass through
+	// distance 0 at s = 5.
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(10, 0), V(-1, 0)}
+	ap := ClosestApproach(a, b, 100)
+	if math.Abs(ap.SMin-5) > tol || ap.DMin > tol {
+		t.Errorf("head-on: %+v", ap)
+	}
+}
+
+func TestClosestApproachParallel(t *testing.T) {
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(0, 3), V(1, 0)}
+	ap := ClosestApproach(a, b, 100)
+	if math.Abs(ap.DMin-3) > tol {
+		t.Errorf("parallel gap: %+v", ap)
+	}
+}
+
+func TestClosestApproachClamped(t *testing.T) {
+	// Vertex at s = 5 but interval only reaches s = 2: minimum at s = 2.
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(10, 1), V(-1, 0)}
+	ap := ClosestApproach(a, b, 2)
+	if ap.SMin != 2 {
+		t.Errorf("clamped smin = %v", ap.SMin)
+	}
+	want := GapAt(a, b, 2)
+	if math.Abs(ap.DMin-want) > tol {
+		t.Errorf("clamped dmin = %v, want %v", ap.DMin, want)
+	}
+	// Receding points: minimum at s = 0.
+	c := Moving{V(10, 1), V(1, 0)}
+	ap = ClosestApproach(a, c, 10)
+	if ap.SMin != 0 {
+		t.Errorf("receding smin = %v", ap.SMin)
+	}
+}
+
+func TestFirstWithinExact(t *testing.T) {
+	// Gap shrinks from 10 at rate 2; reaches r = 4 at s = 3.
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(10, 0), V(-1, 0)}
+	s, ok := FirstWithin(a, b, 100, 4)
+	if !ok || math.Abs(s-3) > tol {
+		t.Errorf("FirstWithin = %v, %v", s, ok)
+	}
+}
+
+func TestFirstWithinAlreadyInside(t *testing.T) {
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(1, 0), V(1, 0)}
+	s, ok := FirstWithin(a, b, 10, 2)
+	if !ok || s != 0 {
+		t.Errorf("inside: %v, %v", s, ok)
+	}
+}
+
+func TestFirstWithinNever(t *testing.T) {
+	// Parallel motion, constant gap 3 > r = 1.
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(0, 3), V(1, 0)}
+	if _, ok := FirstWithin(a, b, 1000, 1); ok {
+		t.Error("parallel points reported within r")
+	}
+	// Receding points.
+	c := Moving{V(5, 0), V(1, 0)}
+	if _, ok := FirstWithin(a, c, 1000, 1); ok {
+		t.Error("receding points reported within r")
+	}
+	// Passing at distance 2 > r = 1.
+	d := Moving{V(10, 2), V(-1, 0)}
+	if _, ok := FirstWithin(a, d, 1000, 1); ok {
+		t.Error("far pass reported within r")
+	}
+}
+
+func TestFirstWithinOutsideInterval(t *testing.T) {
+	// Crossing happens at s = 3 but interval ends at 2.
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(10, 0), V(-1, 0)}
+	if _, ok := FirstWithin(a, b, 2, 4); ok {
+		t.Error("crossing outside interval reported")
+	}
+}
+
+func TestFirstWithinTangent(t *testing.T) {
+	// Closest pass at exactly r: disc == 0 modulo rounding. Pass at
+	// vertical distance exactly 1 with r = 1.
+	a := Moving{V(0, 0), V(1, 0)}
+	b := Moving{V(10, 1), V(-1, 0)}
+	s, ok := FirstWithin(a, b, 100, 1+1e-9)
+	if !ok {
+		t.Fatal("tangent pass with slack not detected")
+	}
+	if g := GapAt(a, b, s); g > 1+2e-9 {
+		t.Errorf("gap at tangent = %v", g)
+	}
+}
+
+// Property test: FirstWithin agrees with dense sampling of the gap.
+func TestQuickFirstWithinVsSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 1500; i++ {
+		a := Moving{V(rng.NormFloat64()*5, rng.NormFloat64()*5), V(rng.NormFloat64(), rng.NormFloat64())}
+		b := Moving{V(rng.NormFloat64()*5, rng.NormFloat64()*5), V(rng.NormFloat64(), rng.NormFloat64())}
+		T := rng.Float64() * 20
+		r := rng.Float64() * 3
+		s, ok := FirstWithin(a, b, T, r)
+
+		// Dense sampling for ground truth.
+		const n = 4000
+		sampleHit := false
+		var sampleS float64
+		for k := 0; k <= n; k++ {
+			ss := T * float64(k) / n
+			if GapAt(a, b, ss) <= r {
+				sampleHit = true
+				sampleS = ss
+				break
+			}
+		}
+		if ok && GapAt(a, b, s)-r > 1e-6 {
+			t.Fatalf("reported hit at s=%v has gap %v > r=%v", s, GapAt(a, b, s), r)
+		}
+		if ok != sampleHit {
+			// Sampling can miss razor-thin tangencies; tolerate only when
+			// the analytic minimum is extremely close to r.
+			ap := ClosestApproach(a, b, T)
+			if math.Abs(ap.DMin-r) > 1e-3 {
+				t.Fatalf("disagreement: analytic=%v sampled=%v (dmin=%v r=%v)", ok, sampleHit, ap.DMin, r)
+			}
+			continue
+		}
+		if ok && sampleHit && s > sampleS+1e-6 {
+			t.Fatalf("analytic first-hit %v later than sampled %v", s, sampleS)
+		}
+	}
+}
+
+// Property test: ClosestApproach DMin lower-bounds all sampled gaps.
+func TestQuickClosestApproachIsMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a := Moving{V(rng.NormFloat64()*3, rng.NormFloat64()*3), V(rng.NormFloat64(), rng.NormFloat64())}
+		b := Moving{V(rng.NormFloat64()*3, rng.NormFloat64()*3), V(rng.NormFloat64(), rng.NormFloat64())}
+		T := rng.Float64() * 10
+		ap := ClosestApproach(a, b, T)
+		for k := 0; k <= 100; k++ {
+			ss := T * float64(k) / 100
+			if GapAt(a, b, ss) < ap.DMin-1e-9 {
+				t.Fatalf("sampled gap below analytic minimum")
+			}
+		}
+		if g := GapAt(a, b, ap.SMin); math.Abs(g-ap.DMin) > 1e-9 {
+			t.Fatalf("DMin inconsistent with SMin")
+		}
+	}
+}

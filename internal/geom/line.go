@@ -1,0 +1,69 @@
+package geom
+
+import "math"
+
+// Line is an infinite line given by a point on it and a unit direction.
+type Line struct {
+	Point Vec2 // any point on the line
+	Dir   Vec2 // unit direction vector
+}
+
+// LineThrough returns the line through p with direction d (normalized).
+func LineThrough(p, d Vec2) Line { return Line{p, d.Unit()} }
+
+// LineAtAngle returns the line through p with inclination theta.
+func LineAtAngle(p Vec2, theta float64) Line { return Line{p, Polar(theta)} }
+
+// Project returns the orthogonal projection of q onto the line.
+func (l Line) Project(q Vec2) Vec2 {
+	s := q.Sub(l.Point).Dot(l.Dir)
+	return l.Point.Add(l.Dir.Scale(s))
+}
+
+// Coord returns the signed abscissa of the projection of q along the
+// line's direction, measured from l.Point.
+func (l Line) Coord(q Vec2) float64 { return q.Sub(l.Point).Dot(l.Dir) }
+
+// DistTo returns the (unsigned) distance from q to the line.
+func (l Line) DistTo(q Vec2) float64 {
+	return math.Abs(q.Sub(l.Point).Cross(l.Dir))
+}
+
+// SignedDistTo returns the signed distance from q to the line, positive
+// on the left of Dir.
+func (l Line) SignedDistTo(q Vec2) float64 {
+	return l.Dir.Cross(q.Sub(l.Point))
+}
+
+// Reflect returns the mirror image of q across the line.
+func (l Line) Reflect(q Vec2) Vec2 {
+	p := l.Project(q)
+	return p.Add(p.Sub(q))
+}
+
+// Inclination returns the inclination of the line normalized to [0, π).
+func (l Line) Inclination() float64 {
+	a := math.Atan2(l.Dir.Y, l.Dir.X)
+	a = math.Mod(a, math.Pi)
+	if a < 0 {
+		a += math.Pi
+	}
+	return a
+}
+
+// CanonicalLine returns the canonical line of an instance per
+// Definition 2.1: the line through the midpoint of the two agent origins
+// (A at the origin, B at b0) with inclination phi/2 (inclination 0 when
+// phi == 0, i.e. parallel to both x-axes).
+func CanonicalLine(b0 Vec2, phi float64) Line {
+	mid := b0.Scale(0.5)
+	return LineAtAngle(mid, phi/2)
+}
+
+// ProjGap returns dist(proj_A, proj_B): the distance between the
+// orthogonal projections of the two agent origins onto the canonical
+// line. In closed form this is |x·cos(phi/2) + y·sin(phi/2)|.
+func ProjGap(b0 Vec2, phi float64) float64 {
+	l := CanonicalLine(b0, phi)
+	return math.Abs(l.Coord(b0) - l.Coord(Vec2{}))
+}

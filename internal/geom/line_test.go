@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProjectOntoAxis(t *testing.T) {
+	l := LineAtAngle(Vec2{}, 0) // the x-axis
+	if got := l.Project(V(3, 7)); !got.ApproxEqual(V(3, 0), tol) {
+		t.Errorf("Project = %v", got)
+	}
+	if got := l.DistTo(V(3, 7)); math.Abs(got-7) > tol {
+		t.Errorf("DistTo = %v", got)
+	}
+	if got := l.Coord(V(3, 7)); math.Abs(got-3) > tol {
+		t.Errorf("Coord = %v", got)
+	}
+}
+
+func TestProjectIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		l := LineAtAngle(V(rng.NormFloat64(), rng.NormFloat64()), rng.Float64()*math.Pi)
+		q := V(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		p := l.Project(q)
+		if !l.Project(p).ApproxEqual(p, 1e-9) {
+			t.Fatal("projection not idempotent")
+		}
+		// The residual q - p must be orthogonal to the direction.
+		if math.Abs(q.Sub(p).Dot(l.Dir)) > 1e-9 {
+			t.Fatal("projection residual not orthogonal")
+		}
+	}
+}
+
+func TestReflectInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		l := LineAtAngle(V(rng.NormFloat64(), rng.NormFloat64()), rng.Float64()*math.Pi)
+		q := V(rng.NormFloat64()*5, rng.NormFloat64()*5)
+		rq := l.Reflect(q)
+		if !l.Reflect(rq).ApproxEqual(q, 1e-8) {
+			t.Fatal("reflection not an involution")
+		}
+		if math.Abs(l.DistTo(q)-l.DistTo(rq)) > 1e-9 {
+			t.Fatal("reflection changed distance to axis")
+		}
+	}
+}
+
+func TestSignedDist(t *testing.T) {
+	l := LineAtAngle(Vec2{}, 0)
+	if got := l.SignedDistTo(V(0, 2)); math.Abs(got-2) > tol {
+		t.Errorf("SignedDistTo above = %v", got)
+	}
+	if got := l.SignedDistTo(V(0, -2)); math.Abs(got+2) > tol {
+		t.Errorf("SignedDistTo below = %v", got)
+	}
+}
+
+func TestInclination(t *testing.T) {
+	for _, theta := range []float64{0, 0.4, 1.5, 3.0} {
+		l := LineAtAngle(Vec2{}, theta)
+		want := math.Mod(theta, math.Pi)
+		if got := l.Inclination(); InclinationDiff(got, want) > tol {
+			t.Errorf("Inclination(%v) = %v", theta, got)
+		}
+	}
+}
+
+// Canonical line: equidistant from both origins, inclination φ/2.
+func TestCanonicalLineEquidistant(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		b0 := V(rng.NormFloat64()*5, rng.NormFloat64()*5)
+		phi := rng.Float64() * TwoPi
+		l := CanonicalLine(b0, phi)
+		da := l.DistTo(Vec2{})
+		db := l.DistTo(b0)
+		if math.Abs(da-db) > 1e-9 {
+			t.Fatalf("canonical line not equidistant: %v vs %v", da, db)
+		}
+		if InclinationDiff(l.Inclination(), phi/2) > 1e-9 {
+			t.Fatalf("canonical inclination = %v, want %v", l.Inclination(), phi/2)
+		}
+	}
+}
+
+func TestProjGapClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		b0 := V(rng.NormFloat64()*5, rng.NormFloat64()*5)
+		phi := rng.Float64() * TwoPi
+		want := math.Abs(b0.X*math.Cos(phi/2) + b0.Y*math.Sin(phi/2))
+		if got := ProjGap(b0, phi); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ProjGap = %v, want %v", got, want)
+		}
+	}
+}
+
+// For φ = 0 the canonical line is parallel to the x-axis and the
+// projection gap is |x|.
+func TestCanonicalLinePhiZero(t *testing.T) {
+	b0 := V(3, 4)
+	l := CanonicalLine(b0, 0)
+	if l.Dir != V(1, 0) {
+		t.Errorf("Dir = %v", l.Dir)
+	}
+	if got := ProjGap(b0, 0); math.Abs(got-3) > tol {
+		t.Errorf("ProjGap = %v, want 3", got)
+	}
+}

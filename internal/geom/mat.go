@@ -1,0 +1,99 @@
+package geom
+
+import "math"
+
+// Mat2 is a 2×2 matrix in row-major order:
+//
+//	| A B |
+//	| C D |
+type Mat2 struct {
+	A, B float64
+	C, D float64
+}
+
+// Identity is the 2×2 identity matrix.
+var Identity = Mat2{1, 0, 0, 1}
+
+// Rotation returns the counterclockwise rotation by phi radians.
+func Rotation(phi float64) Mat2 {
+	s, c := math.Sincos(phi)
+	return Mat2{c, -s, s, c}
+}
+
+// Reflection returns the reflection across the line through the origin
+// with inclination theta. Note Reflection(phi/2) == Rotation(phi) ∘ FlipY,
+// the identity that underlies Lemma 2.1 of the paper.
+func Reflection(theta float64) Mat2 {
+	s, c := math.Sincos(2 * theta)
+	return Mat2{c, s, s, -c}
+}
+
+// FlipY is the chirality-flip matrix diag(1, -1).
+var FlipY = Mat2{1, 0, 0, -1}
+
+// Apply returns M·p.
+func (m Mat2) Apply(p Vec2) Vec2 {
+	return Vec2{m.A*p.X + m.B*p.Y, m.C*p.X + m.D*p.Y}
+}
+
+// Mul returns the matrix product m·n.
+func (m Mat2) Mul(n Mat2) Mat2 {
+	return Mat2{
+		m.A*n.A + m.B*n.C, m.A*n.B + m.B*n.D,
+		m.C*n.A + m.D*n.C, m.C*n.B + m.D*n.D,
+	}
+}
+
+// Scale returns k·m.
+func (m Mat2) Scale(k float64) Mat2 {
+	return Mat2{k * m.A, k * m.B, k * m.C, k * m.D}
+}
+
+// Add returns m + n.
+func (m Mat2) Add(n Mat2) Mat2 {
+	return Mat2{m.A + n.A, m.B + n.B, m.C + n.C, m.D + n.D}
+}
+
+// Sub returns m - n.
+func (m Mat2) Sub(n Mat2) Mat2 {
+	return Mat2{m.A - n.A, m.B - n.B, m.C - n.C, m.D - n.D}
+}
+
+// Det returns the determinant of m.
+func (m Mat2) Det() float64 { return m.A*m.D - m.B*m.C }
+
+// Inverse returns m⁻¹ and true, or the zero matrix and false when m is
+// singular (|det| below tiny).
+func (m Mat2) Inverse() (Mat2, bool) {
+	det := m.Det()
+	if math.Abs(det) < 1e-300 {
+		return Mat2{}, false
+	}
+	inv := 1 / det
+	return Mat2{m.D * inv, -m.B * inv, -m.C * inv, m.A * inv}, true
+}
+
+// OpNorm returns the operator (spectral) 2-norm of m, computed from the
+// singular values of m.
+func (m Mat2) OpNorm() float64 {
+	// Largest singular value: sqrt of the largest eigenvalue of mᵀm.
+	a := m.A*m.A + m.C*m.C
+	b := m.A*m.B + m.C*m.D
+	d := m.B*m.B + m.D*m.D
+	tr := a + d
+	disc := math.Sqrt((a-d)*(a-d) + 4*b*b)
+	lam := (tr + disc) / 2
+	if lam < 0 {
+		lam = 0
+	}
+	return math.Sqrt(lam)
+}
+
+// Transpose returns mᵀ.
+func (m Mat2) Transpose() Mat2 { return Mat2{m.A, m.C, m.B, m.D} }
+
+// ApproxEqual reports whether all entries agree within tol.
+func (m Mat2) ApproxEqual(n Mat2, tol float64) bool {
+	return math.Abs(m.A-n.A) <= tol && math.Abs(m.B-n.B) <= tol &&
+		math.Abs(m.C-n.C) <= tol && math.Abs(m.D-n.D) <= tol
+}

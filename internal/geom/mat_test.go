@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRotationBasics(t *testing.T) {
+	r := Rotation(math.Pi / 2)
+	if got := r.Apply(V(1, 0)); !got.ApproxEqual(V(0, 1), tol) {
+		t.Errorf("R(π/2)·ex = %v", got)
+	}
+	if got := r.Apply(V(0, 1)); !got.ApproxEqual(V(-1, 0), tol) {
+		t.Errorf("R(π/2)·ey = %v", got)
+	}
+	if d := r.Det(); math.Abs(d-1) > tol {
+		t.Errorf("det = %v", d)
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64()*TwoPi, rng.Float64()*TwoPi
+		got := Rotation(a).Mul(Rotation(b))
+		want := Rotation(a + b)
+		if !got.ApproxEqual(want, 1e-9) {
+			t.Fatalf("R(%v)R(%v) != R(a+b)", a, b)
+		}
+	}
+}
+
+// Reflection(phi/2) must equal Rotation(phi)∘FlipY — the identity that
+// makes the canonical line a mirror axis for χ = -1 instances (Lemma 2.1).
+func TestReflectionIsRotFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		phi := rng.Float64() * TwoPi
+		got := Rotation(phi).Mul(FlipY)
+		want := Reflection(phi / 2)
+		if !got.ApproxEqual(want, 1e-9) {
+			t.Fatalf("R(φ)·FlipY != Ref(φ/2) for φ=%v:\n%+v\n%+v", phi, got, want)
+		}
+	}
+}
+
+func TestReflectionInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		theta := rng.Float64() * math.Pi
+		m := Reflection(theta)
+		if got := m.Mul(m); !got.ApproxEqual(Identity, 1e-9) {
+			t.Fatalf("Ref(θ)² != I for θ=%v", theta)
+		}
+		if d := m.Det(); math.Abs(d+1) > tol {
+			t.Fatalf("Ref det = %v, want -1", d)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := Mat2{2, 1, 1, 3}
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("invertible matrix reported singular")
+	}
+	if got := m.Mul(inv); !got.ApproxEqual(Identity, tol) {
+		t.Errorf("m·m⁻¹ = %+v", got)
+	}
+	if _, ok := (Mat2{1, 2, 2, 4}).Inverse(); ok {
+		t.Error("singular matrix reported invertible")
+	}
+}
+
+func TestOpNorm(t *testing.T) {
+	// Rotations and reflections are isometries.
+	if got := Rotation(1.1).OpNorm(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("rotation OpNorm = %v", got)
+	}
+	if got := Reflection(0.7).OpNorm(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("reflection OpNorm = %v", got)
+	}
+	// diag(3, 2) has norm 3.
+	if got := (Mat2{3, 0, 0, 2}).OpNorm(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("diag OpNorm = %v", got)
+	}
+	// OpNorm bounds |M·p| / |p|.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		m := Mat2{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		n := m.OpNorm()
+		p := Polar(rng.Float64() * TwoPi)
+		if m.Apply(p).Norm() > n*(1+1e-9)+1e-12 {
+			t.Fatalf("OpNorm not an upper bound: %+v", m)
+		}
+	}
+}
+
+func TestTransposeAndArith(t *testing.T) {
+	m := Mat2{1, 2, 3, 4}
+	if got := m.Transpose(); got != (Mat2{1, 3, 2, 4}) {
+		t.Errorf("Transpose = %+v", got)
+	}
+	if got := m.Add(Identity); got != (Mat2{2, 2, 3, 5}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := m.Sub(Identity); got != (Mat2{0, 2, 3, 3}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := m.Scale(2); got != (Mat2{2, 4, 6, 8}) {
+		t.Errorf("Scale = %+v", got)
+	}
+}

@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestVecBasics(t *testing.T) {
+	a := V(3, 4)
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := a.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+	if got := a.Add(V(1, -1)); got != V(4, 3) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(V(1, 1)); got != V(2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != V(-3, -4) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(V(2, 1)); got != 10 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(V(2, 1)); got != 3-8 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V(1, 0).Perp(); got != V(0, 1) {
+		t.Errorf("Perp = %v", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := V(3, 4).Unit()
+	if math.Abs(u.Norm()-1) > tol {
+		t.Errorf("unit norm = %v", u.Norm())
+	}
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("zero unit = %v", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0), V(2, 4)
+	if got := a.Lerp(b, 0.5); !got.ApproxEqual(V(1, 2), tol) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestPolar(t *testing.T) {
+	for _, tc := range []struct {
+		theta float64
+		want  Vec2
+	}{
+		{0, V(1, 0)},
+		{math.Pi / 2, V(0, 1)},
+		{math.Pi, V(-1, 0)},
+		{-math.Pi / 2, V(0, -1)},
+	} {
+		if got := Polar(tc.theta); !got.ApproxEqual(tc.want, tol) {
+			t.Errorf("Polar(%v) = %v, want %v", tc.theta, got, tc.want)
+		}
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	for _, theta := range []float64{0, 0.3, 1.2, 3.0, -2.5} {
+		got := Polar(theta).Angle()
+		if AngleDiff(got, theta) > tol {
+			t.Errorf("Angle(Polar(%v)) = %v", theta, got)
+		}
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0).IsFinite() || V(0, math.Inf(1)).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+// Property: dot product is bilinear and symmetric.
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := V(ax, ay), V(bx, by)
+		if !a.IsFinite() || !b.IsFinite() ||
+			a.Norm2() > 1e300 || b.Norm2() > 1e300 {
+			return true // avoid overflow artifacts; exactness holds in range
+		}
+		return a.Dot(b) == b.Dot(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |a+b| ≤ |a| + |b| (triangle inequality, with rounding slack).
+func TestQuickTriangleInequality(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := V(r.NormFloat64(), r.NormFloat64())
+		b := V(r.NormFloat64(), r.NormFloat64())
+		if a.Add(b).Norm() > a.Norm()+b.Norm()+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v", a, b)
+		}
+	}
+}
+
+// Property: Perp is a quarter rotation: a·Perp(a) == 0 and |Perp(a)| == |a|.
+func TestQuickPerp(t *testing.T) {
+	f := func(x, y float64) bool {
+		a := V(x, y)
+		if !a.IsFinite() || a.Norm2() > 1e300 {
+			return true
+		}
+		p := a.Perp()
+		return a.Dot(p) == 0 && p.Norm2() == a.Norm2()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

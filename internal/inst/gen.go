@@ -1,0 +1,214 @@
+package inst
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Class names the stratified instance families used throughout the
+// experiment tables. They mirror the case analysis of Theorems 3.1/3.2
+// and the comparison classes of §1.3.
+type Class int
+
+const (
+	// ClassSimultaneousNonSync: t = 0, non-synchronous — the first half of
+	// the CGKK contract.
+	ClassSimultaneousNonSync Class = iota
+	// ClassSimultaneousRotated: t = 0, synchronous, χ = 1, φ ≠ 0 — the
+	// second half of the CGKK contract.
+	ClassSimultaneousRotated
+	// ClassLatecomer: synchronous, χ = 1, φ = 0, t > d − r — the
+	// Latecomers contract (type 2).
+	ClassLatecomer
+	// ClassMirrorInterior: synchronous, χ = -1, t > projGap − r (type 1).
+	ClassMirrorInterior
+	// ClassClockDrift: τ ≠ 1, arbitrary delay (type 3).
+	ClassClockDrift
+	// ClassSpeedOnly: τ = 1, v ≠ 1, arbitrary delay (type 4, non-sync).
+	ClassSpeedOnly
+	// ClassRotatedDelayed: synchronous, χ = 1, φ ≠ 0, t > 0 (type 4,
+	// synchronous — beyond both CGKK and Latecomers).
+	ClassRotatedDelayed
+	// ClassBoundaryS1: the exception set S1 (t = d − r exactly).
+	ClassBoundaryS1
+	// ClassBoundaryS2: the exception set S2 (t = projGap − r exactly).
+	ClassBoundaryS2
+	// ClassInfeasibleShift: synchronous, χ = 1, φ = 0, t < d − r
+	// (infeasible by Theorem 3.1 2(b)).
+	ClassInfeasibleShift
+	// ClassInfeasibleMirror: synchronous, χ = -1, t < projGap − r
+	// (infeasible by Theorem 3.1 2(c)).
+	ClassInfeasibleMirror
+
+	numClasses
+)
+
+// Classes lists every generator class in order.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassSimultaneousNonSync:
+		return "t=0 non-sync"
+	case ClassSimultaneousRotated:
+		return "t=0 sync φ≠0 χ=1"
+	case ClassLatecomer:
+		return "sync φ=0 χ=1 t>d-r"
+	case ClassMirrorInterior:
+		return "sync χ=-1 t>gap-r"
+	case ClassClockDrift:
+		return "τ≠1 any t"
+	case ClassSpeedOnly:
+		return "τ=1 v≠1 any t"
+	case ClassRotatedDelayed:
+		return "sync φ≠0 χ=1 t>0"
+	case ClassBoundaryS1:
+		return "S1 boundary"
+	case ClassBoundaryS2:
+		return "S2 boundary"
+	case ClassInfeasibleShift:
+		return "infeasible φ=0"
+	case ClassInfeasibleMirror:
+		return "infeasible χ=-1"
+	}
+	return "unknown"
+}
+
+// Gen draws random instances from the stratified classes. Parameters are
+// kept in a moderate range so that the universal algorithm meets within
+// its first few phases — the schedules grow so fast that this is the
+// regime every experiment (and any practical run) lives in.
+type Gen struct {
+	Rng *rand.Rand
+	// RMin, RMax bound the visibility radius (default 0.3, 1.2).
+	RMin, RMax float64
+	// DMax bounds the initial distance multiplier (default 4).
+	DMax float64
+}
+
+// NewGen returns a generator with the default parameter ranges and the
+// given seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{Rng: rand.New(rand.NewSource(seed)), RMin: 0.3, RMax: 1.2, DMax: 4}
+}
+
+func (g *Gen) radius() float64 { return g.RMin + g.Rng.Float64()*(g.RMax-g.RMin) }
+
+// start draws a start position for B at distance in (r, r+DMax·r].
+func (g *Gen) start(r float64) geom.Vec2 {
+	d := r * (1.05 + g.Rng.Float64()*g.DMax)
+	ang := g.Rng.Float64() * geom.TwoPi
+	return geom.Polar(ang).Scale(d)
+}
+
+// phiNonZero draws φ bounded away from 0 and 2π so the rotated classes
+// stay rotated under float rounding.
+func (g *Gen) phiNonZero() float64 {
+	return 0.15 + g.Rng.Float64()*(geom.TwoPi-0.3)
+}
+
+// Draw returns one random instance of the class.
+func (g *Gen) Draw(c Class) Instance {
+	r := g.radius()
+	b0 := g.start(r)
+	in := Instance{R: r, X: b0.X, Y: b0.Y, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}
+	switch c {
+	case ClassSimultaneousNonSync:
+		// Non-synchronous: perturb τ or v (or both); keep t = 0.
+		switch g.Rng.Intn(3) {
+		case 0:
+			in.Tau = pick(g.Rng, 1.3, 2.5)
+		case 1:
+			in.V = pick(g.Rng, 1.4, 2.5)
+		default:
+			in.Tau = pick(g.Rng, 1.3, 2.0)
+			in.V = pick(g.Rng, 1.4, 2.0)
+		}
+		in.Phi = g.Rng.Float64() * geom.TwoPi
+		in.Chi = g.chi()
+	case ClassSimultaneousRotated:
+		in.Phi = g.phiNonZero()
+	case ClassLatecomer:
+		d := in.Dist()
+		in.T = d - r + (0.2+g.Rng.Float64())*r // healthy positive margin
+	case ClassMirrorInterior:
+		in.Chi = -1
+		in.Phi = g.Rng.Float64() * geom.TwoPi
+		gap := in.ProjGap()
+		in.T = math.Max(0, gap-r) + (0.2+g.Rng.Float64())*r
+	case ClassClockDrift:
+		in.Tau = pick(g.Rng, 1.3, 2.5)
+		in.V = 1 / in.Tau * pick(g.Rng, 0.8, 1.2) // vary the unit too
+		in.Phi = g.Rng.Float64() * geom.TwoPi
+		in.Chi = g.chi()
+		in.T = g.Rng.Float64() * 2
+	case ClassSpeedOnly:
+		in.V = pick(g.Rng, 1.4, 2.5)
+		in.Phi = g.Rng.Float64() * geom.TwoPi
+		in.Chi = g.chi()
+		in.T = g.Rng.Float64() * 2
+	case ClassRotatedDelayed:
+		in.Phi = g.phiNonZero()
+		in.T = 0.2 + g.Rng.Float64()*2
+	case ClassBoundaryS1:
+		d := in.Dist()
+		in.T = d - r
+	case ClassBoundaryS2:
+		in.Chi = -1
+		in.Phi = g.Rng.Float64() * geom.TwoPi
+		// Ensure a strictly positive boundary delay: redraw until the
+		// projection gap exceeds r.
+		for in.ProjGap() <= r*1.05 {
+			b0 = g.start(r)
+			in.X, in.Y = b0.X, b0.Y
+			in.Phi = g.Rng.Float64() * geom.TwoPi
+		}
+		in.T = in.ProjGap() - r
+	case ClassInfeasibleShift:
+		d := in.Dist()
+		in.T = math.Max(0, (d-r)*(0.2+0.6*g.Rng.Float64()))
+	case ClassInfeasibleMirror:
+		in.Chi = -1
+		in.Phi = g.Rng.Float64() * geom.TwoPi
+		for in.ProjGap() <= r*1.1 {
+			b0 = g.start(r)
+			in.X, in.Y = b0.X, b0.Y
+			in.Phi = g.Rng.Float64() * geom.TwoPi
+		}
+		in.T = (in.ProjGap() - r) * (0.2 + 0.6*g.Rng.Float64())
+	}
+	return in
+}
+
+// DrawN returns n instances of the class.
+func (g *Gen) DrawN(c Class, n int) []Instance {
+	out := make([]Instance, n)
+	for i := range out {
+		out[i] = g.Draw(c)
+	}
+	return out
+}
+
+func (g *Gen) chi() int {
+	if g.Rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}
+
+func pick(rng *rand.Rand, lo, hi float64) float64 {
+	x := lo + rng.Float64()*(hi-lo)
+	if rng.Intn(2) == 0 {
+		return 1 / x // also exercise values below 1
+	}
+	return x
+}

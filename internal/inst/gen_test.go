@@ -1,0 +1,105 @@
+package inst
+
+import (
+	"math"
+	"testing"
+)
+
+// Each generator class must produce instances with the advertised
+// classification properties.
+func TestGeneratorsProduceTheirClass(t *testing.T) {
+	g := NewGen(41)
+	const n = 200
+	checks := map[Class]func(Instance) bool{
+		ClassSimultaneousNonSync: func(in Instance) bool {
+			return in.T == 0 && !in.Synchronous()
+		},
+		ClassSimultaneousRotated: func(in Instance) bool {
+			return in.T == 0 && in.Synchronous() && in.Chi == 1 && in.Phi != 0
+		},
+		ClassLatecomer: func(in Instance) bool {
+			return in.TypeOf() == Type2
+		},
+		ClassMirrorInterior: func(in Instance) bool {
+			return in.TypeOf() == Type1
+		},
+		ClassClockDrift: func(in Instance) bool {
+			return in.TypeOf() == Type3
+		},
+		ClassSpeedOnly: func(in Instance) bool {
+			return in.Tau == 1 && in.V != 1 && in.TypeOf() != TypeNone
+		},
+		ClassRotatedDelayed: func(in Instance) bool {
+			return in.TypeOf() == Type4 && in.Synchronous() && in.T > 0
+		},
+		ClassBoundaryS1: func(in Instance) bool {
+			return in.InS1() && in.Feasible() && !in.CoveredByAURV()
+		},
+		ClassBoundaryS2: func(in Instance) bool {
+			return in.InS2() && in.Feasible() && !in.CoveredByAURV() && in.T > 0
+		},
+		ClassInfeasibleShift: func(in Instance) bool {
+			return !in.Feasible()
+		},
+		ClassInfeasibleMirror: func(in Instance) bool {
+			return !in.Feasible()
+		},
+	}
+	for c, check := range checks {
+		for i, in := range g.DrawN(c, n) {
+			if err := in.Validate(); err != nil {
+				t.Fatalf("class %v draw %d invalid: %v", c, i, err)
+			}
+			if in.Trivial() {
+				t.Fatalf("class %v draw %d trivial: %v", c, i, in)
+			}
+			if !check(in) {
+				t.Fatalf("class %v draw %d fails class check: %v", c, i, in)
+			}
+		}
+	}
+}
+
+func TestClassesEnumeration(t *testing.T) {
+	cs := Classes()
+	if len(cs) != int(numClasses) {
+		t.Fatalf("Classes() returned %d entries", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		s := c.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("class %d has bad name %q", c, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := NewGen(7).DrawN(ClassLatecomer, 10)
+	b := NewGen(7).DrawN(ClassLatecomer, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestGenMarginsPositive(t *testing.T) {
+	g := NewGen(42)
+	for _, in := range g.DrawN(ClassLatecomer, 100) {
+		if m := in.Margin(); m <= 0 {
+			t.Fatalf("latecomer margin %v not positive: %v", m, in)
+		}
+	}
+	for _, in := range g.DrawN(ClassMirrorInterior, 100) {
+		if m := in.Margin(); m <= 0 {
+			t.Fatalf("mirror margin %v not positive: %v", m, in)
+		}
+	}
+	for _, in := range g.DrawN(ClassBoundaryS2, 100) {
+		if m := in.Margin(); math.Abs(m) > 1e-12 {
+			t.Fatalf("S2 margin %v not zero: %v", m, in)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package inst defines the instance model of the rendezvous problem and
+// its classification per the paper.
+//
+// An instance I = (r, x, y, φ, τ, v, t, χ) lists the private attributes
+// of agent B relative to agent A (whose attributes are the absolute
+// reference). The package implements:
+//
+//   - the synchronous / non-synchronous split (§2),
+//   - the feasibility characterization of Theorem 3.1,
+//   - the four instance types of §3.1.1 that drive the four blocks of
+//     Algorithm AlmostUniversalRV,
+//   - membership in the exception sets S1 and S2 of Section 4,
+//   - the canonical line and the projection gap of Definition 2.1.
+package inst
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/phys"
+)
+
+// Instance is the tuple (r, x, y, φ, τ, v, t, χ) of §1.2.
+type Instance struct {
+	R   float64 `json:"r"`   // visibility radius, r > 0
+	X   float64 `json:"x"`   // B's start x in A's frame
+	Y   float64 `json:"y"`   // B's start y in A's frame
+	Phi float64 `json:"phi"` // rotation between x-axes, [0, 2π)
+	Tau float64 `json:"tau"` // B's clock period in A's units, τ > 0
+	V   float64 `json:"v"`   // B's speed in A's units, v > 0
+	T   float64 `json:"t"`   // B's wake-up delay, t ≥ 0
+	Chi int     `json:"chi"` // chirality agreement: +1 or -1
+}
+
+// B0 returns B's start position in the absolute frame.
+func (in Instance) B0() geom.Vec2 { return geom.V(in.X, in.Y) }
+
+// Dist returns d = dist((0,0),(x,y)), the initial distance between the
+// agents.
+func (in Instance) Dist() float64 { return in.B0().Norm() }
+
+// Validate checks the domain constraints of §1.2.
+func (in Instance) Validate() error {
+	switch {
+	case !(in.R > 0):
+		return fmt.Errorf("inst: r = %v, need r > 0", in.R)
+	case !(in.Tau > 0):
+		return fmt.Errorf("inst: τ = %v, need τ > 0", in.Tau)
+	case !(in.V > 0):
+		return fmt.Errorf("inst: v = %v, need v > 0", in.V)
+	case in.T < 0:
+		return fmt.Errorf("inst: t = %v, need t ≥ 0", in.T)
+	case in.Chi != 1 && in.Chi != -1:
+		return fmt.Errorf("inst: χ = %d, need ±1", in.Chi)
+	case in.Phi < 0 || in.Phi >= 2*math.Pi:
+		return fmt.Errorf("inst: φ = %v, need 0 ≤ φ < 2π", in.Phi)
+	case !in.B0().IsFinite():
+		return fmt.Errorf("inst: non-finite start (%v, %v)", in.X, in.Y)
+	}
+	return nil
+}
+
+// Trivial reports whether r ≥ d, in which case rendezvous holds at time 0
+// (the paper assumes r < d without loss of generality).
+func (in Instance) Trivial() bool { return in.R >= in.Dist() }
+
+// Synchronous reports whether τ = v = 1 (§2): same clock rates and same
+// speeds, hence lockstep execution up to the delay t.
+func (in Instance) Synchronous() bool { return in.Tau == 1 && in.V == 1 }
+
+// CanonicalLine returns the canonical line of Definition 2.1.
+func (in Instance) CanonicalLine() geom.Line {
+	return geom.CanonicalLine(in.B0(), in.Phi)
+}
+
+// ProjGap returns dist(proj_A, proj_B), the distance between the
+// projections of the two start positions onto the canonical line.
+func (in Instance) ProjGap() float64 { return geom.ProjGap(in.B0(), in.Phi) }
+
+// AgentA returns the attributes of the reference agent.
+func (in Instance) AgentA() phys.Attributes { return phys.Reference() }
+
+// AgentB returns the attributes of agent B in absolute terms.
+func (in Instance) AgentB() phys.Attributes {
+	return phys.Attributes{
+		Origin: in.B0(),
+		Phi:    in.Phi,
+		Chi:    in.Chi,
+		Tau:    in.Tau,
+		Speed:  in.V,
+		Wake:   in.T,
+	}
+}
+
+// Feasible implements the characterization of Theorem 3.1: an instance is
+// feasible iff a rendezvous algorithm dedicated to it exists.
+func (in Instance) Feasible() bool {
+	if in.Trivial() {
+		return true
+	}
+	if !in.Synchronous() {
+		return true // Theorem 3.1(1)
+	}
+	switch {
+	case in.Chi == 1 && in.Phi != 0:
+		return true // 2(a)
+	case in.Chi == 1 && in.Phi == 0:
+		return in.T >= in.Dist()-in.R // 2(b)
+	default: // χ = -1
+		return in.T >= in.ProjGap()-in.R // 2(c)
+	}
+}
+
+// InS1 reports membership in the exception set S1 (Section 4):
+// synchronous, χ = 1, φ = 0, t = d − r. Feasible but not handled by the
+// universal algorithm.
+func (in Instance) InS1() bool {
+	return in.Synchronous() && in.Chi == 1 && in.Phi == 0 &&
+		in.T == in.Dist()-in.R
+}
+
+// InS2 reports membership in the exception set S2 (Section 4):
+// synchronous, χ = -1, t = dist(proj_A, proj_B) − r.
+func (in Instance) InS2() bool {
+	return in.Synchronous() && in.Chi == -1 &&
+		in.T == in.ProjGap()-in.R
+}
+
+// Type is the four-way categorization of §3.1.1 driving the blocks of
+// Algorithm AlmostUniversalRV.
+type Type int
+
+const (
+	// TypeNone marks instances not guaranteed by Theorem 3.2 (either
+	// infeasible or in an exception set).
+	TypeNone Type = iota
+	// Type1: synchronous, χ = -1, t > dist(proj_A, proj_B) − r.
+	Type1
+	// Type2: synchronous, χ = 1, φ = 0, t > d − r.
+	Type2
+	// Type3: τ ≠ 1.
+	Type3
+	// Type4: every instance of Theorem 3.2 that is not of type 1–3
+	// (non-synchronous with τ = 1, or synchronous with χ = 1, φ ≠ 0).
+	Type4
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Type1:
+		return "type1(mirror)"
+	case Type2:
+		return "type2(latecomer)"
+	case Type3:
+		return "type3(clock-drift)"
+	case Type4:
+		return "type4(cgkk-interleave)"
+	default:
+		return "none"
+	}
+}
+
+// TypeOf classifies the instance per §3.1.1. TypeNone is returned for
+// instances outside the guarantee of Theorem 3.2 (infeasible instances
+// and the exception sets S1, S2).
+func (in Instance) TypeOf() Type {
+	if in.Synchronous() {
+		if in.Chi == -1 {
+			if in.T > in.ProjGap()-in.R {
+				return Type1
+			}
+			return TypeNone
+		}
+		// χ = 1, synchronous.
+		if in.Phi == 0 {
+			if in.T > in.Dist()-in.R {
+				return Type2
+			}
+			return TypeNone
+		}
+		return Type4 // synchronous, χ = 1, φ ≠ 0
+	}
+	if in.Tau != 1 {
+		return Type3
+	}
+	return Type4 // non-synchronous with τ = 1 (so v ≠ 1)
+}
+
+// CoveredByAURV reports whether Theorem 3.2 guarantees rendezvous for the
+// instance under Algorithm AlmostUniversalRV.
+func (in Instance) CoveredByAURV() bool { return in.TypeOf() != TypeNone }
+
+// Margin returns the slack e of the instance's binding feasibility
+// inequality: t − (d − r) for χ=1 φ=0, t − (projGap − r) for χ=-1, and
+// +Inf for classes with no delay constraint. Negative margin means
+// infeasible (for synchronous instances).
+func (in Instance) Margin() float64 {
+	if !in.Synchronous() {
+		return math.Inf(1)
+	}
+	if in.Chi == -1 {
+		return in.T - (in.ProjGap() - in.R)
+	}
+	if in.Phi == 0 {
+		return in.T - (in.Dist() - in.R)
+	}
+	return math.Inf(1)
+}
+
+// String renders the tuple compactly.
+func (in Instance) String() string {
+	return fmt.Sprintf("I(r=%g, b0=(%g,%g), φ=%g, τ=%g, v=%g, t=%g, χ=%+d)",
+		in.R, in.X, in.Y, in.Phi, in.Tau, in.V, in.T, in.Chi)
+}
+
+// plain is an alias without methods, so the JSON encoder does not
+// re-enter MarshalText.
+type plain Instance
+
+// MarshalText implements encoding.TextMarshaler via JSON.
+func (in Instance) MarshalText() ([]byte, error) { return json.Marshal(plain(in)) }
+
+// UnmarshalText implements encoding.TextUnmarshaler via JSON.
+func (in *Instance) UnmarshalText(b []byte) error {
+	return json.Unmarshal(b, (*plain)(in))
+}

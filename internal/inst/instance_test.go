@@ -1,0 +1,262 @@
+package inst
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// base returns a generic feasible-looking synchronous instance to mutate.
+func base() Instance {
+	return Instance{R: 0.5, X: 2, Y: 1, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base invalid: %v", err)
+	}
+	for _, mut := range []func(*Instance){
+		func(in *Instance) { in.R = 0 },
+		func(in *Instance) { in.R = -1 },
+		func(in *Instance) { in.Tau = 0 },
+		func(in *Instance) { in.V = -2 },
+		func(in *Instance) { in.T = -0.1 },
+		func(in *Instance) { in.Chi = 0 },
+		func(in *Instance) { in.Chi = 2 },
+		func(in *Instance) { in.Phi = -0.1 },
+		func(in *Instance) { in.Phi = 2 * math.Pi },
+		func(in *Instance) { in.X = math.NaN() },
+	} {
+		in := base()
+		mut(&in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("mutated instance accepted: %+v", in)
+		}
+	}
+}
+
+func TestSynchronousAndTrivial(t *testing.T) {
+	in := base()
+	if !in.Synchronous() {
+		t.Error("τ=v=1 not synchronous")
+	}
+	in.Tau = 2
+	if in.Synchronous() {
+		t.Error("τ=2 synchronous")
+	}
+	in = base()
+	in.V = 0.5
+	if in.Synchronous() {
+		t.Error("v=0.5 synchronous")
+	}
+	in = base()
+	in.R = 5
+	if !in.Trivial() {
+		t.Error("r ≥ d not trivial")
+	}
+}
+
+func TestDistAndProjGap(t *testing.T) {
+	in := base() // b0 = (2,1)
+	if got := in.Dist(); math.Abs(got-math.Sqrt(5)) > 1e-12 {
+		t.Errorf("Dist = %v", got)
+	}
+	// φ=0: projection gap is |x| = 2.
+	if got := in.ProjGap(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ProjGap(φ=0) = %v", got)
+	}
+	// φ=π: canonical line has inclination π/2 → gap = |y| = 1.
+	in.Phi = math.Pi
+	if got := in.ProjGap(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ProjGap(φ=π) = %v", got)
+	}
+}
+
+// Feasibility truth table straight out of Theorem 3.1.
+func TestFeasibleTheorem31(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Instance)
+		want bool
+	}{
+		{"non-sync τ", func(in *Instance) { in.Tau = 2 }, true},
+		{"non-sync v", func(in *Instance) { in.V = 2 }, true},
+		{"sync χ=1 φ≠0", func(in *Instance) { in.Phi = 1 }, true},
+		{"sync χ=1 φ=0 t=d-r", func(in *Instance) { in.T = in.Dist() - in.R }, true},
+		{"sync χ=1 φ=0 t>d-r", func(in *Instance) { in.T = in.Dist() }, true},
+		{"sync χ=1 φ=0 t<d-r", func(in *Instance) { in.T = (in.Dist() - in.R) / 2 }, false},
+		{"sync χ=1 φ=0 t=0", func(in *Instance) {}, false},
+		{"sync χ=-1 t=gap-r", func(in *Instance) {
+			in.Chi = -1
+			in.T = in.ProjGap() - in.R
+		}, true},
+		{"sync χ=-1 t>gap-r", func(in *Instance) {
+			in.Chi = -1
+			in.T = in.ProjGap()
+		}, true},
+		{"sync χ=-1 t<gap-r", func(in *Instance) {
+			in.Chi = -1
+			in.T = (in.ProjGap() - in.R) / 2
+		}, false},
+		{"sync χ=-1 φ≠0 t<gap-r", func(in *Instance) {
+			in.Chi = -1
+			in.Phi = 0.6
+			in.T = math.Max(0, (in.ProjGap()-in.R)/2)
+		}, false},
+		{"trivial r≥d", func(in *Instance) { in.R = 10 }, true},
+	}
+	for _, tc := range cases {
+		in := base()
+		tc.mut(&in)
+		if got := in.Feasible(); got != tc.want {
+			t.Errorf("%s: Feasible = %v, want %v (%v)", tc.name, got, tc.want, in)
+		}
+	}
+}
+
+func TestExceptionSets(t *testing.T) {
+	in := base()
+	in.T = in.Dist() - in.R
+	if !in.InS1() {
+		t.Error("S1 boundary not detected")
+	}
+	if in.InS2() {
+		t.Error("S1 instance reported in S2")
+	}
+	if in.CoveredByAURV() {
+		t.Error("S1 instance covered by AURV")
+	}
+	if !in.Feasible() {
+		t.Error("S1 instance must be feasible")
+	}
+
+	in = base()
+	in.Chi = -1
+	in.Phi = 0.8
+	in.T = in.ProjGap() - in.R
+	if in.T <= 0 {
+		t.Fatalf("test setup: boundary delay %v not positive", in.T)
+	}
+	if !in.InS2() {
+		t.Error("S2 boundary not detected")
+	}
+	if in.CoveredByAURV() {
+		t.Error("S2 instance covered by AURV")
+	}
+	if !in.Feasible() {
+		t.Error("S2 instance must be feasible")
+	}
+
+	// Non-synchronous instances are never in the exception sets.
+	in.Tau = 2
+	if in.InS2() || in.InS1() {
+		t.Error("non-sync instance in exception set")
+	}
+}
+
+// Type classification per §3.1.1.
+func TestTypeOf(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Instance)
+		want Type
+	}{
+		{"type1 mirror interior", func(in *Instance) {
+			in.Chi = -1
+			in.Phi = 1.0
+			in.T = in.ProjGap() - in.R + 0.3
+		}, Type1},
+		{"type2 latecomer", func(in *Instance) { in.T = in.Dist() - in.R + 0.3 }, Type2},
+		{"type3 clock", func(in *Instance) { in.Tau = 1.5 }, Type3},
+		{"type3 clock with delay", func(in *Instance) { in.Tau = 0.5; in.T = 3 }, Type3},
+		{"type4 speed only", func(in *Instance) { in.V = 2; in.T = 1 }, Type4},
+		{"type4 sync rotated", func(in *Instance) { in.Phi = 1.2; in.T = 2 }, Type4},
+		{"none: S1", func(in *Instance) { in.T = in.Dist() - in.R }, TypeNone},
+		{"none: S2", func(in *Instance) {
+			in.Chi = -1
+			in.Phi = 0.5
+			in.T = in.ProjGap() - in.R
+		}, TypeNone},
+		{"none: infeasible shift", func(in *Instance) {}, TypeNone},
+		{"none: infeasible mirror", func(in *Instance) {
+			in.Chi = -1
+			in.T = 0
+		}, TypeNone},
+	}
+	for _, tc := range cases {
+		in := base()
+		tc.mut(&in)
+		if got := in.TypeOf(); got != tc.want {
+			t.Errorf("%s: TypeOf = %v, want %v (%v)", tc.name, got, tc.want, in)
+		}
+	}
+}
+
+// Every typed instance must be feasible (Theorem 3.2 ⊂ Theorem 3.1).
+func TestTypedImpliesFeasible(t *testing.T) {
+	g := NewGen(40)
+	for _, c := range []Class{
+		ClassSimultaneousNonSync, ClassSimultaneousRotated, ClassLatecomer,
+		ClassMirrorInterior, ClassClockDrift, ClassSpeedOnly, ClassRotatedDelayed,
+	} {
+		for _, in := range g.DrawN(c, 100) {
+			if in.TypeOf() == TypeNone {
+				t.Fatalf("class %v produced untyped instance %v", c, in)
+			}
+			if !in.Feasible() {
+				t.Fatalf("typed instance infeasible: %v", in)
+			}
+		}
+	}
+}
+
+func TestMargin(t *testing.T) {
+	in := base()
+	in.T = in.Dist() - in.R + 0.25
+	if got := in.Margin(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("shift margin = %v", got)
+	}
+	in = base()
+	in.Chi = -1
+	in.T = 0
+	want := -(in.ProjGap() - in.R)
+	if got := in.Margin(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mirror margin = %v, want %v", got, want)
+	}
+	in = base()
+	in.Tau = 2
+	if !math.IsInf(in.Margin(), 1) {
+		t.Error("non-sync margin not +Inf")
+	}
+}
+
+func TestAgentAttributes(t *testing.T) {
+	in := Instance{R: 0.5, X: 3, Y: -1, Phi: 1.2, Tau: 1.5, V: 2, T: 0.7, Chi: -1}
+	a, b := in.AgentA(), in.AgentB()
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("agent attributes invalid")
+	}
+	if b.Origin != geom.V(3, -1) || b.Phi != 1.2 || b.Chi != -1 ||
+		b.Tau != 1.5 || b.Speed != 2 || b.Wake != 0.7 {
+		t.Errorf("AgentB = %+v", b)
+	}
+	if b.Unit() != 3 {
+		t.Errorf("unit = %v", b.Unit())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := Instance{R: 0.5, X: 3, Y: -1, Phi: 1.2, Tau: 1.5, V: 2, T: 0.7, Chi: -1}
+	b, err := in.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Instance
+	if err := out.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("roundtrip %v -> %v", in, out)
+	}
+}

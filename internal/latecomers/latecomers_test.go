@@ -1,0 +1,162 @@
+package latecomers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/inst"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+func simulate(in inst.Instance, maxSeg int) sim.Result {
+	set := sim.DefaultSettings()
+	set.MaxSegments = maxSeg
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: Program(), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: Program(), Radius: in.R}
+	return sim.Run(a, b, set)
+}
+
+func latecomer(r, x, y, t float64) inst.Instance {
+	return inst.Instance{R: r, X: x, Y: y, Phi: 0, Tau: 1, V: 1, T: t, Chi: 1}
+}
+
+func TestCoveredPredicate(t *testing.T) {
+	in := latecomer(0.5, 2, 0, 2)
+	if !Covered(in) {
+		t.Error("good configuration not covered")
+	}
+	// t exactly at the boundary: not covered (strict inequality).
+	if Covered(latecomer(0.5, 2, 0, 1.5)) {
+		t.Error("boundary t = d-r covered")
+	}
+	// Below: not covered.
+	if Covered(latecomer(0.5, 2, 0, 1)) {
+		t.Error("infeasible covered")
+	}
+	// Rotated or mirrored or non-sync: outside the contract.
+	for _, mut := range []func(*inst.Instance){
+		func(in *inst.Instance) { in.Phi = 1 },
+		func(in *inst.Instance) { in.Chi = -1 },
+		func(in *inst.Instance) { in.Tau = 2 },
+		func(in *inst.Instance) { in.V = 2 },
+	} {
+		in := latecomer(0.5, 2, 0, 2)
+		mut(&in)
+		if Covered(in) {
+			t.Errorf("non-contract instance covered: %v", in)
+		}
+	}
+}
+
+func TestPhaseStructure(t *testing.T) {
+	// Phase k = 2^{k+1} run-waits then a planar walk, returning to start.
+	for k := 1; k <= 3; k++ {
+		p := Phase(k)
+		dx, dy := prog.Displacement(p)
+		if math.Hypot(dx, dy) > 1e-7 {
+			t.Errorf("Phase(%d) displacement %v", k, math.Hypot(dx, dy))
+		}
+		if got, want := prog.TotalDuration(p), PhaseDuration(k); math.Abs(got-want) > 1e-6*want {
+			t.Errorf("Phase(%d) duration %v, want %v", k, got, want)
+		}
+	}
+}
+
+// The sweep mechanism: delay comparable to distance.
+func TestRendezvousSweep(t *testing.T) {
+	cases := []inst.Instance{
+		latecomer(1.0, 1.1, 0, 1.0),      // aligned with East, t ≈ d
+		latecomer(1.0, 0, 1.2, 1.1),      // aligned with North
+		latecomer(0.8, 1.0, 0.3, 1.2),    // slight angle error
+		latecomer(0.7, -0.9, -0.5, 1.05), // third quadrant
+		latecomer(0.9, 1.0, 0.0, 3.5),    // t > d + r: later sweep or planar
+	}
+	for k, in := range cases {
+		if !Covered(in) {
+			t.Fatalf("case %d not covered: %v", k, in)
+		}
+		res := simulate(in, 30_000_000)
+		if !res.Met {
+			t.Fatalf("case %d: no rendezvous: %v\n%v", k, res, in)
+		}
+	}
+}
+
+// The asleep mechanism: enormous delay — B sleeps through a full walk.
+func TestRendezvousAsleep(t *testing.T) {
+	in := latecomer(0.6, 1.4, 0.7, 5000)
+	res := simulate(in, 30_000_000)
+	if !res.Met {
+		t.Fatalf("no rendezvous: %v", res)
+	}
+	// B should never have needed to move: meeting while it slept or just
+	// after; at minimum the meet time is below t + a couple of phases.
+	if got := res.MeetTime.Float64(); got > in.T+1e6 {
+		t.Errorf("meet time %v unreasonably late", got)
+	}
+}
+
+// Razor-thin margin: t barely above d − r.
+func TestRendezvousThinMargin(t *testing.T) {
+	d := 1.3
+	r := 0.8
+	in := latecomer(r, d, 0, d-r+0.02)
+	res := simulate(in, 60_000_000)
+	if !res.Met {
+		t.Fatalf("thin margin: no rendezvous: %v\n%v", res, in)
+	}
+}
+
+// Random contract instances meet, and within the predicted phase bound.
+func TestRendezvousSamples(t *testing.T) {
+	g := inst.NewGen(80)
+	for k := 0; k < 8; k++ {
+		in := g.Draw(inst.ClassLatecomer)
+		res := simulate(in, 60_000_000)
+		if !res.Met {
+			t.Fatalf("sample %d: no rendezvous: %v\n%v", k, res, in)
+		}
+		if ph, mech, ok := PredictPhase(in); ok {
+			bound := in.T
+			for j := 1; j <= ph; j++ {
+				bound += PhaseDuration(j)
+			}
+			if res.MeetTime.Float64() > bound+1 {
+				t.Errorf("sample %d: met at %v after bound %v (phase %d via %s)",
+					k, res.MeetTime.Float64(), bound, ph, mech)
+			}
+		}
+	}
+}
+
+func TestPredictPhaseMechanisms(t *testing.T) {
+	// Small delay → sweep; enormous delay → planar (asleep).
+	if _, mech, ok := PredictPhase(latecomer(1.0, 1.1, 0, 1.0)); !ok || mech != "sweep" {
+		t.Errorf("small delay mech = %q, ok=%v", mech, ok)
+	}
+	if _, mech, ok := PredictPhase(latecomer(0.6, 1.4, 0.7, 1e7)); !ok || mech != "planar" {
+		t.Errorf("huge delay mech = %q, ok=%v", mech, ok)
+	}
+	if _, _, ok := PredictPhase(latecomer(0.5, 2, 0, 0.5)); ok {
+		t.Error("predicted phase for uncovered instance")
+	}
+}
+
+// The negative side (from [38] / Lemma 3.8): with t < d − r the gap can
+// never close below d − t; the simulation's observed minimum must respect
+// that bound.
+func TestInfeasibleLowerBound(t *testing.T) {
+	in := latecomer(0.5, 2, 0, 0.8) // d = 2, t < 1.5
+	set := sim.DefaultSettings()
+	set.MaxSegments = 3_000_000
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: Program(), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: Program(), Radius: in.R}
+	res := sim.Run(a, b, set)
+	if res.Met {
+		t.Fatalf("infeasible instance met: %v", res)
+	}
+	if res.MinGap < in.Dist()-in.T-1e-6 {
+		t.Errorf("min gap %v below analytic bound %v", res.MinGap, in.Dist()-in.T)
+	}
+}

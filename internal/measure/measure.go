@@ -1,0 +1,156 @@
+// Package measure quantifies Section 4's geometric argument: the
+// exception sets S1 and S2, while infinite, are "slim" — S1 satisfies
+// four independent equality constraints (codimension 4 inside the
+// 7-dimensional instance space) and S2 three (codimension 3) — whereas
+// the feasible set is "fat" (it contains a ball of positive radius, and
+// has infinite 7-dimensional Lebesgue measure).
+//
+// Monte-Carlo estimates make both statements measurable:
+//
+//   - the probability that a uniform random instance lands within ε of an
+//     exception set scales like ε^codim: the fitted log-log slope of the
+//     hit rate recovers the codimension;
+//   - the fraction of uniform random instances that are feasible is
+//     bounded away from 0 (the fat set), while the fraction that is
+//     exactly exceptional is 0.
+package measure
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/inst"
+)
+
+// Box is the sampling domain of instance parameters.
+type Box struct {
+	RMin, RMax     float64
+	XYMax          float64 // |x|, |y| ≤ XYMax
+	TauMin, TauMax float64
+	VMin, VMax     float64
+	TMax           float64
+}
+
+// DefaultBox returns a moderate sampling box.
+func DefaultBox() Box {
+	return Box{RMin: 0.2, RMax: 1, XYMax: 3, TauMin: 0.5, TauMax: 2, VMin: 0.5, VMax: 2, TMax: 4}
+}
+
+// Sample draws one uniform instance from the box (χ uniform in ±1,
+// φ uniform in [0, 2π)).
+func (b Box) Sample(rng *rand.Rand) inst.Instance {
+	u := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	chi := 1
+	if rng.Intn(2) == 0 {
+		chi = -1
+	}
+	return inst.Instance{
+		R: u(b.RMin, b.RMax), X: u(-b.XYMax, b.XYMax), Y: u(-b.XYMax, b.XYMax),
+		Phi: rng.Float64() * geom.TwoPi, Tau: u(b.TauMin, b.TauMax),
+		V: u(b.VMin, b.VMax), T: u(0, b.TMax), Chi: chi,
+	}
+}
+
+// NearS1 reports whether the instance is within ε of the S1 defining
+// equalities: |τ−1|, |v−1|, min(φ, 2π−φ) and |t−(d−r)| all ≤ ε, with
+// χ = 1.
+func NearS1(in inst.Instance, eps float64) bool {
+	if in.Chi != 1 {
+		return false
+	}
+	phiDist := math.Min(in.Phi, geom.TwoPi-in.Phi)
+	return math.Abs(in.Tau-1) <= eps && math.Abs(in.V-1) <= eps &&
+		phiDist <= eps && math.Abs(in.T-(in.Dist()-in.R)) <= eps
+}
+
+// NearS2 reports whether the instance is within ε of the S2 defining
+// equalities: |τ−1|, |v−1| and |t−(projGap−r)| all ≤ ε, with χ = −1.
+func NearS2(in inst.Instance, eps float64) bool {
+	if in.Chi != -1 {
+		return false
+	}
+	return math.Abs(in.Tau-1) <= eps && math.Abs(in.V-1) <= eps &&
+		math.Abs(in.T-(in.ProjGap()-in.R)) <= eps
+}
+
+// Stats is the outcome of a Monte-Carlo sweep.
+type Stats struct {
+	Samples       int
+	Feasible      int
+	ExactS1       int // exact membership (measure zero: expect 0)
+	ExactS2       int
+	NearS1ByEps   map[float64]int
+	NearS2ByEps   map[float64]int
+	FeasibleShare float64
+}
+
+// Sweep samples n instances and counts feasibility and ε-neighborhood
+// hits for each ε.
+func Sweep(n int, epsilons []float64, box Box, seed int64) Stats {
+	rng := rand.New(rand.NewSource(seed))
+	s := Stats{
+		Samples:     n,
+		NearS1ByEps: map[float64]int{},
+		NearS2ByEps: map[float64]int{},
+	}
+	for i := 0; i < n; i++ {
+		in := box.Sample(rng)
+		if in.Feasible() {
+			s.Feasible++
+		}
+		if in.InS1() {
+			s.ExactS1++
+		}
+		if in.InS2() {
+			s.ExactS2++
+		}
+		for _, eps := range epsilons {
+			if NearS1(in, eps) {
+				s.NearS1ByEps[eps]++
+			}
+			if NearS2(in, eps) {
+				s.NearS2ByEps[eps]++
+			}
+		}
+	}
+	s.FeasibleShare = float64(s.Feasible) / float64(n)
+	return s
+}
+
+// FitExponent fits the slope of log(count) against log(ε) — the observed
+// scaling exponent of the neighborhood volume, which estimates the
+// codimension. Epsilons with zero hits are skipped; the fit needs at
+// least two usable points (ok reports that).
+func FitExponent(byEps map[float64]int) (slope float64, ok bool) {
+	var xs, ys []float64
+	for eps, c := range byEps {
+		if c > 0 {
+			xs = append(xs, math.Log(eps))
+			ys = append(ys, math.Log(float64(c)))
+		}
+	}
+	if len(xs) < 2 {
+		return 0, false
+	}
+	// Least squares.
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, false
+	}
+	return (n*sxy - sx*sy) / den, true
+}
+
+// CodimS1 and CodimS2 are the theoretical codimensions from Section 4.
+const (
+	CodimS1 = 4
+	CodimS2 = 3
+)

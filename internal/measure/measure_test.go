@@ -1,0 +1,128 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/inst"
+)
+
+func TestSampleInBox(t *testing.T) {
+	box := DefaultBox()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		in := box.Sample(rng)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("sample invalid: %v", err)
+		}
+		if in.R < box.RMin || in.R > box.RMax || math.Abs(in.X) > box.XYMax ||
+			in.Tau < box.TauMin || in.Tau > box.TauMax || in.T > box.TMax {
+			t.Fatalf("sample out of box: %v", in)
+		}
+	}
+}
+
+func TestNearPredicates(t *testing.T) {
+	// An exact S1 instance is near-S1 for every ε.
+	s1 := inst.Instance{R: 0.5, X: 2, Y: 1, Phi: 0, Tau: 1, V: 1, Chi: 1}
+	s1.T = s1.Dist() - s1.R
+	if !NearS1(s1, 1e-12) {
+		t.Error("exact S1 not near-S1")
+	}
+	if NearS2(s1, 0.1) {
+		t.Error("χ=1 instance near-S2")
+	}
+	// Perturb τ beyond ε.
+	s1.Tau = 1.2
+	if NearS1(s1, 0.1) {
+		t.Error("perturbed τ still near-S1")
+	}
+	if !NearS1(s1, 0.3) {
+		t.Error("perturbed τ not near-S1 with larger ε")
+	}
+	// φ near 2π counts as near 0.
+	s1.Tau = 1
+	s1.Phi = 2*math.Pi - 0.05
+	if !NearS1(s1, 0.1) {
+		t.Error("φ near 2π not recognized")
+	}
+
+	// S2 side.
+	s2 := inst.Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
+	s2.T = s2.ProjGap() - s2.R
+	if s2.T < 0 {
+		t.Fatal("setup: negative boundary delay")
+	}
+	if !NearS2(s2, 1e-12) {
+		t.Error("exact S2 not near-S2")
+	}
+	if NearS1(s2, 0.1) {
+		t.Error("χ=-1 instance near-S1")
+	}
+}
+
+func TestSweepBasics(t *testing.T) {
+	s := Sweep(20000, []float64{0.2, 0.4}, DefaultBox(), 42)
+	if s.Samples != 20000 {
+		t.Fatalf("samples = %d", s.Samples)
+	}
+	// The feasible set is fat: a solid share of random instances is
+	// feasible (every non-synchronous instance is, and those dominate a
+	// continuous box).
+	if s.FeasibleShare < 0.5 {
+		t.Errorf("feasible share %v unexpectedly small", s.FeasibleShare)
+	}
+	// Exact exceptional membership has measure zero.
+	if s.ExactS1 != 0 || s.ExactS2 != 0 {
+		t.Errorf("exact boundary hits: S1=%d S2=%d", s.ExactS1, s.ExactS2)
+	}
+	// Larger ε ⇒ at least as many near hits.
+	if s.NearS2ByEps[0.4] < s.NearS2ByEps[0.2] {
+		t.Error("near-S2 counts not monotone in ε")
+	}
+}
+
+// The observed scaling exponents recover the codimensions (S2: 3, S1: 4)
+// within Monte-Carlo slack. S1's codim-4 neighborhoods are rare, so use
+// generous epsilons and many samples.
+func TestCodimensionRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eps := []float64{0.25, 0.35, 0.5}
+	s := Sweep(2_000_000, eps, DefaultBox(), 7)
+
+	slope2, ok := FitExponent(s.NearS2ByEps)
+	if !ok {
+		t.Fatal("S2 exponent fit failed (no hits)")
+	}
+	if math.Abs(slope2-CodimS2) > 1.0 {
+		t.Errorf("S2 slope %v, want ≈ %d", slope2, CodimS2)
+	}
+
+	slope1, ok := FitExponent(s.NearS1ByEps)
+	if !ok {
+		t.Skip("S1 neighborhoods too thin for this sample size")
+	}
+	if math.Abs(slope1-CodimS1) > 1.6 {
+		t.Errorf("S1 slope %v, want ≈ %d", slope1, CodimS1)
+	}
+	// The ordering must hold regardless of noise: S1 is slimmer than S2.
+	if slope1 <= slope2 {
+		t.Errorf("S1 slope %v not steeper than S2 slope %v", slope1, slope2)
+	}
+}
+
+func TestFitExponentDegenerate(t *testing.T) {
+	if _, ok := FitExponent(map[float64]int{0.1: 0, 0.2: 0}); ok {
+		t.Error("fit succeeded with no hits")
+	}
+	if _, ok := FitExponent(map[float64]int{0.1: 5}); ok {
+		t.Error("fit succeeded with one point")
+	}
+	slope, ok := FitExponent(map[float64]int{0.1: 10, 0.2: 80, 0.4: 640})
+	if !ok || math.Abs(slope-3) > 1e-9 {
+		t.Errorf("exact cubic fit: %v, %v", slope, ok)
+	}
+}

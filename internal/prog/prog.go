@@ -1,0 +1,322 @@
+// Package prog represents the move/wait programs executed by agents and
+// the combinators used by Algorithm 1 of the paper to assemble them.
+//
+// The paper's model (§1.2) allows two instructions:
+//
+//	go(dir, d) — move d of the agent's length units in direction dir of
+//	             its private system,
+//	wait(z)    — stay idle for z of the agent's time units.
+//
+// Since an agent's length unit is the distance it covers in one of its
+// time units, *both* instructions last exactly Amount local time units,
+// which makes time-budgeted composition (lines 10, 17 of Algorithm 1)
+// uniform.
+//
+// Programs are lazy push-iterators (iter.Seq[Instr]); the rendezvous
+// algorithms are infinite programs and the simulator pulls from them on
+// demand. Combinators provided here implement exactly the program surgery
+// Algorithm 1 performs: rotation into a Rot(α) system, time budgeting,
+// time slicing with interleaved waits, and path recording + backtracking.
+package prog
+
+import (
+	"iter"
+	"math"
+)
+
+// Op distinguishes the two instruction kinds.
+type Op int
+
+const (
+	// OpMove is go(dir, d).
+	OpMove Op = iota
+	// OpWait is wait(z).
+	OpWait
+)
+
+// Instr is a single program instruction in the agent's private system.
+type Instr struct {
+	Op     Op
+	Theta  float64 // polar direction angle in the local system (moves only)
+	Amount float64 // distance in local length units (moves) or duration in local time units (waits)
+}
+
+// Move returns go(theta, d).
+func Move(theta, d float64) Instr { return Instr{OpMove, theta, d} }
+
+// Wait returns wait(z).
+func Wait(z float64) Instr { return Instr{OpWait, 0, z} }
+
+// Compass direction angles (the paper's N, S, E, W shorthand).
+const (
+	East  = 0.0
+	North = math.Pi / 2
+	West  = math.Pi
+	South = 3 * math.Pi / 2
+)
+
+// Duration returns the instruction's duration in local time units.
+func (ins Instr) Duration() float64 { return ins.Amount }
+
+// Reversed returns the move traversed backwards. Waits reverse to
+// zero-length waits (backtracking replays the path, not the idle time —
+// see lines 12 and 20 of Algorithm 1, whose analysis in Claim 3.8 bounds
+// backtracking by the path length only).
+func (ins Instr) Reversed() Instr {
+	if ins.Op == OpWait {
+		return Wait(0)
+	}
+	return Move(ins.Theta+math.Pi, ins.Amount)
+}
+
+// Split cuts the instruction after d local time units, returning the
+// executed head and the remaining tail. d must be in [0, Duration].
+func (ins Instr) Split(d float64) (head, tail Instr) {
+	head, tail = ins, ins
+	head.Amount = d
+	tail.Amount = ins.Amount - d
+	return
+}
+
+// A Program is a lazy instruction stream. Yield false stops generation.
+type Program = iter.Seq[Instr]
+
+// Empty is the program with no instructions.
+func Empty() Program {
+	return func(yield func(Instr) bool) {}
+}
+
+// Instrs returns a program that emits the given instructions.
+func Instrs(list ...Instr) Program {
+	return func(yield func(Instr) bool) {
+		for _, ins := range list {
+			if ins.Amount == 0 {
+				continue
+			}
+			if !yield(ins) {
+				return
+			}
+		}
+	}
+}
+
+// Seq concatenates programs.
+func Seq(ps ...Program) Program {
+	return func(yield func(Instr) bool) {
+		for _, p := range ps {
+			stop := false
+			p(func(ins Instr) bool {
+				if !yield(ins) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
+			}
+		}
+	}
+}
+
+// Forever yields the programs produced by gen(1), gen(2), … without end.
+// It is the "repeat" loop of Algorithm 1.
+func Forever(gen func(i int) Program) Program {
+	return func(yield func(Instr) bool) {
+		for i := 1; ; i++ {
+			stop := false
+			gen(i)(func(ins Instr) bool {
+				if !yield(ins) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
+			}
+		}
+	}
+}
+
+// Rotate re-expresses a program in the local system Rot(alpha): every
+// move direction is advanced by alpha (counterclockwise in the agent's
+// own system, per §2 of the paper).
+func Rotate(p Program, alpha float64) Program {
+	return func(yield func(Instr) bool) {
+		p(func(ins Instr) bool {
+			if ins.Op == OpMove {
+				ins.Theta += alpha
+			}
+			return yield(ins)
+		})
+	}
+}
+
+// Budget truncates a program after exactly T local time units, splitting
+// the final instruction if needed. This is "execute P during time T"
+// (lines 10 and 17 of Algorithm 1).
+func Budget(p Program, T float64) Program {
+	return func(yield func(Instr) bool) {
+		elapsed := 0.0
+		p(func(ins Instr) bool {
+			d := ins.Duration()
+			if elapsed+d <= T {
+				elapsed += d
+				return yield(ins)
+			}
+			head, _ := ins.Split(T - elapsed)
+			elapsed = T
+			if head.Amount > 0 {
+				yield(head)
+			}
+			return false
+		})
+		// If the program ran out before the budget, pad with idling so the
+		// wrapper still consumes exactly T local time (an agent that has
+		// finished early simply waits; durations in the analysis assume
+		// the full window).
+		if elapsed < T {
+			yield(Wait(T - elapsed))
+		}
+	}
+}
+
+// TimeSlice cuts a program into consecutive slices of sliceDur local time
+// units and emits wait(pause) after every slice. This implements line 18
+// of Algorithm 1: S₁ wait(2^i) S₂ wait(2^i) … Slices are formed by
+// splitting instructions exactly at slice boundaries.
+func TimeSlice(p Program, sliceDur, pause float64) Program {
+	return func(yield func(Instr) bool) {
+		inSlice := 0.0 // time used inside the current slice
+		stop := false
+		emit := func(ins Instr) bool {
+			if !yield(ins) {
+				stop = true
+				return false
+			}
+			return true
+		}
+		p(func(ins Instr) bool {
+			for ins.Amount > 0 {
+				room := sliceDur - inSlice
+				if ins.Duration() <= room {
+					inSlice += ins.Duration()
+					if !emit(ins) {
+						return false
+					}
+					ins.Amount = 0
+					if inSlice == sliceDur {
+						if !emit(Wait(pause)) {
+							return false
+						}
+						inSlice = 0
+					}
+					break
+				}
+				head, tail := ins.Split(room)
+				if head.Amount > 0 && !emit(head) {
+					return false
+				}
+				if !emit(Wait(pause)) {
+					return false
+				}
+				inSlice = 0
+				ins = tail
+			}
+			return !stop
+		})
+	}
+}
+
+// Recorded runs a program while appending every emitted instruction to
+// *rec (which the caller typically backtracks afterwards).
+func Recorded(p Program, rec *[]Instr) Program {
+	return func(yield func(Instr) bool) {
+		p(func(ins Instr) bool {
+			*rec = append(*rec, ins)
+			return yield(ins)
+		})
+	}
+}
+
+// BacktrackOf returns the program that retraces the recorded instructions
+// backwards (moves reversed, waits skipped), returning the agent to the
+// point where the recording began.
+func BacktrackOf(rec []Instr) Program {
+	return func(yield func(Instr) bool) {
+		for i := len(rec) - 1; i >= 0; i-- {
+			ins := rec[i].Reversed()
+			if ins.Amount == 0 {
+				continue
+			}
+			if !yield(ins) {
+				return
+			}
+		}
+	}
+}
+
+// WithBacktrack emits p and then the reverse of everything p emitted.
+// It implements the pattern of lines 10–12 and 18–20 of Algorithm 1.
+func WithBacktrack(p Program) Program {
+	return func(yield func(Instr) bool) {
+		var rec []Instr
+		stop := false
+		Recorded(p, &rec)(func(ins Instr) bool {
+			if !yield(ins) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+		BacktrackOf(rec)(yield)
+	}
+}
+
+// TotalDuration sums the local durations of a finite program. It must not
+// be called on infinite programs.
+func TotalDuration(p Program) float64 {
+	sum := 0.0
+	p(func(ins Instr) bool {
+		sum += ins.Duration()
+		return true
+	})
+	return sum
+}
+
+// Displacement returns the net local displacement of a finite program.
+func Displacement(p Program) (dx, dy float64) {
+	p(func(ins Instr) bool {
+		if ins.Op == OpMove {
+			s, c := math.Sincos(ins.Theta)
+			dx += c * ins.Amount
+			dy += s * ins.Amount
+		}
+		return true
+	})
+	return
+}
+
+// Collect materializes a finite program into a slice (testing helper).
+func Collect(p Program) []Instr {
+	var out []Instr
+	p(func(ins Instr) bool {
+		out = append(out, ins)
+		return true
+	})
+	return out
+}
+
+// Take returns at most the first n instructions of a program.
+func Take(p Program, n int) []Instr {
+	var out []Instr
+	p(func(ins Instr) bool {
+		out = append(out, ins)
+		return len(out) < n
+	})
+	return out
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextRendering(t *testing.T) {
+	tb := New("T1", "class", "n", "met")
+	tb.Add("latecomer", 10, 10)
+	tb.Add("mirror", 8, 8)
+	tb.Note("seed %d", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== T1 ==") {
+		t.Error("missing title")
+	}
+	for _, want := range []string{"class", "latecomer", "mirror", "note: seed 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Columns are aligned: each data line has the same prefix width up to
+	// the second column.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Add(3.14159265)
+	if !strings.Contains(tb.String(), "3.142") {
+		t.Errorf("float not compacted: %s", tb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("x", "a", "b")
+	tb.Add("plain", `with "quote", and comma`)
+	got := tb.CSV()
+	want := "a,b\nplain,\"with \"\"quote\"\", and comma\"\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/prog"
+)
+
+// randProgram builds a random finite move/wait program.
+func randProgram(rng *rand.Rand, n int) prog.Program {
+	var list []prog.Instr
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			list = append(list, prog.Wait(0.2+rng.Float64()*2))
+		} else {
+			list = append(list, prog.Move(rng.Float64()*2*math.Pi, 0.3+rng.Float64()*3))
+		}
+	}
+	return prog.Instrs(list...)
+}
+
+// The central property test of the engine: on random programs, the
+// event-driven simulator and the brute-force stepped oracle agree on the
+// outcome, and when both meet, on the meeting time.
+func TestRunVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	agree := 0
+	for trial := 0; trial < 120; trial++ {
+		aAttrs := refAt(geom.V(0, 0))
+		bAttrs := refAt(geom.V(3+rng.Float64()*4, rng.NormFloat64()*2))
+		bAttrs.Wake = rng.Float64() * 3
+		bAttrs.Phi = rng.Float64() * 2 * math.Pi
+		if rng.Intn(2) == 0 {
+			bAttrs.Chi = -1
+		}
+		bAttrs.Tau = 0.5 + rng.Float64()*2
+		bAttrs.Speed = 0.5 + rng.Float64()*2
+		r := 0.3 + rng.Float64()
+
+		pa := randProgram(rng, 3+rng.Intn(8))
+		pb := randProgram(rng, 3+rng.Intn(8))
+
+		a := AgentSpec{aAttrs, pa, r}
+		b := AgentSpec{bAttrs, pb, r}
+		set := DefaultSettings()
+		set.SightSlack = 0
+		exact := Run(a, b, set)
+
+		const dt = 1e-3
+		ref := RunStepped(AgentSpec{aAttrs, pa, r}, AgentSpec{bAttrs, pb, r}, dt, 60)
+
+		// The oracle samples every dt, so it can miss grazing contacts;
+		// near-tangent cases (analytic min within speed*dt of r) are
+		// excluded from strict comparison.
+		margin := math.Abs(exact.MinGap - r)
+		if margin < 0.02 {
+			continue
+		}
+		if exact.Met != ref.Met {
+			t.Fatalf("trial %d: engine met=%v oracle met=%v (minGap %v, r %v)",
+				trial, exact.Met, ref.Met, exact.MinGap, r)
+		}
+		if exact.Met {
+			if d := math.Abs(exact.MeetTime.Float64() - ref.MeetTime.Float64()); d > 2*dt {
+				t.Fatalf("trial %d: meet times differ by %v", trial, d)
+			}
+		} else if d := math.Abs(exact.MinGap - ref.MinGap); d > 0.05 {
+			t.Fatalf("trial %d: min gaps differ: %v vs %v", trial, exact.MinGap, ref.MinGap)
+		}
+		agree++
+	}
+	if agree < 60 {
+		t.Fatalf("only %d conclusive trials", agree)
+	}
+}
+
+// The oracle itself: a hand-checked head-on meeting.
+func TestOracleHeadOn(t *testing.T) {
+	a := AgentSpec{refAt(geom.V(0, 0)), prog.Instrs(prog.Move(prog.East, 100)), 1}
+	b := AgentSpec{refAt(geom.V(10, 0)), prog.Instrs(prog.Move(prog.West, 100)), 1}
+	res := RunStepped(a, b, 1e-4, 50)
+	if !res.Met {
+		t.Fatalf("oracle missed head-on: %+v", res)
+	}
+	if math.Abs(res.MeetTime.Float64()-4.5) > 1e-3 {
+		t.Errorf("oracle meet time %v", res.MeetTime.Float64())
+	}
+}
+
+func TestOracleRespectsWake(t *testing.T) {
+	battrs := refAt(geom.V(5, 0))
+	battrs.Wake = 10
+	b := AgentSpec{battrs, prog.Instrs(prog.Move(prog.East, 3)), 0.1}
+	a := AgentSpec{refAt(geom.V(0, 0)), prog.Empty(), 0.1}
+	res := RunStepped(a, b, 1e-2, 9) // stop before wake
+	if !res.EndB.ApproxEqual(geom.V(5, 0), 1e-9) {
+		t.Errorf("B moved before wake: %v", res.EndB)
+	}
+}

@@ -1,0 +1,344 @@
+// Package sim is the exact continuous-time simulator for two mobile
+// agents executing move/wait programs in the plane.
+//
+// The simulator is event-driven: each agent's lazy program is converted
+// into a stream of absolute-time segments (constant-velocity intervals),
+// the two streams are merged by time, and on every overlap interval the
+// first time the inter-agent gap reaches the sight radius is computed
+// analytically (a quadratic root — see geom.FirstWithin). A wait of
+// 2^60 time units therefore costs exactly one event, which is what makes
+// the paper's astronomically scheduled algorithms simulable at all.
+//
+// Absolute time is accumulated in double-double precision (internal/dd),
+// so sight events remain resolvable long after a float64 clock would have
+// lost sub-unit resolution.
+//
+// Rendezvous semantics follow the paper: agents stop forever as soon as
+// they see each other (gap ≤ r). The Section 5 extension with distinct
+// radii r₁ ≥ r₂ is supported: the far-sighted agent freezes first, the
+// other keeps executing until the gap reaches its own radius.
+package sim
+
+import (
+	"fmt"
+	"iter"
+	"math"
+
+	"repro/internal/dd"
+	"repro/internal/geom"
+	"repro/internal/phys"
+	"repro/internal/prog"
+)
+
+// AgentSpec describes one agent: its physical attributes, the program it
+// executes, and its sight radius.
+type AgentSpec struct {
+	Attrs  phys.Attributes
+	Prog   prog.Program
+	Radius float64
+}
+
+// Settings bound a simulation run.
+type Settings struct {
+	// MaxTime aborts the run when the absolute clock passes it.
+	MaxTime float64
+	// MaxSegments aborts the run after this many program segments have
+	// been consumed across both agents.
+	MaxSegments int
+	// SightSlack is the relative tolerance added to each radius when
+	// detecting sight: the effective radius is r·(1+SightSlack)+1e-12.
+	// Boundary instances of the paper attain gap == r exactly in real
+	// arithmetic; the slack absorbs float64 rounding. Default 1e-9.
+	SightSlack float64
+	// TraceCap, when positive, records up to this many trajectory points
+	// per agent (decimated by stride doubling when exceeded).
+	TraceCap int
+}
+
+// DefaultSettings returns permissive bounds suitable for tests:
+// MaxTime 1e18, 50M segments, 1e-9 slack, no trace.
+func DefaultSettings() Settings {
+	return Settings{MaxTime: 1e18, MaxSegments: 50_000_000, SightSlack: 1e-9}
+}
+
+// StopReason tells why a run ended.
+type StopReason int
+
+const (
+	// ReasonMet: rendezvous achieved.
+	ReasonMet StopReason = iota
+	// ReasonMaxTime: the absolute clock exceeded Settings.MaxTime.
+	ReasonMaxTime
+	// ReasonMaxSegments: the segment budget was exhausted.
+	ReasonMaxSegments
+	// ReasonProgramsEnded: both programs terminated (or froze) without
+	// rendezvous; the gap can never change again.
+	ReasonProgramsEnded
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case ReasonMet:
+		return "met"
+	case ReasonMaxTime:
+		return "max-time"
+	case ReasonMaxSegments:
+		return "max-segments"
+	case ReasonProgramsEnded:
+		return "programs-ended"
+	}
+	return "unknown"
+}
+
+// TracePoint is one recorded trajectory sample.
+type TracePoint struct {
+	T   float64
+	Pos geom.Vec2
+}
+
+// Result summarizes a run.
+type Result struct {
+	Met        bool
+	Reason     StopReason
+	MeetTime   dd.T      // absolute meeting time (valid when Met)
+	MinGap     float64   // minimum gap ever observed
+	MinGapTime dd.T      // when the minimum occurred
+	EndA, EndB geom.Vec2 // final positions
+	Segments   int       // total program segments consumed
+	EndTime    dd.T      // absolute time when the run stopped
+	TraceA     []TracePoint
+	TraceB     []TracePoint
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	if r.Met {
+		return fmt.Sprintf("met at t=%.6g (gap min %.6g, %d segments)",
+			r.MeetTime.Float64(), r.MinGap, r.Segments)
+	}
+	return fmt.Sprintf("no meeting (%v): min gap %.6g at t=%.6g after %d segments",
+		r.Reason, r.MinGap, r.MinGapTime.Float64(), r.Segments)
+}
+
+// runner is the per-agent execution state.
+type runner struct {
+	attrs  phys.Attributes
+	next   func() (prog.Instr, bool)
+	stop   func()
+	radius float64 // effective sight radius
+
+	pos     geom.Vec2 // position at segStart
+	vel     geom.Vec2 // velocity during the current segment
+	segEnd  dd.T      // absolute end of the current segment
+	local   dd.T      // local time consumed so far (for exact end times)
+	frozen  bool      // saw the other agent (or program ended): never moves again
+	ended   bool      // program exhausted
+	trace   []TracePoint
+	stride  int
+	skipped int
+	cap     int
+}
+
+func newRunner(spec AgentSpec, slack float64, traceCap int) *runner {
+	nxt, stp := iter.Pull(spec.Prog)
+	r := &runner{
+		attrs:  spec.Attrs,
+		next:   nxt,
+		stop:   stp,
+		radius: spec.Radius*(1+slack) + 1e-12,
+		pos:    spec.Attrs.Origin,
+		segEnd: dd.FromFloat(spec.Attrs.Wake),
+		stride: 1,
+		cap:    traceCap,
+	}
+	r.record(0)
+	return r
+}
+
+// record appends a decimated trace point at absolute time t.
+func (r *runner) record(t float64) {
+	if r.cap <= 0 {
+		return
+	}
+	r.skipped++
+	if r.skipped < r.stride {
+		return
+	}
+	r.skipped = 0
+	if len(r.trace) >= r.cap {
+		// Halve the density, double the stride.
+		kept := r.trace[:0]
+		for i := 0; i < len(r.trace); i += 2 {
+			kept = append(kept, r.trace[i])
+		}
+		r.trace = kept
+		r.stride *= 2
+	}
+	r.trace = append(r.trace, TracePoint{t, r.pos})
+}
+
+// advanceTo moves the runner's position to absolute time t (≤ segEnd).
+func (r *runner) advanceTo(now dd.T, t dd.T) {
+	if r.vel == (geom.Vec2{}) {
+		return
+	}
+	dt := t.Sub(now).Float64()
+	r.pos = r.pos.Add(r.vel.Scale(dt))
+}
+
+// loadSegment pulls the next instruction and installs the segment
+// starting at the given absolute time. Returns false when the program is
+// exhausted.
+func (r *runner) loadSegment(start dd.T) bool {
+	for {
+		ins, ok := r.next()
+		if !ok {
+			r.ended = true
+			r.vel = geom.Vec2{}
+			return false
+		}
+		if ins.Amount <= 0 {
+			continue
+		}
+		r.local = r.local.AddFloat(ins.Duration())
+		// Absolute end = wake + τ·local, computed from the exact local
+		// accumulator so long schedules do not drift.
+		r.segEnd = r.local.MulFloat(r.attrs.Tau).AddFloat(r.attrs.Wake)
+		if ins.Op == prog.OpWait {
+			r.vel = geom.Vec2{}
+		} else {
+			r.vel = r.attrs.AbsVelocity(ins.Theta)
+		}
+		r.record(start.Float64())
+		return true
+	}
+}
+
+// freeze stops the runner forever at its current position.
+func (r *runner) freeze() {
+	r.frozen = true
+	r.vel = geom.Vec2{}
+	r.stop()
+}
+
+// Run simulates the two agents until rendezvous or a bound trips.
+func Run(a, b AgentSpec, s Settings) Result {
+	if s.MaxTime <= 0 {
+		s.MaxTime = math.Inf(1)
+	}
+	if s.MaxSegments <= 0 {
+		s.MaxSegments = math.MaxInt
+	}
+	ra := newRunner(a, s.SightSlack, s.TraceCap)
+	rb := newRunner(b, s.SightSlack, s.TraceCap)
+	defer ra.stop()
+	defer rb.stop()
+
+	// rBig/rSmall: staged stopping per Section 5. The far-sighted agent
+	// freezes at gap ≤ rBig; rendezvous completes at gap ≤ rSmall.
+	rSmall := math.Min(ra.radius, rb.radius)
+	rBig := math.Max(ra.radius, rb.radius)
+
+	res := Result{MinGap: math.Inf(1)}
+	now := dd.Zero
+	maxTime := dd.FromFloat(s.MaxTime)
+	segments := 0
+
+	finish := func(reason StopReason, at dd.T) Result {
+		res.Reason = reason
+		res.Met = reason == ReasonMet
+		if res.Met {
+			res.MeetTime = at
+		}
+		res.EndTime = at
+		res.EndA, res.EndB = ra.pos, rb.pos
+		res.Segments = segments
+		ra.record(at.Float64())
+		rb.record(at.Float64())
+		res.TraceA, res.TraceB = ra.trace, rb.trace
+		return res
+	}
+
+	noteGap := func(g float64, at dd.T) {
+		if g < res.MinGap {
+			res.MinGap = g
+			res.MinGapTime = at
+		}
+	}
+
+	for {
+		// Ensure both runners have a current segment covering `now`.
+		for _, r := range [2]*runner{ra, rb} {
+			for !r.frozen && !r.ended && r.segEnd.LessEq(now) {
+				if segments++; segments > s.MaxSegments {
+					noteGap(ra.pos.Dist(rb.pos), now)
+					return finish(ReasonMaxSegments, now)
+				}
+				if !r.loadSegment(now) {
+					break
+				}
+			}
+		}
+
+		// Determine the end of the current homogeneous interval.
+		end := maxTime
+		active := false
+		for _, r := range [2]*runner{ra, rb} {
+			if !r.frozen && !r.ended {
+				end = dd.Min(end, r.segEnd)
+				active = true
+			}
+		}
+		// Analytic sight detection over [now, end].
+		T := end.Sub(now).Float64()
+		if T < 0 {
+			T = 0
+		}
+		ma := geom.Moving{P: ra.pos, V: ra.vel}
+		mb := geom.Moving{P: rb.pos, V: rb.vel}
+		app := geom.ClosestApproach(ma, mb, T)
+		noteGap(app.DMin, now.AddFloat(app.SMin))
+
+		sSmall, okSmall := geom.FirstWithin(ma, mb, T, rSmall)
+		if rBig > rSmall {
+			// Section 5 staged stop: the far-sighted agent freezes at gap
+			// rBig, which must be processed before any rSmall contact that
+			// would only happen with both agents still moving.
+			if sBig, okBig := geom.FirstWithin(ma, mb, T, rBig); okBig && (!okSmall || sBig < sSmall) {
+				at := now.AddFloat(sBig)
+				ra.advanceTo(now, at)
+				rb.advanceTo(now, at)
+				if ra.radius >= rb.radius && !ra.frozen {
+					ra.freeze()
+				} else if !rb.frozen {
+					rb.freeze()
+				}
+				rBig = rSmall // staged stop done; only the meet remains
+				now = at
+				continue
+			}
+		}
+		if okSmall {
+			at := now.AddFloat(sSmall)
+			ra.advanceTo(now, at)
+			rb.advanceTo(now, at)
+			noteGap(ra.pos.Dist(rb.pos), at)
+			return finish(ReasonMet, at)
+		}
+
+		// No sight possible in this interval: if neither agent will ever
+		// move again the gap is settled for good.
+		if !active {
+			return finish(ReasonProgramsEnded, now)
+		}
+		// Advance to the interval end.
+		ra.advanceTo(now, end)
+		rb.advanceTo(now, end)
+		now = end
+
+		if maxTime.LessEq(now) {
+			return finish(ReasonMaxTime, now)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package svg is a minimal SVG emitter used to regenerate the paper's
+// figures from computed geometry and simulated trajectories. It supports
+// exactly the primitives the figures need: lines, polylines, circles,
+// arrows, dashed strokes and text labels, in a y-up world coordinate
+// system mapped onto the y-down SVG canvas.
+package svg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+type Canvas struct {
+	W, H     float64 // pixel dimensions
+	minX     float64
+	minY     float64
+	scale    float64
+	elements []string
+}
+
+// New creates a canvas of w×h pixels showing the world rectangle
+// [x0, x1] × [y0, y1] (y up).
+func New(w, h, x0, y0, x1, y1 float64) *Canvas {
+	sx := w / (x1 - x0)
+	sy := h / (y1 - y0)
+	s := math.Min(sx, sy)
+	return &Canvas{W: w, H: h, minX: x0, minY: y0, scale: s}
+}
+
+// pt maps world coordinates to pixel coordinates.
+func (c *Canvas) pt(p geom.Vec2) (float64, float64) {
+	return (p.X - c.minX) * c.scale, c.H - (p.Y-c.minY)*c.scale
+}
+
+// Style is a stroke/fill description.
+type Style struct {
+	Stroke string
+	Width  float64
+	Dash   string // e.g. "6,4"; empty for solid
+	Fill   string // empty means none
+}
+
+func (s Style) attrs() string {
+	if s.Stroke == "" {
+		s.Stroke = "black"
+	}
+	if s.Width == 0 {
+		s.Width = 1.5
+	}
+	fill := s.Fill
+	if fill == "" {
+		fill = "none"
+	}
+	a := fmt.Sprintf(`stroke=%q stroke-width="%g" fill=%q`, s.Stroke, s.Width, fill)
+	if s.Dash != "" {
+		a += fmt.Sprintf(` stroke-dasharray=%q`, s.Dash)
+	}
+	return a
+}
+
+// Line draws a segment.
+func (c *Canvas) Line(a, b geom.Vec2, st Style) {
+	x1, y1 := c.pt(a)
+	x2, y2 := c.pt(b)
+	c.elements = append(c.elements,
+		fmt.Sprintf(`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" %s/>`, x1, y1, x2, y2, st.attrs()))
+}
+
+// InfiniteLine draws the visible part of a line across the canvas.
+func (c *Canvas) InfiniteLine(l geom.Line, st Style) {
+	// Extend far beyond the viewport and clip visually.
+	span := (c.W + c.H) / c.scale
+	a := l.Point.Add(l.Dir.Scale(-span))
+	b := l.Point.Add(l.Dir.Scale(span))
+	c.Line(a, b, st)
+}
+
+// Polyline draws connected segments.
+func (c *Canvas) Polyline(pts []geom.Vec2, st Style) {
+	if len(pts) < 2 {
+		return
+	}
+	var b strings.Builder
+	for i, p := range pts {
+		x, y := c.pt(p)
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f,%.2f", x, y)
+	}
+	c.elements = append(c.elements,
+		fmt.Sprintf(`<polyline points="%s" %s/>`, b.String(), st.attrs()))
+}
+
+// Circle draws a circle of world radius r.
+func (c *Canvas) Circle(center geom.Vec2, r float64, st Style) {
+	x, y := c.pt(center)
+	c.elements = append(c.elements,
+		fmt.Sprintf(`<circle cx="%.2f" cy="%.2f" r="%.2f" %s/>`, x, y, r*c.scale, st.attrs()))
+}
+
+// Dot draws a filled dot of pixel radius px.
+func (c *Canvas) Dot(center geom.Vec2, px float64, color string) {
+	x, y := c.pt(center)
+	c.elements = append(c.elements,
+		fmt.Sprintf(`<circle cx="%.2f" cy="%.2f" r="%.2f" fill=%q stroke="none"/>`, x, y, px, color))
+}
+
+// Arrow draws a segment with a terminal arrowhead.
+func (c *Canvas) Arrow(a, b geom.Vec2, st Style) {
+	c.Line(a, b, st)
+	dir := b.Sub(a).Unit()
+	headLen := 10 / c.scale
+	left := geom.Rotation(2.7).Apply(dir).Scale(headLen)
+	right := geom.Rotation(-2.7).Apply(dir).Scale(headLen)
+	c.Line(b, b.Add(left), st)
+	c.Line(b, b.Add(right), st)
+}
+
+// Text places a label at the world position.
+func (c *Canvas) Text(p geom.Vec2, s string, size float64, color string) {
+	x, y := c.pt(p)
+	if color == "" {
+		color = "black"
+	}
+	c.elements = append(c.elements,
+		fmt.Sprintf(`<text x="%.2f" y="%.2f" font-size="%g" fill=%q font-family="serif">%s</text>`,
+			x, y, size, color, escape(s)))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// String renders the complete SVG document.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`,
+		c.W, c.H, c.W, c.H)
+	b.WriteString("\n")
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	b.WriteString("\n")
+	for _, e := range c.elements {
+		b.WriteString(e)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Elements returns the number of emitted elements (testing aid).
+func (c *Canvas) Elements() int { return len(c.elements) }

@@ -1,0 +1,58 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDocumentStructure(t *testing.T) {
+	c := New(400, 300, -2, -2, 2, 2)
+	c.Line(geom.V(0, 0), geom.V(1, 1), Style{})
+	c.Circle(geom.V(0, 0), 1, Style{Stroke: "red"})
+	c.Dot(geom.V(1, 0), 3, "blue")
+	c.Text(geom.V(0, 1), "L", 14, "")
+	c.Arrow(geom.V(0, 0), geom.V(1, 0), Style{})
+	c.Polyline([]geom.Vec2{geom.V(0, 0), geom.V(1, 0), geom.V(1, 1)}, Style{Dash: "4,2"})
+	c.InfiniteLine(geom.LineAtAngle(geom.V(0, 0), 0.5), Style{})
+
+	out := c.String()
+	for _, want := range []string{"<svg", "</svg>", "<line", "<circle", "<text", "<polyline", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	if c.Elements() < 7 {
+		t.Errorf("elements = %d", c.Elements())
+	}
+}
+
+func TestYAxisUp(t *testing.T) {
+	c := New(100, 100, 0, 0, 10, 10)
+	x, y := c.pt(geom.V(0, 10))
+	if x != 0 || y != 0 {
+		t.Errorf("top-left mapping got (%v, %v)", x, y)
+	}
+	x, y = c.pt(geom.V(10, 0))
+	if x != 100 || y != 100 {
+		t.Errorf("bottom-right mapping got (%v, %v)", x, y)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := New(100, 100, 0, 0, 1, 1)
+	c.Text(geom.V(0, 0), "a<b&c", 10, "")
+	out := c.String()
+	if !strings.Contains(out, "a&lt;b&amp;c") {
+		t.Errorf("text not escaped: %s", out)
+	}
+}
+
+func TestPolylineTooShort(t *testing.T) {
+	c := New(100, 100, 0, 0, 1, 1)
+	c.Polyline([]geom.Vec2{geom.V(0, 0)}, Style{})
+	if c.Elements() != 0 {
+		t.Error("single-point polyline emitted")
+	}
+}

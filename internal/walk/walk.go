@@ -1,0 +1,129 @@
+// Package walk implements the search-walk building blocks of the paper:
+// LinearCowWalk (Algorithm 3), PlanarCowWalk (Algorithm 2), and the
+// run-and-wait primitive used by the Latecomers substrate.
+//
+// All walks are expressed in the executing agent's private units and
+// start and end at the agent's current position — the invariant Lemma 3.1
+// of the paper relies on.
+package walk
+
+import (
+	"math"
+
+	"repro/internal/prog"
+)
+
+// Linear returns LinearCowWalk(i) (Algorithm 3): the first i steps of the
+// classic cow-path linear search along the local x-axis. Step j visits
+// all points of the line at distance ≤ 2^j on both sides and returns:
+//
+//	for j = 1..i:  go(E, 2^j); go(W, 2^(j+1)); go(E, 2^j)
+func Linear(i int) prog.Program {
+	return func(yield func(prog.Instr) bool) {
+		for j := 1; j <= i; j++ {
+			d := math.Ldexp(1, j)
+			if !yield(prog.Move(prog.East, d)) {
+				return
+			}
+			if !yield(prog.Move(prog.West, 2*d)) {
+				return
+			}
+			if !yield(prog.Move(prog.East, d)) {
+				return
+			}
+		}
+	}
+}
+
+// LinearDuration returns the local-time duration of Linear(i):
+// Σ_{j=1..i} 4·2^j = 2^{i+3} − 8.
+func LinearDuration(i int) float64 {
+	return math.Ldexp(1, i+3) - 8
+}
+
+// Planar returns PlanarCowWalk(i) (Algorithm 2): a series of parallel
+// linear searches covering the square [−2^i, 2^i]² of the local system
+// with line spacing 2^{−i}:
+//
+//	LinearCowWalk(i)
+//	for j = 1 to 2:
+//	    repeat 2^{2i} times:
+//	        go(N or S, 1/2^i); LinearCowWalk(i)
+//	    go(S or N, 2^i)
+//
+// The walk passes within 2^{−(i+1)} of every point of the square and
+// returns to its start.
+func Planar(i int) prog.Program {
+	return func(yield func(prog.Instr) bool) {
+		emit := func(p prog.Program) bool {
+			ok := true
+			p(func(ins prog.Instr) bool {
+				if !yield(ins) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			return ok
+		}
+		if !emit(Linear(i)) {
+			return
+		}
+		step := math.Ldexp(1, -i)
+		span := math.Ldexp(1, i)
+		reps := 1 << uint(2*i)
+		for j := 1; j <= 2; j++ {
+			dir := prog.North
+			back := prog.South
+			if j == 2 {
+				dir, back = prog.South, prog.North
+			}
+			for k := 0; k < reps; k++ {
+				if !yield(prog.Move(dir, step)) {
+					return
+				}
+				if !emit(Linear(i)) {
+					return
+				}
+			}
+			if !yield(prog.Move(back, span)) {
+				return
+			}
+		}
+	}
+}
+
+// PlanarDuration returns the exact local-time duration of Planar(i).
+func PlanarDuration(i int) float64 {
+	lin := LinearDuration(i)
+	reps := math.Ldexp(1, 2*i)
+	return lin + 2*(reps*(math.Ldexp(1, -i)+lin)+math.Ldexp(1, i))
+}
+
+// PlanarDurationBound returns the paper's 2^{3i+5} upper bound on the
+// duration of Planar(i) (used by Claim 3.8).
+func PlanarDurationBound(i int) float64 { return math.Ldexp(1, 3*i+5) }
+
+// CoverRadius returns the half-side 2^i of the square Planar(i) covers,
+// in local units.
+func CoverRadius(i int) float64 { return math.Ldexp(1, i) }
+
+// CoverGap returns the guaranteed passing distance 2^{−(i+1)} of
+// Planar(i): the walk passes within this local distance of every point of
+// the covered square.
+func CoverGap(i int) float64 { return math.Ldexp(1, -(i + 1)) }
+
+// RunWait returns the primitive used by the Latecomers construction:
+// go length l in local direction theta, wait w, and walk back:
+//
+//	go(theta, l); wait(w); go(theta+π, l)
+func RunWait(theta, l, w float64) prog.Program {
+	return prog.Instrs(
+		prog.Move(theta, l),
+		prog.Wait(w),
+		prog.Move(theta+math.Pi, l),
+	)
+}
+
+// RunWaitDuration returns the local duration of RunWait(·, l, w).
+func RunWaitDuration(l, w float64) float64 { return 2*l + w }

@@ -1,0 +1,51 @@
+package rendezvous_test
+
+import (
+	"fmt"
+
+	"repro/rendezvous"
+)
+
+// Classify an instance and run the universal algorithm on it.
+func Example() {
+	in := rendezvous.Instance{
+		R: 0.8, X: 1.1, Y: 0.3,
+		Phi: 1.2, Tau: 1, V: 1, T: 1.0, Chi: 1,
+	}
+	fmt.Println("feasible:", in.Feasible())
+	fmt.Println("type:    ", in.TypeOf())
+
+	res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(),
+		rendezvous.DefaultSettings())
+	fmt.Println("met:     ", res.Met)
+	// Output:
+	// feasible: true
+	// type:     type4(cgkk-interleave)
+	// met:      true
+}
+
+// Boundary instances need their dedicated algorithms.
+func ExampleDedicated() {
+	in := rendezvous.Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
+	in.T = in.ProjGap() - in.R // the S2 boundary exactly
+
+	alg, ok := rendezvous.Dedicated(in)
+	if !ok {
+		fmt.Println("infeasible")
+		return
+	}
+	res := rendezvous.Simulate(in, alg, rendezvous.DefaultSettings())
+	fmt.Printf("met: %v at gap %.2f\n", res.Met, res.EndA.Dist(res.EndB))
+	// Output:
+	// met: true at gap 0.50
+}
+
+// The phase predictor instantiates the paper's lemmas per instance.
+func ExamplePredictPhase() {
+	in := rendezvous.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8,
+		Tau: 2, V: 0.5, T: 0.5, Chi: 1}
+	p, ok := rendezvous.PredictPhase(in, rendezvous.CompactSchedule())
+	fmt.Println(ok, p.Type, p.Phase)
+	// Output:
+	// true type3(clock-drift) 1
+}

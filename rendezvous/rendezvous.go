@@ -1,0 +1,128 @@
+// Package rendezvous is the public API of the reproduction of
+// "Almost Universal Anonymous Rendezvous in the Plane" (Bouchard,
+// Dieudonné, Pelc, Petit — SPAA 2020).
+//
+// It exposes the instance model, the algorithms (the paper's
+// AlmostUniversalRV, the CGKK and Latecomers substrates, and the
+// dedicated boundary algorithms), and an exact event-driven simulator
+// that decides whether two agents executing an algorithm ever come
+// within sight radius r of each other.
+//
+// Quick start:
+//
+//	in := rendezvous.Instance{R: 0.8, X: 1.2, Y: 0.5, Phi: 1.0,
+//	    Tau: 1, V: 1, T: 0.5, Chi: 1}
+//	res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(),
+//	    rendezvous.DefaultSettings())
+//	fmt.Println(res.Met, res.MeetTime.Float64())
+package rendezvous
+
+import (
+	"repro/internal/cgkk"
+	"repro/internal/core"
+	"repro/internal/dedicated"
+	"repro/internal/inst"
+	"repro/internal/latecomers"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+// Instance is the rendezvous instance tuple (r, x, y, φ, τ, v, t, χ) of
+// §1.2 of the paper: agent B's private attributes relative to agent A.
+type Instance = inst.Instance
+
+// Type is the four-way instance categorization of §3.1.1.
+type Type = inst.Type
+
+// Result is the outcome of a simulation run.
+type Result = sim.Result
+
+// Settings bound a simulation run.
+type Settings = sim.Settings
+
+// Schedule collects the tunable constants of Algorithm 1.
+type Schedule = core.Schedule
+
+// DefaultSettings returns permissive simulation bounds.
+func DefaultSettings() Settings { return sim.DefaultSettings() }
+
+// CompactSchedule is the simulable schedule (see DESIGN.md §3).
+func CompactSchedule() Schedule { return core.Compact() }
+
+// FaithfulSchedule reproduces the paper's printed constants.
+func FaithfulSchedule() Schedule { return core.Faithful() }
+
+// Algorithm is a deterministic anonymous rendezvous algorithm: both
+// agents execute Program(in), each in its own private frame. Universal
+// algorithms ignore the instance; dedicated algorithms may use it (the
+// agents still do not know which of them is which).
+type Algorithm struct {
+	Name    string
+	Program func(in Instance) prog.Program
+}
+
+// AlmostUniversalRV returns the paper's Algorithm 1 under the compact
+// schedule.
+func AlmostUniversalRV() Algorithm { return AlmostUniversalRVWith(core.Compact()) }
+
+// AlmostUniversalRVWith returns Algorithm 1 under an explicit schedule.
+func AlmostUniversalRVWith(s Schedule) Algorithm {
+	return Algorithm{
+		Name:    "AlmostUniversalRV(" + s.Name + ")",
+		Program: func(Instance) prog.Program { return core.Program(s, nil) },
+	}
+}
+
+// CGKK returns the substrate procedure with the contract of [18]:
+// rendezvous for t = 0 instances that are non-synchronous or have
+// φ ≠ 0 ∧ χ = 1.
+func CGKK() Algorithm {
+	return Algorithm{
+		Name:    "CGKK",
+		Program: func(Instance) prog.Program { return cgkk.Program(cgkk.Compact()) },
+	}
+}
+
+// Latecomers returns the substrate procedure with the contract of [38]:
+// rendezvous for synchronous, same-frame instances with t > d − r.
+func Latecomers() Algorithm {
+	return Algorithm{
+		Name:    "Latecomers",
+		Program: func(Instance) prog.Program { return latecomers.Program() },
+	}
+}
+
+// Dedicated returns a per-instance algorithm witnessing Theorem 3.1
+// feasibility, including the S1/S2 boundary algorithms; ok is false for
+// infeasible instances.
+func Dedicated(in Instance) (Algorithm, bool) {
+	p, ok := dedicated.ForInstance(in, core.Compact())
+	if !ok {
+		return Algorithm{}, false
+	}
+	return Algorithm{
+		Name:    "Dedicated",
+		Program: func(Instance) prog.Program { return p },
+	}, true
+}
+
+// Simulate runs the two agents of the instance under the algorithm.
+func Simulate(in Instance, alg Algorithm, s Settings) Result {
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: alg.Program(in), Radius: in.R}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: alg.Program(in), Radius: in.R}
+	return sim.Run(a, b, s)
+}
+
+// SimulateRadii runs the Section 5 extension with distinct sight radii.
+func SimulateRadii(in Instance, alg Algorithm, rA, rB float64, s Settings) Result {
+	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: alg.Program(in), Radius: rA}
+	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: alg.Program(in), Radius: rB}
+	return sim.Run(a, b, s)
+}
+
+// PredictPhase derives the phase of Algorithm 1 by whose end rendezvous
+// is guaranteed for the instance (Lemmas 3.2–3.5 instantiated with this
+// implementation's block durations).
+func PredictPhase(in Instance, s Schedule) (core.Prediction, bool) {
+	return core.PredictPhase(in, s)
+}

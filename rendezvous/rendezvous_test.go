@@ -1,0 +1,96 @@
+package rendezvous
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	in := Instance{R: 0.8, X: 1.2, Y: 0.5, Phi: 1.0, Tau: 1, V: 1, T: 0.5, Chi: 1}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Simulate(in, AlmostUniversalRV(), DefaultSettings())
+	if !res.Met {
+		t.Fatalf("quickstart instance did not meet: %v", res)
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	if AlmostUniversalRV().Name != "AlmostUniversalRV(compact)" {
+		t.Errorf("name = %q", AlmostUniversalRV().Name)
+	}
+	if CGKK().Name != "CGKK" || Latecomers().Name != "Latecomers" {
+		t.Error("substrate names")
+	}
+	if AlmostUniversalRVWith(FaithfulSchedule()).Name != "AlmostUniversalRV(faithful)" {
+		t.Error("faithful name")
+	}
+}
+
+func TestDedicatedFacade(t *testing.T) {
+	in := Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
+	in.T = in.ProjGap() - in.R
+	alg, ok := Dedicated(in)
+	if !ok {
+		t.Fatal("dedicated rejected boundary instance")
+	}
+	res := Simulate(in, alg, DefaultSettings())
+	if !res.Met {
+		t.Fatalf("dedicated failed: %v", res)
+	}
+	// Infeasible instances have no dedicated algorithm.
+	bad := Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}
+	if _, ok := Dedicated(bad); ok {
+		t.Error("dedicated accepted infeasible instance")
+	}
+}
+
+func TestPredictPhaseFacade(t *testing.T) {
+	in := Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: 2, V: 0.5, T: 0.5, Chi: 1}
+	p, ok := PredictPhase(in, CompactSchedule())
+	if !ok || p.Phase < 1 {
+		t.Fatalf("prediction: %+v, %v", p, ok)
+	}
+	res := Simulate(in, AlmostUniversalRV(), DefaultSettings())
+	if !res.Met || res.MeetTime.Float64() > p.TimeBound {
+		t.Fatalf("met=%v at %v vs bound %v", res.Met, res.MeetTime.Float64(), p.TimeBound)
+	}
+}
+
+// Section 5 extension through the facade: distinct radii, staged stop.
+func TestSimulateRadii(t *testing.T) {
+	in := Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: 2, V: 0.5, T: 0.5, Chi: 1}
+	res := SimulateRadii(in, AlmostUniversalRV(), 1.5, 0.5, DefaultSettings())
+	if !res.Met {
+		t.Fatalf("distinct radii: %v", res)
+	}
+	// Rendezvous is at the smaller radius.
+	if gap := res.EndA.Dist(res.EndB); gap > 0.5*(1+1e-6) {
+		t.Errorf("meeting gap %v above smaller radius", gap)
+	}
+}
+
+func TestFaithfulScheduleSmallPhase(t *testing.T) {
+	// An instance meeting in phase 1 works even under the faithful
+	// schedule (the 2^15 wait of phase 1 is harmless).
+	in := Instance{R: 0.8, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: 1}
+	res := Simulate(in, AlmostUniversalRVWith(FaithfulSchedule()), DefaultSettings())
+	if !res.Met {
+		t.Fatalf("faithful schedule phase-1 instance did not meet: %v", res)
+	}
+}
+
+func TestMeetGapNeverExceedsR(t *testing.T) {
+	in := Instance{R: 0.7, X: 1.0, Y: 0.4, Phi: 2.0, Tau: 1, V: 1.5, T: 1, Chi: 1}
+	res := Simulate(in, AlmostUniversalRV(), DefaultSettings())
+	if !res.Met {
+		t.Fatalf("no meet: %v", res)
+	}
+	if gap := res.EndA.Dist(res.EndB); gap > in.R*(1+1e-6) {
+		t.Errorf("meeting gap %v exceeds r %v", gap, in.R)
+	}
+	if math.IsNaN(res.MinGap) || res.MinGap > in.R*(1+1e-6) {
+		t.Errorf("min gap %v", res.MinGap)
+	}
+}
