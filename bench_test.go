@@ -8,6 +8,7 @@ package repro_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/cgkk"
@@ -73,7 +74,64 @@ func BenchmarkT4Boundary(b *testing.B) {
 
 func BenchmarkT5Measure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = exps.T5(200_000, 5)
+		_ = exps.T5(200_000, 5, 1)
+	}
+}
+
+// ---- Batch benchmarks: T2-style workload at 1/2/N workers. ----
+// The figure of merit is wall-clock scaling: the same job list, the
+// same (byte-identical) results, fewer seconds.
+
+// batchT2Instances draws the T2-style workload: one batch spanning all
+// four instance types.
+func batchT2Instances() []rendezvous.Instance {
+	g := inst.NewGen(11)
+	var ins []rendezvous.Instance
+	for _, c := range []inst.Class{
+		inst.ClassMirrorInterior, inst.ClassLatecomer,
+		inst.ClassClockDrift, inst.ClassRotatedDelayed,
+	} {
+		ins = append(ins, g.DrawN(c, 4)...)
+	}
+	return ins
+}
+
+func benchBatchT2(b *testing.B, workers int) {
+	ins := batchT2Instances()
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = 120_000_000
+	set.Parallelism = workers
+	alg := rendezvous.AlmostUniversalRV()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, res := range rendezvous.SimulateBatch(ins, alg, set) {
+			if !res.Met {
+				b.Fatalf("instance %d failed to meet: %v", j, ins[j])
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+func BenchmarkBatchT2Workers1(b *testing.B) { benchBatchT2(b, 1) }
+func BenchmarkBatchT2Workers2(b *testing.B) { benchBatchT2(b, 2) }
+func BenchmarkBatchT2Workers4(b *testing.B) { benchBatchT2(b, 4) }
+func BenchmarkBatchT2WorkersMax(b *testing.B) {
+	benchBatchT2(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkBatchTableT2 regenerates the full T2 table through the pool
+// at 1 vs GOMAXPROCS workers — the end-to-end version of the scaling
+// claim.
+func BenchmarkBatchTableT2(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			bud := quickBudgets()
+			bud.Workers = w
+			for i := 0; i < b.N; i++ {
+				_ = exps.T2(11, 4, bud)
+			}
+		})
 	}
 }
 

@@ -17,13 +17,14 @@ import (
 
 func main() {
 	out := flag.String("out", "figures", "output directory")
+	workers := flag.Int("workers", 0, "batch-pool size for simulated figures (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for name, doc := range exps.Figures() {
+	for name, doc := range exps.FiguresWith(*workers) {
 		path := filepath.Join(*out, name+".svg")
 		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)

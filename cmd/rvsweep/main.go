@@ -1,64 +1,40 @@
 // Command rvsweep emits CSV series of rendezvous time versus one swept
 // instance parameter — the data behind the scaling benchmarks (meeting
-// time vs delay, clock ratio, or visibility radius).
+// time vs delay, clock ratio, or visibility radius). The points run in
+// parallel on a worker pool; the emitted CSV is byte-identical for
+// every -workers value.
 //
 // Usage:
 //
 //	rvsweep -sweep delay -from 0.5 -to 32 -steps 8
 //	rvsweep -sweep ratio -from 1.1 -to 4 -steps 8
-//	rvsweep -sweep radius -from 0.4 -to 1.2 -steps 8
+//	rvsweep -sweep radius -from 0.4 -to 1.2 -steps 8 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
-
-	"repro/rendezvous"
 )
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "delay", "parameter: delay | ratio | radius")
-		from  = flag.Float64("from", 0.5, "sweep start")
-		to    = flag.Float64("to", 32, "sweep end")
-		steps = flag.Int("steps", 8, "number of points (geometric spacing)")
-		seg   = flag.Int("max-seg", 400_000_000, "segment budget per run")
+		sweep   = flag.String("sweep", "delay", "parameter: delay | ratio | radius")
+		from    = flag.Float64("from", 0.5, "sweep start")
+		to      = flag.Float64("to", 32, "sweep end")
+		steps   = flag.Int("steps", 8, "number of points (geometric spacing)")
+		seg     = flag.Int("max-seg", 400_000_000, "segment budget per run")
+		workers = flag.Int("workers", 0, "batch-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	set := rendezvous.DefaultSettings()
-	set.MaxSegments = *seg
-	alg := rendezvous.AlmostUniversalRV()
-
-	fmt.Printf("%s,meet_time,min_gap,segments\n", *sweep)
-	for k := 0; k < *steps; k++ {
-		frac := float64(k) / math.Max(1, float64(*steps-1))
-		v := *from * math.Pow(*to / *from, frac)
-
-		var in rendezvous.Instance
-		switch *sweep {
-		case "delay":
-			in = rendezvous.Instance{R: 0.8, X: 0.9, Y: 0.1, Phi: 1.1, Tau: 1, V: 1.5, T: v, Chi: 1}
-		case "ratio":
-			in = rendezvous.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: v, V: 1 / v, T: 0.5, Chi: 1}
-		case "radius":
-			in = rendezvous.Instance{R: v, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, Chi: -1}
-			in.T = in.ProjGap() - v + 0.5
-		default:
-			fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
-			os.Exit(2)
-		}
-		if err := in.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "point %g: %v\n", v, err)
-			continue
-		}
-		res := rendezvous.Simulate(in, alg, set)
-		meet := math.NaN()
-		if res.Met {
-			meet = res.MeetTime.Float64()
-		}
-		fmt.Printf("%g,%g,%g,%d\n", v, meet, res.MinGap, res.Segments)
+	pts, skipped, err := Points(*sweep, *from, *to, *steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	for _, s := range skipped {
+		fmt.Fprintln(os.Stderr, s)
+	}
+	fmt.Print(SweepCSV(*sweep, pts, *seg, *workers))
 }

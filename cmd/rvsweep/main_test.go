@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sweepCases covers the three sweep modes with their CLI-default-shaped
+// ranges (scaled down for test speed).
+var sweepCases = []struct {
+	mode     string
+	from, to float64
+	steps    int
+}{
+	{"delay", 0.5, 32, 6},
+	{"ratio", 1.1, 4, 6},
+	{"radius", 0.4, 1.2, 6},
+}
+
+func TestPointsConstruction(t *testing.T) {
+	for _, tc := range sweepCases {
+		pts, skipped, err := Points(tc.mode, tc.from, tc.to, tc.steps)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.mode, err)
+		}
+		if len(pts)+len(skipped) != tc.steps {
+			t.Errorf("%s: %d points + %d skipped, want %d total", tc.mode, len(pts), len(skipped), tc.steps)
+		}
+		if len(pts) == 0 {
+			t.Fatalf("%s: no valid points", tc.mode)
+		}
+		// Geometric spacing from..to is strictly monotone increasing.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value <= pts[i-1].Value {
+				t.Errorf("%s: sweep values not monotone at %d: %g then %g",
+					tc.mode, i, pts[i-1].Value, pts[i].Value)
+			}
+		}
+		if got := pts[0].Value; got != tc.from {
+			t.Errorf("%s: first value %g, want %g", tc.mode, got, tc.from)
+		}
+		for _, p := range pts {
+			if err := p.Inst.Validate(); err != nil {
+				t.Errorf("%s: invalid instance at %g: %v", tc.mode, p.Value, err)
+			}
+		}
+	}
+}
+
+func TestPointsUnknownMode(t *testing.T) {
+	if _, _, err := Points("bogus", 1, 2, 3); err == nil {
+		t.Fatal("no error for unknown sweep mode")
+	}
+	// The mode is validated even when the loop body would never run.
+	if _, _, err := Points("bogus", 1, 2, 0); err == nil {
+		t.Fatal("no error for unknown sweep mode with steps=0")
+	}
+}
+
+// TestSweepCSVEmission runs each mode under a tiny segment budget (the
+// runs cap out quickly; the CSV shape is what's under test) and checks
+// header, row count, and worker-count independence.
+func TestSweepCSVEmission(t *testing.T) {
+	const maxSeg = 2_000
+	for _, tc := range sweepCases {
+		pts, _, err := Points(tc.mode, tc.from, tc.to, tc.steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := SweepCSV(tc.mode, pts, maxSeg, 4)
+		lines := strings.Split(strings.TrimRight(doc, "\n"), "\n")
+		if want := tc.mode + ",meet_time,min_gap,segments"; lines[0] != want {
+			t.Errorf("%s: header %q, want %q", tc.mode, lines[0], want)
+		}
+		if got := len(lines) - 1; got != len(pts) {
+			t.Errorf("%s: %d rows, want %d", tc.mode, got, len(pts))
+		}
+		for i, line := range lines[1:] {
+			if got := strings.Count(line, ","); got != 3 {
+				t.Errorf("%s row %d: %d commas in %q", tc.mode, i, got, line)
+			}
+		}
+		// The emitted document must not depend on the worker count.
+		if serial := SweepCSV(tc.mode, pts, maxSeg, 1); serial != doc {
+			t.Errorf("%s: workers=1 and workers=4 documents differ:\n%s\nvs\n%s", tc.mode, serial, doc)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/rendezvous"
+)
+
+// Point is one sweep sample: the swept parameter value and the instance
+// it induces.
+type Point struct {
+	Value float64
+	Inst  rendezvous.Instance
+}
+
+// Points constructs the geometrically spaced sweep points for one of
+// the three sweep modes (delay | ratio | radius). Points whose induced
+// instance fails validation are skipped and reported in the second
+// return value; an unknown mode is an error.
+func Points(mode string, from, to float64, steps int) (pts []Point, skipped []error, err error) {
+	switch mode {
+	case "delay", "ratio", "radius":
+	default:
+		return nil, nil, fmt.Errorf("unknown sweep %q (want delay | ratio | radius)", mode)
+	}
+	for k := 0; k < steps; k++ {
+		frac := float64(k) / math.Max(1, float64(steps-1))
+		v := from * math.Pow(to/from, frac)
+
+		var in rendezvous.Instance
+		switch mode {
+		case "delay":
+			in = rendezvous.Instance{R: 0.8, X: 0.9, Y: 0.1, Phi: 1.1, Tau: 1, V: 1.5, T: v, Chi: 1}
+		case "ratio":
+			in = rendezvous.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: v, V: 1 / v, T: 0.5, Chi: 1}
+		case "radius":
+			in = rendezvous.Instance{R: v, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, Chi: -1}
+			in.T = in.ProjGap() - v + 0.5
+		}
+		if verr := in.Validate(); verr != nil {
+			skipped = append(skipped, fmt.Errorf("point %g: %w", v, verr))
+			continue
+		}
+		pts = append(pts, Point{Value: v, Inst: in})
+	}
+	return pts, skipped, nil
+}
+
+// SweepCSV simulates every point under AlmostUniversalRV on a pool of
+// `workers` goroutines and renders the CSV document (header + one row
+// per point, in sweep order). The batch engine guarantees the document
+// is byte-identical for every worker count.
+func SweepCSV(mode string, pts []Point, maxSeg, workers int) string {
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = maxSeg
+	set.Parallelism = workers
+
+	ins := make([]rendezvous.Instance, len(pts))
+	for i, p := range pts {
+		ins[i] = p.Inst
+	}
+	results := rendezvous.SimulateBatch(ins, rendezvous.AlmostUniversalRV(), set)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,meet_time,min_gap,segments\n", mode)
+	for i, res := range results {
+		meet := math.NaN()
+		if res.Met {
+			meet = res.MeetTime.Float64()
+		}
+		fmt.Fprintf(&b, "%g,%g,%g,%d\n", pts[i].Value, meet, res.MinGap, res.Segments)
+	}
+	return b.String()
+}

@@ -19,20 +19,22 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "table id: T1..T5 or all")
-		csv  = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		seed = flag.Int64("seed", 1, "base random seed")
-		n    = flag.Int("n", 5, "samples per class/type")
+		exp     = flag.String("exp", "all", "table id: T1..T5 or all")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		n       = flag.Int("n", 5, "samples per class/type")
+		workers = flag.Int("workers", 0, "batch-pool size (0 = GOMAXPROCS); output is identical for every value")
 	)
 	flag.Parse()
 
 	b := exps.DefaultBudgets()
+	b.Workers = *workers
 	gens := map[string]func() *report.Table{
 		"T1": func() *report.Table { return exps.T1(*seed, *n, b) },
 		"T2": func() *report.Table { return exps.T2(*seed+1, *n, b) },
 		"T3": func() *report.Table { return exps.T3(*seed+2, min(*n, 3), b) },
 		"T4": func() *report.Table { return exps.T4(*seed+3, b) },
-		"T5": func() *report.Table { return exps.T5(2_000_000, *seed+4) },
+		"T5": func() *report.Table { return exps.T5(2_000_000, *seed+4, b.Workers) },
 		"T6": func() *report.Table { return exps.T6(*seed+5, b) },
 	}
 	order := []string{"T1", "T2", "T3", "T4", "T5", "T6"}

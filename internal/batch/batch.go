@@ -1,0 +1,122 @@
+// Package batch is the parallel batch-execution engine of the
+// reproduction: it fans independent simulation jobs out across a
+// worker pool while keeping the output deterministic.
+//
+// Design invariant — parallel == serial, bit for bit. Each job is a
+// self-contained simulation (an agent pair plus the settings bounding
+// it); sim.Run is a pure function of its inputs, workers only ever
+// write the result slot of the job they claimed, and every aggregate
+// is computed in a serial post-pass over the results in input order.
+// Scheduling therefore changes wall-clock time and nothing else: a
+// batch run with 1 worker and with GOMAXPROCS workers produce
+// byte-identical results, which is what lets the experiment tables and
+// sweeps go parallel without perturbing a single reported number.
+//
+// The pool is a work-stealing-free claim counter: workers atomically
+// take the next unclaimed job index until the slice is exhausted. A
+// job that trips its own budget (MaxSegments, MaxTime) simply returns
+// with the corresponding StopReason — it cannot wedge the pool,
+// because budgets are enforced inside sim.Run per job.
+package batch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Job is one unit of batch work: a pair of agents and the settings
+// bounding their simulation. Jobs must not share mutable state (each
+// needs its own program iterators and, if used, its own progress
+// observer); everything else about parallel safety is the pool's
+// problem.
+type Job struct {
+	A, B     sim.AgentSpec
+	Settings sim.Settings
+}
+
+// Stats is the aggregate accounting of a batch, computed serially in
+// input order after all workers have finished (so it is deterministic
+// for every worker count).
+type Stats struct {
+	Jobs     int     // number of jobs executed
+	Met      int     // jobs that achieved rendezvous
+	Segments int64   // total program segments consumed across all jobs
+	SimTime  float64 // total simulated time across all jobs (sum of EndTime)
+	Workers  int     // workers actually used
+}
+
+// Workers resolves a requested parallelism degree: values ≤ 0 mean
+// GOMAXPROCS, and the result is clamped to n so a small batch never
+// spawns idle goroutines.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the jobs on a pool of workers (≤ 0 selects GOMAXPROCS)
+// and returns the results in input order, plus aggregate accounting.
+// Results are identical for every worker count.
+func Run(jobs []Job, workers int) ([]sim.Result, Stats) {
+	results := make([]sim.Result, len(jobs))
+	w := Workers(workers, len(jobs))
+	Do(len(jobs), w, func(i int) {
+		results[i] = sim.Run(jobs[i].A, jobs[i].B, jobs[i].Settings)
+	})
+
+	st := Stats{Jobs: len(jobs), Workers: w}
+	for _, r := range results {
+		if r.Met {
+			st.Met++
+		}
+		st.Segments += int64(r.Segments)
+		st.SimTime += r.EndTime.Float64()
+	}
+	return results, st
+}
+
+// Do runs fn(i) for every i in [0, n) on a pool of `workers`
+// goroutines (callers should pre-resolve the count with Workers). It
+// is the indexed-parallelism primitive under Run, exported for
+// consumers whose work items are not agent pairs (e.g. the
+// Monte-Carlo sweep chunks of internal/measure). fn must be safe to
+// call concurrently for distinct i; Do returns after every index has
+// been processed.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

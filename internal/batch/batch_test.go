@@ -1,0 +1,177 @@
+package batch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inst"
+	"repro/internal/sim"
+)
+
+// testJobs builds a mixed batch from the instance generator: feasible
+// instances expected to meet plus infeasible ones capped by a small
+// segment budget, so the batch exercises both the met and the
+// budget-tripped paths.
+func testJobs(t testing.TB, seed int64) []Job {
+	t.Helper()
+	g := inst.NewGen(seed)
+	meet := sim.DefaultSettings()
+	meet.MaxSegments = 120_000_000
+	miss := sim.DefaultSettings()
+	miss.MaxSegments = 200_000
+
+	var jobs []Job
+	add := func(in inst.Instance, s sim.Settings) {
+		jobs = append(jobs, Job{
+			A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+			B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+			Settings: s,
+		})
+	}
+	for _, c := range []inst.Class{
+		inst.ClassMirrorInterior, inst.ClassLatecomer,
+		inst.ClassClockDrift, inst.ClassRotatedDelayed,
+	} {
+		for _, in := range g.DrawN(c, 3) {
+			add(in, meet)
+		}
+	}
+	for _, in := range g.DrawN(inst.ClassInfeasibleShift, 4) {
+		add(in, miss)
+	}
+	return jobs
+}
+
+// TestParallelMatchesSerial is the core determinism assertion: the same
+// batch run serially and with 8 workers must produce identical results
+// — MeetTime compared exactly in double-double precision, and every
+// other field (MinGap, Segments, StopReason, end positions) equal too.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, sst := Run(testJobs(t, 7), 1)
+	par, pst := Run(testJobs(t, 7), 8)
+	if len(serial) != len(par) {
+		t.Fatalf("length mismatch: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		s, p := serial[i], par[i]
+		if s.MeetTime != p.MeetTime { // dd.T exact comparison
+			t.Errorf("job %d MeetTime: serial %v parallel %v", i, s.MeetTime, p.MeetTime)
+		}
+		if s.MinGap != p.MinGap {
+			t.Errorf("job %d MinGap: %v vs %v", i, s.MinGap, p.MinGap)
+		}
+		if s.Segments != p.Segments {
+			t.Errorf("job %d Segments: %d vs %d", i, s.Segments, p.Segments)
+		}
+		if s.Reason != p.Reason {
+			t.Errorf("job %d StopReason: %v vs %v", i, s.Reason, p.Reason)
+		}
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("job %d results differ:\nserial:   %v\nparallel: %v", i, s, p)
+		}
+	}
+	// Aggregates are folded serially, so they must match except for the
+	// worker count actually used.
+	sst.Workers, pst.Workers = 0, 0
+	if sst != pst {
+		t.Errorf("stats differ: serial %+v parallel %+v", sst, pst)
+	}
+}
+
+// TestStatsAccounting recomputes the aggregate from the per-job results
+// and checks the serial fold.
+func TestStatsAccounting(t *testing.T) {
+	res, st := Run(testJobs(t, 11), 4)
+	if st.Jobs != len(res) {
+		t.Fatalf("Jobs = %d, want %d", st.Jobs, len(res))
+	}
+	met, segs, simTime := 0, int64(0), 0.0
+	for _, r := range res {
+		if r.Met {
+			met++
+		}
+		segs += int64(r.Segments)
+		simTime += r.EndTime.Float64()
+	}
+	if st.Met != met || st.Segments != segs || st.SimTime != simTime {
+		t.Errorf("stats %+v, recomputed met=%d segs=%d time=%g", st, met, segs, simTime)
+	}
+	if st.Met == 0 {
+		t.Error("no job met — batch not exercising the meet path")
+	}
+	if st.Met == st.Jobs {
+		t.Error("every job met — batch not exercising the budget path")
+	}
+}
+
+// TestShortBudgetDoesNotWedgePool puts a job with a tiny segment budget
+// in the middle of a batch: it must stop with ReasonMaxSegments while
+// the rest of the pool drains normally.
+func TestShortBudgetDoesNotWedgePool(t *testing.T) {
+	jobs := testJobs(t, 3)
+	strangled := len(jobs) / 2
+	s := jobs[strangled].Settings
+	s.MaxSegments = 10
+	jobs[strangled].Settings = s
+
+	res, st := Run(jobs, 8)
+	if got := res[strangled].Reason; got != sim.ReasonMaxSegments {
+		t.Errorf("strangled job reason = %v, want max-segments", got)
+	}
+	if res[strangled].Segments > 10+1 {
+		t.Errorf("strangled job consumed %d segments past its budget", res[strangled].Segments)
+	}
+	if st.Jobs != len(jobs) {
+		t.Errorf("pool finished %d of %d jobs", st.Jobs, len(jobs))
+	}
+	for i, r := range res {
+		if i != strangled && r.Reason == sim.ReasonMaxSegments && r.Segments == 0 {
+			t.Errorf("job %d looks unexecuted: %v", i, r)
+		}
+	}
+}
+
+// TestWorkersResolution pins the clamping rules of the knob.
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0, 100) = %d", w)
+	}
+	if w := Workers(-3, 100); w < 1 {
+		t.Errorf("Workers(-3, 100) = %d", w)
+	}
+	if w := Workers(16, 4); w != 4 {
+		t.Errorf("Workers(16, 4) = %d, want 4 (clamped to batch size)", w)
+	}
+	if w := Workers(2, 0); w != 1 {
+		t.Errorf("Workers(2, 0) = %d, want 1", w)
+	}
+	if w := Workers(3, 100); w != 3 {
+		t.Errorf("Workers(3, 100) = %d, want 3", w)
+	}
+}
+
+// TestDoCoversEveryIndexOnce hammers the claim counter under -race:
+// each index must be visited exactly once, with distinct indices
+// written concurrently.
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	const n = 10_000
+	visits := make([]int, n)
+	Do(n, 8, func(i int) { visits[i]++ })
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	// Degenerate shapes must not hang or panic.
+	Do(0, 4, func(int) { t.Error("fn called for n=0") })
+	Do(3, 0, func(int) {})
+}
+
+// TestEmptyBatch pins the zero-job edge.
+func TestEmptyBatch(t *testing.T) {
+	res, st := Run(nil, 8)
+	if len(res) != 0 || st.Jobs != 0 || st.Met != 0 {
+		t.Errorf("empty batch: res=%v st=%+v", res, st)
+	}
+}

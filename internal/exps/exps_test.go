@@ -6,7 +6,10 @@ import (
 )
 
 // smallBudgets keeps the test-suite runtime in check while preserving
-// every assertion the tables make.
+// every assertion the tables make. Workers 0 fans the per-instance runs
+// over GOMAXPROCS — by the batch determinism guarantee the tables are
+// byte-identical to the serial run (asserted by the
+// TestT*ParallelMatchesSerial tests below).
 func smallBudgets() Budgets {
 	return Budgets{MeetSegments: 120_000_000, MissSegments: 1_000_000}
 }
@@ -91,7 +94,7 @@ func TestT4Checks(t *testing.T) {
 }
 
 func TestT5Measure(t *testing.T) {
-	tb := T5(300_000, 5)
+	tb := T5(300_000, 5, 0)
 	out := tb.String()
 	if !strings.Contains(out, "feasible share") {
 		t.Fatalf("missing rows:\n%s", out)
@@ -127,6 +130,43 @@ func TestT6BoundarySharpness(t *testing.T) {
 			if feasible != "true" || !strings.HasPrefix(aurv, "met") || !strings.HasPrefix(ded, "met") {
 				t.Errorf("δ=%s: %v", delta, row)
 			}
+		}
+	}
+}
+
+// TestT2ParallelMatchesSerial is the table-level determinism assertion:
+// the rendered T2 report must be byte-equal whether the per-instance
+// runs execute serially or on 8 workers.
+func TestT2ParallelMatchesSerial(t *testing.T) {
+	serial := smallBudgets()
+	serial.Workers = 1
+	parallel := smallBudgets()
+	parallel.Workers = 8
+	s := T2(2, 4, serial).String()
+	p := T2(2, 4, parallel).String()
+	if s != p {
+		t.Errorf("T2 output depends on worker count:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", s, p)
+	}
+}
+
+// TestT5ParallelMatchesSerial pins the worker-count independence of the
+// chunked Monte-Carlo sweep.
+func TestT5ParallelMatchesSerial(t *testing.T) {
+	s := T5(200_000, 5, 1).String()
+	p := T5(200_000, 5, 8).String()
+	if s != p {
+		t.Errorf("T5 output depends on worker count:\n%s\nvs\n%s", s, p)
+	}
+}
+
+// TestFiguresParallelMatchesSerial: the simulated figures are identical
+// for any pool size.
+func TestFiguresParallelMatchesSerial(t *testing.T) {
+	s := FiguresWith(1)
+	p := FiguresWith(8)
+	for name := range s {
+		if s[name] != p[name] {
+			t.Errorf("%s depends on worker count", name)
 		}
 	}
 }

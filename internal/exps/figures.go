@@ -3,6 +3,7 @@ package exps
 import (
 	"math"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dedicated"
 	"repro/internal/geom"
@@ -15,13 +16,20 @@ import (
 // Figures regenerates the paper's five figures as SVG documents, keyed
 // "fig1" … "fig5". Each is drawn from computed geometry or actually
 // simulated trajectories, not hand-placed artwork.
-func Figures() map[string]string {
+func Figures() map[string]string { return FiguresWith(0) }
+
+// FiguresWith regenerates the figures, fanning the simulated runs
+// behind Fig4 and Fig5 through the batch pool with the given worker
+// count (0 selects GOMAXPROCS). Output is identical for every count.
+func FiguresWith(workers int) map[string]string {
+	jobs := []batch.Job{fig4Job(), fig5Job()}
+	res, _ := batch.Run(jobs, workers)
 	return map[string]string{
 		"fig1": Fig1(),
 		"fig2": Fig2(),
 		"fig3": Fig3(),
-		"fig4": Fig4(),
-		"fig5": Fig5(),
+		"fig4": fig4Render(res[0]),
+		"fig5": fig5Render(res[1]),
 	}
 }
 
@@ -139,23 +147,38 @@ func Fig3() string {
 	return c.String()
 }
 
-// simTraces runs AURV on the instance and returns the recorded decimated
-// traces.
-func simTraces(in inst.Instance, maxSeg, cap int) sim.Result {
+// tracedJob builds an AURV batch job on the instance with trajectory
+// recording enabled.
+func tracedJob(in inst.Instance, maxSeg, cap int) batch.Job {
 	set := settings(maxSeg)
 	set.TraceCap = cap
 	s := core.Compact()
-	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(s, nil), Radius: in.R}
-	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(s, nil), Radius: in.R}
-	return sim.Run(a, b, set)
+	return batch.Job{
+		A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(s, nil), Radius: in.R},
+		B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(s, nil), Radius: in.R},
+		Settings: set,
+	}
 }
+
+// fig4Instance is the simulated type-1 instance behind Fig4.
+func fig4Instance() inst.Instance {
+	return inst.Instance{R: 0.9, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: -1}
+}
+
+// fig4Job builds Fig4's simulation run.
+func fig4Job() batch.Job { return tracedJob(fig4Instance(), 200_000_000, 4096) }
 
 // Fig4 — Lemma 3.2's endgame on an actually simulated type-1 instance:
 // the mirrored trajectories on both sides of the canonical line, the
 // meeting point, and the projections.
 func Fig4() string {
-	in := inst.Instance{R: 0.9, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: -1}
-	res := simTraces(in, 200_000_000, 4096)
+	j := fig4Job()
+	return fig4Render(sim.Run(j.A, j.B, j.Settings))
+}
+
+// fig4Render draws the figure from the completed simulation.
+func fig4Render(res sim.Result) string {
+	in := fig4Instance()
 	L := in.CanonicalLine()
 	// Viewport around the action.
 	minX, maxX := -2.5, 3.5
@@ -185,19 +208,38 @@ func Fig4() string {
 	return c.String()
 }
 
+// fig5Instance is the S2 boundary instance behind Fig5.
+func fig5Instance() inst.Instance {
+	in := inst.Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
+	in.T = in.ProjGap() - in.R
+	return in
+}
+
+// fig5Job builds Fig5's simulation run: the dedicated S2 algorithm with
+// trajectory recording.
+func fig5Job() batch.Job {
+	in := fig5Instance()
+	set := settings(100_000)
+	set.TraceCap = 1024
+	mk := func() prog.Program { return dedicated.S2Program(in) }
+	return batch.Job{
+		A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(), Radius: in.R},
+		B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(), Radius: in.R},
+		Settings: set,
+	}
+}
+
 // Fig5 — the two cases of Lemma 3.9 on actually simulated S2 boundary
 // runs: the agents walk to their projections on L and slide along it,
 // meeting at distance exactly r.
 func Fig5() string {
-	in := inst.Instance{R: 0.5, X: 2, Y: 1, Phi: 0.8, Tau: 1, V: 1, Chi: -1}
-	in.T = in.ProjGap() - in.R
-	set := settings(100_000)
-	set.TraceCap = 1024
-	mk := func() prog.Program { return dedicated.S2Program(in) }
-	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(), Radius: in.R}
-	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(), Radius: in.R}
-	res := sim.Run(a, b, set)
+	j := fig5Job()
+	return fig5Render(sim.Run(j.A, j.B, j.Settings))
+}
 
+// fig5Render draws the figure from the completed simulation.
+func fig5Render(res sim.Result) string {
+	in := fig5Instance()
 	L := in.CanonicalLine()
 	c := svg.New(720, 560, -1.2, -1.0, 3.4, 2.6)
 	c.InfiniteLine(L, svg.Style{Stroke: "black", Width: 2})

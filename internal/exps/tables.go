@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/adversary"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dedicated"
 	"repro/internal/inst"
@@ -23,14 +24,19 @@ import (
 	"repro/internal/cgkk"
 )
 
-// Budgets bound each simulation of the experiment suite.
+// Budgets bound each simulation of the experiment suite and size its
+// worker pool.
 type Budgets struct {
 	MeetSegments int // budget for runs expected to meet
 	MissSegments int // budget for runs expected not to meet
+	// Workers is the batch-pool size for the per-instance simulations of
+	// T2–T5 and the simulated figures; 0 selects GOMAXPROCS. Tables are
+	// byte-identical for every value (see internal/batch).
+	Workers int
 }
 
-// DefaultBudgets returns budgets that finish the whole suite in minutes
-// on one core.
+// DefaultBudgets returns budgets that finish the whole suite in minutes,
+// fanned out over all cores.
 func DefaultBudgets() Budgets {
 	return Budgets{MeetSegments: 120_000_000, MissSegments: 2_000_000}
 }
@@ -41,21 +47,38 @@ func settings(maxSeg int) sim.Settings {
 	return s
 }
 
-// runAURV simulates AlmostUniversalRV on the instance, reporting the
-// phase/block in which generation stopped (= where the meeting happened,
-// programs being lazy).
-func runAURV(in inst.Instance, maxSeg int) (sim.Result, core.Progress) {
-	var pg core.Progress
+// aurvJob builds the batch job simulating AlmostUniversalRV on the
+// instance; the returned Progress observer reports the phase/block in
+// which generation stopped (= where the meeting happened, programs
+// being lazy) once the job has run.
+func aurvJob(in inst.Instance, maxSeg int) (batch.Job, *core.Progress) {
+	pg := new(core.Progress)
 	s := core.Compact()
-	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(s, &pg), Radius: in.R}
-	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(s, nil), Radius: in.R}
-	return sim.Run(a, b, settings(maxSeg)), pg
+	return batch.Job{
+		A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(s, pg), Radius: in.R},
+		B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(s, nil), Radius: in.R},
+		Settings: settings(maxSeg),
+	}, pg
+}
+
+// runAURV simulates AlmostUniversalRV on the instance serially.
+func runAURV(in inst.Instance, maxSeg int) (sim.Result, core.Progress) {
+	j, pg := aurvJob(in, maxSeg)
+	return sim.Run(j.A, j.B, j.Settings), *pg
+}
+
+// progJob builds the batch job running the program on the instance.
+func progJob(in inst.Instance, mk func() prog.Program, maxSeg int) batch.Job {
+	return batch.Job{
+		A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(), Radius: in.R},
+		B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(), Radius: in.R},
+		Settings: settings(maxSeg),
+	}
 }
 
 func runProg(in inst.Instance, mk func() prog.Program, maxSeg int) sim.Result {
-	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(), Radius: in.R}
-	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(), Radius: in.R}
-	return sim.Run(a, b, settings(maxSeg))
+	j := progJob(in, mk, maxSeg)
+	return sim.Run(j.A, j.B, j.Settings)
 }
 
 // T1 validates Theorem 3.1: for every instance class, the feasibility
@@ -144,20 +167,41 @@ func T2(seed int64, nPerType int, b Budgets) *report.Table {
 		inst.Type3: {inst.ClassClockDrift},
 		inst.Type4: {inst.ClassSpeedOnly, inst.ClassRotatedDelayed},
 	}
-	for _, ty := range []inst.Type{inst.Type1, inst.Type2, inst.Type3, inst.Type4} {
+	// Build every run of the table up front, fan them through the worker
+	// pool, then fold per type in input order — the fold sees exactly the
+	// sequence the serial loop produced, so the table is byte-identical
+	// for any worker count.
+	types := []inst.Type{inst.Type1, inst.Type2, inst.Type3, inst.Type4}
+	var (
+		jobs  []batch.Job
+		jobTy []inst.Type
+		jobPg []*core.Progress
+	)
+	for _, ty := range types {
+		for _, c := range classes[ty] {
+			for _, in := range g.DrawN(c, nPerType/len(classes[ty])) {
+				j, pg := aurvJob(in, b.MeetSegments)
+				jobs = append(jobs, j)
+				jobTy = append(jobTy, ty)
+				jobPg = append(jobPg, pg)
+			}
+		}
+	}
+	results, _ := batch.Run(jobs, b.Workers)
+	for _, ty := range types {
 		var times []float64
 		met, maxPhase := 0, 0
 		n := 0
-		for _, c := range classes[ty] {
-			for _, in := range g.DrawN(c, nPerType/len(classes[ty])) {
-				n++
-				res, pg := runAURV(in, b.MeetSegments)
-				if res.Met {
-					met++
-					times = append(times, res.MeetTime.Float64())
-					if pg.Phase > maxPhase {
-						maxPhase = pg.Phase
-					}
+		for i, res := range results {
+			if jobTy[i] != ty {
+				continue
+			}
+			n++
+			if res.Met {
+				met++
+				times = append(times, res.MeetTime.Float64())
+				if jobPg[i].Phase > maxPhase {
+					maxPhase = jobPg[i].Phase
 				}
 			}
 		}
@@ -222,12 +266,17 @@ func T3(seed int64, nPerCell int, b Budgets) *report.Table {
 			},
 			inst.Instance.Feasible},
 	}
-	for _, c := range classes {
+	// Fan the whole coverage matrix through the worker pool: one job per
+	// (class, algorithm, sample) cell entry, then fold met counts per
+	// cell in input order.
+	type cellRef struct{ row, col int }
+	var (
+		jobs []batch.Job
+		refs []cellRef
+	)
+	for row, c := range classes {
 		samples := g.DrawN(c, nPerCell)
-		cells := make([]any, 0, len(algs)+1)
-		cells = append(cells, c.String())
-		for _, alg := range algs {
-			met := 0
+		for col, alg := range algs {
 			for _, in := range samples {
 				mk, ok := alg.mk(in)
 				if !ok {
@@ -237,11 +286,23 @@ func T3(seed int64, nPerCell int, b Budgets) *report.Table {
 				if alg.guaranteed(in) {
 					budget = b.MeetSegments
 				}
-				if res := runProg(in, mk, budget); res.Met {
-					met++
-				}
+				jobs = append(jobs, progJob(in, mk, budget))
+				refs = append(refs, cellRef{row, col})
 			}
-			cells = append(cells, fmt.Sprintf("%d/%d", met, nPerCell))
+		}
+	}
+	results, _ := batch.Run(jobs, b.Workers)
+	met := make(map[cellRef]int, len(classes)*len(algs))
+	for i, res := range results {
+		if res.Met {
+			met[refs[i]]++
+		}
+	}
+	for row, c := range classes {
+		cells := make([]any, 0, len(algs)+1)
+		cells = append(cells, c.String())
+		for col := range algs {
+			cells = append(cells, fmt.Sprintf("%d/%d", met[cellRef{row, col}], nPerCell))
 		}
 		t.Add(cells...)
 	}
@@ -257,16 +318,46 @@ func T4(seed int64, b Budgets) *report.Table {
 		"check", "detail", "result")
 	g := inst.NewGen(seed)
 
+	// All four sections' runs are independent; build them in serial
+	// order, run them as one batch, and fold the verdicts afterwards.
+	const n = 5
+	s2 := g.DrawN(inst.ClassBoundaryS2, n)
+	s1 := g.DrawN(inst.ClassBoundaryS1, n)
+
+	var jobs []batch.Job
+	for _, in := range s2 {
+		j, _ := aurvJob(in, b.MissSegments)
+		jobs = append(jobs, j)
+		jobs = append(jobs, progJob(in, func() prog.Program { return dedicated.S2Program(in) }, 10_000))
+	}
+	for _, in := range s1 {
+		j, _ := aurvJob(in, b.MissSegments)
+		jobs = append(jobs, j)
+		jobs = append(jobs, progJob(in, func() prog.Program { return dedicated.S1Program(in) }, 10_000))
+	}
+	// 3. Theorem 4.1 adversary: a defeating S2 instance for AURV's
+	// inspected prefix (the construction itself is serial; only its
+	// verification run joins the batch).
+	const horizon = 50_000
+	d := adversary.DefeatingInstance(core.Program(core.Compact(), nil), horizon, 0.5, 2.0)
+	jobs = append(jobs, progJob(d.Instance, func() prog.Program { return core.Program(core.Compact(), nil) }, horizon))
+	// 4. The aligned-direction caveat: AURV does meet an S1 instance whose
+	// target direction lies exactly on its dyadic grid.
+	aligned := inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, Chi: 1}
+	aligned.T = aligned.Dist() - aligned.R
+	alignedJob, _ := aurvJob(aligned, b.MeetSegments)
+	jobs = append(jobs, alignedJob)
+
+	results, _ := batch.Run(jobs, b.Workers)
+
 	// 1. Generic S2 instances: AURV does not meet; dedicated meets at
 	// gap exactly r within the Lemma 3.9 bound.
 	okAURV, okDed := 0, 0
-	const n = 5
-	for _, in := range g.DrawN(inst.ClassBoundaryS2, n) {
-		res, _ := runAURV(in, b.MissSegments)
-		if !res.Met {
+	for i, in := range s2 {
+		if !results[2*i].Met {
 			okAURV++
 		}
-		dres := runProg(in, func() prog.Program { return dedicated.S2Program(in) }, 10_000)
+		dres := results[2*i+1]
 		if dres.Met && math.Abs(dres.EndA.Dist(dres.EndB)-in.R) < 1e-5 &&
 			dres.MeetTime.Float64() <= dedicated.S2MeetTimeBound(in)+1e-6 {
 			okDed++
@@ -277,12 +368,11 @@ func T4(seed int64, b Budgets) *report.Table {
 
 	// 2. Same for S1.
 	okAURV, okDed = 0, 0
-	for _, in := range g.DrawN(inst.ClassBoundaryS1, n) {
-		res, _ := runAURV(in, b.MissSegments)
-		if !res.Met {
+	for i, in := range s1 {
+		if !results[2*n+2*i].Met {
 			okAURV++
 		}
-		dres := runProg(in, func() prog.Program { return dedicated.S1Program(in) }, 10_000)
+		dres := results[2*n+2*i+1]
 		if dres.Met && math.Abs(dres.MeetTime.Float64()-dedicated.S1MeetTime(in)) < 1e-5 {
 			okDed++
 		}
@@ -290,11 +380,7 @@ func T4(seed int64, b Budgets) *report.Table {
 	t.Add("S1: AURV misses (generic angle)", fmt.Sprintf("budget %d segs", b.MissSegments), fmt.Sprintf("%d/%d", okAURV, n))
 	t.Add("S1: dedicated meets at t=d-r", "head-to-target algorithm", fmt.Sprintf("%d/%d", okDed, n))
 
-	// 3. Theorem 4.1 adversary: a defeating S2 instance for AURV's
-	// inspected prefix.
-	const horizon = 50_000
-	d := adversary.DefeatingInstance(core.Program(core.Compact(), nil), horizon, 0.5, 2.0)
-	res := runProg(d.Instance, func() prog.Program { return core.Program(core.Compact(), nil) }, horizon)
+	res := results[4*n]
 	verdict := "defeated"
 	if res.Met {
 		verdict = "FAILED (met)"
@@ -302,11 +388,7 @@ func T4(seed int64, b Budgets) *report.Table {
 	t.Add("Thm 4.1: adversarial φ/2 defeats AURV",
 		fmt.Sprintf("inclination %.4f, margin %.2e rad, horizon %d", d.Inclination, d.Margin, horizon), verdict)
 
-	// 4. The aligned-direction caveat: AURV does meet an S1 instance whose
-	// target direction lies exactly on its dyadic grid.
-	aligned := inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, Chi: 1}
-	aligned.T = aligned.Dist() - aligned.R
-	ares, _ := runAURV(aligned, b.MeetSegments)
+	ares := results[4*n+1]
 	verdict = "met at gap exactly r"
 	if !ares.Met {
 		verdict = "no meet"
@@ -316,11 +398,14 @@ func T4(seed int64, b Budgets) *report.Table {
 }
 
 // T5 validates the measure-theoretic smallness argument of Section 4.
-func T5(samples int, seed int64) *report.Table {
+// The Monte-Carlo sweep fans out over `workers` goroutines (0 selects
+// GOMAXPROCS) with a worker-count-independent chunking, so the table is
+// byte-identical for any parallelism degree.
+func T5(samples int, seed int64, workers int) *report.Table {
 	t := report.New("T5 — Section 4: exception sets are slim",
 		"quantity", "value", "theory")
 	eps := []float64{0.25, 0.35, 0.5}
-	s := measure.Sweep(samples, eps, measure.DefaultBox(), seed)
+	s := measure.SweepParallel(samples, eps, measure.DefaultBox(), seed, workers)
 	t.Add("samples", s.Samples, "-")
 	t.Add("feasible share", fmt.Sprintf("%.3f", s.FeasibleShare), "> 0 (fat set)")
 	t.Add("exact S1 hits", s.ExactS1, "0 (measure zero)")
@@ -335,6 +420,7 @@ func T5(samples int, seed int64) *report.Table {
 		t.Add(fmt.Sprintf("near-S2 hits (ε=%.2f)", e), s.NearS2ByEps[e], "∝ ε^3")
 	}
 	t.Note("a continuous box hits the synchronous slice (τ = v = 1) with probability 0, so Theorem 3.1(1) makes almost every sample feasible — the share ≈ 1 restates the theorem")
+	t.Note("sampling uses the chunked parallel sweep (fixed %d-sample chunks, per-chunk splitmix streams): values are identical for every worker count but differ from the pre-batch single-stream sampler", measure.SweepChunk)
 	return t
 }
 

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/batch"
 	"repro/internal/geom"
 	"repro/internal/inst"
 )
@@ -116,6 +117,52 @@ func Sweep(n int, epsilons []float64, box Box, seed int64) Stats {
 	}
 	s.FeasibleShare = float64(s.Feasible) / float64(n)
 	return s
+}
+
+// SweepChunk is the number of samples per parallel chunk. The chunking
+// is a function of n alone — never of the worker count — so
+// SweepParallel is deterministic for any parallelism degree.
+const SweepChunk = 1 << 16
+
+// SweepParallel is Sweep fanned over a pool of `workers` goroutines
+// (≤ 0 selects GOMAXPROCS): the n samples are split into fixed-size
+// chunks, each drawing from its own splitmix-derived RNG stream, and
+// the per-chunk counts are merged serially in chunk order. The sample
+// set differs from Sweep's single serial stream, but is itself fixed
+// given (n, seed) — the result is byte-identical for every worker
+// count.
+func SweepParallel(n int, epsilons []float64, box Box, seed int64, workers int) Stats {
+	nChunks := (n + SweepChunk - 1) / SweepChunk
+	chunks := make([]Stats, nChunks)
+	batch.Do(nChunks, batch.Workers(workers, nChunks), func(i int) {
+		lo := i * SweepChunk
+		hi := min(lo+SweepChunk, n)
+		chunks[i] = Sweep(hi-lo, epsilons, box, chunkSeed(seed, i))
+	})
+	total := Stats{NearS1ByEps: map[float64]int{}, NearS2ByEps: map[float64]int{}}
+	for _, c := range chunks {
+		total.Samples += c.Samples
+		total.Feasible += c.Feasible
+		total.ExactS1 += c.ExactS1
+		total.ExactS2 += c.ExactS2
+		for eps, v := range c.NearS1ByEps {
+			total.NearS1ByEps[eps] += v
+		}
+		for eps, v := range c.NearS2ByEps {
+			total.NearS2ByEps[eps] += v
+		}
+	}
+	total.FeasibleShare = float64(total.Feasible) / float64(n)
+	return total
+}
+
+// chunkSeed derives a well-mixed per-chunk seed (splitmix64), so
+// neighboring chunks draw uncorrelated streams.
+func chunkSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // FitExponent fits the slope of log(count) against log(ε) — the observed

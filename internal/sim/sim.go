@@ -53,6 +53,12 @@ type Settings struct {
 	// TraceCap, when positive, records up to this many trajectory points
 	// per agent (decimated by stride doubling when exceeded).
 	TraceCap int
+	// Parallelism is the worker count used by batch execution
+	// (rendezvous.SimulateBatch and internal/batch); a single Run ignores
+	// it. 0 or negative selects GOMAXPROCS. The batch engine guarantees
+	// results are identical for every value — scheduling changes only
+	// wall-clock time, never an outcome.
+	Parallelism int
 }
 
 // DefaultSettings returns permissive bounds suitable for tests:

@@ -15,9 +15,21 @@
 //	res := rendezvous.Simulate(in, rendezvous.AlmostUniversalRV(),
 //	    rendezvous.DefaultSettings())
 //	fmt.Println(res.Met, res.MeetTime.Float64())
+//
+// # Batch execution
+//
+// SimulateBatch runs many instances at once on a worker pool sized by
+// Settings.Parallelism (0 selects GOMAXPROCS). The batch engine is
+// deterministic by construction: every job is an independent pure
+// simulation, results are written by input index, and aggregates are
+// folded serially afterwards — so the result slice is byte-identical
+// to calling Simulate in a loop, for every worker count. Use it
+// whenever throughput matters (experiment tables, parameter sweeps,
+// benchmark fleets); use Simulate when one answer does.
 package rendezvous
 
 import (
+	"repro/internal/batch"
 	"repro/internal/cgkk"
 	"repro/internal/core"
 	"repro/internal/dedicated"
@@ -111,6 +123,27 @@ func Simulate(in Instance, alg Algorithm, s Settings) Result {
 	a := sim.AgentSpec{Attrs: in.AgentA(), Prog: alg.Program(in), Radius: in.R}
 	b := sim.AgentSpec{Attrs: in.AgentB(), Prog: alg.Program(in), Radius: in.R}
 	return sim.Run(a, b, s)
+}
+
+// SimulateBatch runs every instance under the algorithm on a pool of
+// s.Parallelism workers (0 or negative selects GOMAXPROCS) and returns
+// the results in input order.
+//
+// Determinism guarantee: the returned slice is byte-identical to
+// calling Simulate(ins[i], alg, s) serially for each i, regardless of
+// the worker count — parallel scheduling changes wall-clock time and
+// nothing else.
+func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
+	jobs := make([]batch.Job, len(ins))
+	for i, in := range ins {
+		jobs[i] = batch.Job{
+			A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: alg.Program(in), Radius: in.R},
+			B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: alg.Program(in), Radius: in.R},
+			Settings: s,
+		}
+	}
+	res, _ := batch.Run(jobs, s.Parallelism)
+	return res
 }
 
 // SimulateRadii runs the Section 5 extension with distinct sight radii.

@@ -2,8 +2,39 @@ package rendezvous
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
+
+// TestSimulateBatchDeterminism asserts the public batch API's
+// guarantee: parallel results are identical to the serial ones, job by
+// job, field by field.
+func TestSimulateBatchDeterminism(t *testing.T) {
+	ins := []Instance{
+		{R: 0.8, X: 1.2, Y: 0.5, Phi: 1.0, Tau: 1, V: 1, T: 0.5, Chi: 1},
+		{R: 0.7, X: 1.0, Y: 0.4, Phi: 2.0, Tau: 1, V: 1.5, T: 1, Chi: 1},
+		{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: 2, V: 0.5, T: 0.5, Chi: 1},
+		{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, T: 0.2, Chi: 1}, // infeasible: capped run
+	}
+	serial := DefaultSettings()
+	serial.MaxSegments = 500_000
+	serial.Parallelism = 1
+	parallel := serial
+	parallel.Parallelism = 8
+
+	alg := AlmostUniversalRV()
+	sres := SimulateBatch(ins, alg, serial)
+	pres := SimulateBatch(ins, alg, parallel)
+	if !reflect.DeepEqual(sres, pres) {
+		t.Errorf("batch results depend on Parallelism:\nserial:   %v\nparallel: %v", sres, pres)
+	}
+	// And both match one-at-a-time Simulate.
+	for i, in := range ins {
+		if one := Simulate(in, alg, serial); !reflect.DeepEqual(one, sres[i]) {
+			t.Errorf("job %d batch result differs from Simulate: %v vs %v", i, sres[i], one)
+		}
+	}
+}
 
 func TestQuickstartFlow(t *testing.T) {
 	in := Instance{R: 0.8, X: 1.2, Y: 0.5, Phi: 1.0, Tau: 1, V: 1, T: 0.5, Chi: 1}
