@@ -38,16 +38,28 @@ func BenchmarkT1Feasibility(b *testing.B) {
 	}
 }
 
-func benchT2Type(b *testing.B, c inst.Class) {
+func benchT2Type(b *testing.B, c inst.Class) { benchT2TypeMode(b, c, false) }
+
+// benchT2TypeMode runs the T2 kernel either on the cursor fast path or
+// (opaque) through the iter.Pull coroutine fallback — the before/after
+// pair of the cursor-engine optimization (see BENCH_PR2.json).
+func benchT2TypeMode(b *testing.B, c inst.Class, opaque bool) {
 	g := inst.NewGen(11)
 	ins := g.DrawN(c, 4)
 	set := sim.DefaultSettings()
 	set.MaxSegments = 120_000_000
+	mk := func() prog.Program {
+		p := core.Program(core.Compact(), nil)
+		if opaque {
+			p = prog.Opaque(p)
+		}
+		return p
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, in := range ins {
-			a := sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(core.Compact(), nil), Radius: in.R}
-			bb := sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(core.Compact(), nil), Radius: in.R}
+			a := sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(), Radius: in.R}
+			bb := sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(), Radius: in.R}
 			if res := sim.Run(a, bb, set); !res.Met {
 				b.Fatalf("instance failed to meet: %v", in)
 			}
@@ -59,6 +71,13 @@ func BenchmarkT2Type1Mirror(b *testing.B)     { benchT2Type(b, inst.ClassMirrorI
 func BenchmarkT2Type2Latecomer(b *testing.B)  { benchT2Type(b, inst.ClassLatecomer) }
 func BenchmarkT2Type3ClockDrift(b *testing.B) { benchT2Type(b, inst.ClassClockDrift) }
 func BenchmarkT2Type4Rotated(b *testing.B)    { benchT2Type(b, inst.ClassRotatedDelayed) }
+
+// Pull-path baselines for the same kernels (iter.Pull forced via
+// prog.Opaque): the denominators of the cursor-engine speedup claim.
+func BenchmarkT2Type1MirrorPull(b *testing.B) { benchT2TypeMode(b, inst.ClassMirrorInterior, true) }
+func BenchmarkT2Type3ClockDriftPull(b *testing.B) {
+	benchT2TypeMode(b, inst.ClassClockDrift, true)
+}
 
 func BenchmarkT3Coverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -165,17 +184,22 @@ func BenchmarkF5Figure(b *testing.B) {
 
 // ---- Kernel micro-benchmarks. ----
 
-// BenchmarkEngineThroughput measures simulator event processing on a
-// long non-meeting run (segments/second is the figure of merit).
-func BenchmarkEngineThroughput(b *testing.B) {
+// benchEngineThroughput measures simulator event processing on a long
+// non-meeting run (segments/second is the figure of merit), on the
+// cursor fast path or (opaque) the iter.Pull fallback.
+func benchEngineThroughput(b *testing.B, opaque bool) {
 	const segs = 200_000
 	set := sim.DefaultSettings()
 	set.MaxSegments = segs
 	set.SightSlack = 0
 	mk := func() prog.Program {
-		return prog.Forever(func(i int) prog.Program {
+		p := prog.Forever(func(i int) prog.Program {
 			return prog.Instrs(prog.Move(prog.North, 1), prog.Move(prog.South, 1))
 		})
+		if opaque {
+			p = prog.Opaque(p)
+		}
+		return p
 	}
 	refAt := func(origin geom.Vec2) phys.Attributes {
 		a := phys.Reference()
@@ -193,6 +217,34 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(segs*b.N)/b.Elapsed().Seconds(), "segments/s")
 }
+
+func BenchmarkEngineThroughput(b *testing.B)     { benchEngineThroughput(b, false) }
+func BenchmarkEngineThroughputPull(b *testing.B) { benchEngineThroughput(b, true) }
+
+// benchInstrStream drains a fixed prefix of Algorithm 1's instruction
+// stream outside the simulator: the raw cost of program generation on
+// the cursor engine versus the iter.Pull coroutine.
+func benchInstrStream(b *testing.B, opaque bool) {
+	const n = 200_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.Program(core.Compact(), nil)
+		if opaque {
+			p = prog.Opaque(p)
+		}
+		cur := prog.NewCursor(p)
+		for k := 0; k < n; k++ {
+			if _, ok := cur.Next(); !ok {
+				b.Fatal("stream ended early")
+			}
+		}
+		cur.Close()
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkInstrStreamCursor(b *testing.B) { benchInstrStream(b, false) }
+func BenchmarkInstrStreamPull(b *testing.B)   { benchInstrStream(b, true) }
 
 // BenchmarkClosestApproach measures the analytic sight kernel.
 func BenchmarkClosestApproach(b *testing.B) {

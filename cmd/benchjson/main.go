@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output (stdin) into a
+// machine-readable JSON document (stdout), so benchmark runs can be
+// recorded next to the code and diffed across PRs (BENCH_PR2.json is
+// the first such record; scripts/bench.sh regenerates it).
+//
+// Usage:
+//
+//	go test -run '^$' -bench Kernel -benchmem . | go run ./cmd/benchjson -note "cursor engine" > bench.json
+//
+// Standard per-op statistics (ns/op, B/op, allocs/op) become fields;
+// any custom b.ReportMetric units land in the "metrics" map. Non-bench
+// lines (goos/pkg/PASS headers) are echoed to stderr so failures stay
+// visible in pipelines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	Note       string  `json:"note,omitempty"`
+	Go         string  `json:"go,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	note := flag.String("note", "", "free-form note stored in the document")
+	flag.Parse()
+
+	doc := Doc{Note: *note}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "pkg:"):
+			continue
+		}
+		if e, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, e)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses "BenchmarkName-8  123  456.7 ns/op  8 B/op
+// 2 allocs/op  999 widgets/s" into an Entry.
+func parseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	name := strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", guessProcs(fields[0])))
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			e.BytesPerOp = val
+		case "allocs/op":
+			e.AllocsPerOp = val
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, true
+}
+
+// guessProcs extracts the trailing -N GOMAXPROCS suffix of a benchmark
+// name (0 when absent).
+func guessProcs(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -28,12 +28,17 @@ import (
 
 // Inclinations returns the distinct inclinations (mod π, sorted) of the
 // move segments among the first n instructions of a program's solo
-// execution.
+// execution. The prefix is drained through the cursor fast path, so
+// inspecting even long prefixes of Algorithm 1 stays cheap.
 func Inclinations(p prog.Program, n int) []float64 {
 	seen := make(map[float64]bool)
-	count := 0
-	p(func(ins prog.Instr) bool {
-		count++
+	cur := prog.NewCursor(p)
+	defer cur.Close()
+	for count := 0; count < n; count++ {
+		ins, ok := cur.Next()
+		if !ok {
+			break
+		}
 		if ins.Op == prog.OpMove && ins.Amount > 0 {
 			inc := math.Mod(ins.Theta, math.Pi)
 			if inc < 0 {
@@ -41,8 +46,7 @@ func Inclinations(p prog.Program, n int) []float64 {
 			}
 			seen[inc] = true
 		}
-		return count < n
-	})
+	}
 	out := make([]float64, 0, len(seen))
 	for v := range seen {
 		out = append(out, v)

@@ -17,6 +17,15 @@
 // job that trips its own budget (MaxSegments, MaxTime) simply returns
 // with the corresponding StopReason — it cannot wedge the pool,
 // because budgets are enforced inside sim.Run per job.
+//
+// Batch-level memoization: jobs that declare a Key share work — within
+// one Run, only the first job of each distinct Key executes and every
+// later job with the same Key receives a copy of its result. Because
+// sim.Run is a pure function of the job's inputs, the copied result is
+// byte-identical to what the duplicate would have computed itself, so
+// memoization preserves the parallel == serial determinism guarantee
+// and every aggregate in Stats (which is still folded over the logical
+// job list, duplicates included).
 package batch
 
 import (
@@ -35,13 +44,25 @@ import (
 type Job struct {
 	A, B     sim.AgentSpec
 	Settings sim.Settings
+	// Key, when non-nil, identifies the job's full simulation input for
+	// batch-level memoization: jobs with equal Keys inside one Run
+	// execute once and share the result. The Key must be comparable and
+	// must truthfully cover everything the simulation depends on
+	// (instance, algorithm identity, settings) — two jobs with equal
+	// Keys but different inputs would silently share a wrong result.
+	// Jobs with observers that must fire per job (e.g. a core.Progress
+	// hook) should not set a Key: a memoized duplicate never runs, so
+	// its observers never fire. nil (the default) disables memoization
+	// for the job.
+	Key any
 }
 
 // Stats is the aggregate accounting of a batch, computed serially in
 // input order after all workers have finished (so it is deterministic
 // for every worker count).
 type Stats struct {
-	Jobs     int     // number of jobs executed
+	Jobs     int     // number of logical jobs in the batch
+	Executed int     // simulations actually run (< Jobs when memoization shared results)
 	Met      int     // jobs that achieved rendezvous
 	Segments int64   // total program segments consumed across all jobs
 	SimTime  float64 // total simulated time across all jobs (sum of EndTime)
@@ -67,15 +88,55 @@ func Workers(requested, n int) int {
 
 // Run executes the jobs on a pool of workers (≤ 0 selects GOMAXPROCS)
 // and returns the results in input order, plus aggregate accounting.
-// Results are identical for every worker count.
+// Results are identical for every worker count. Jobs carrying equal
+// non-nil Keys are memoized: the first occurrence (in input order)
+// executes and the duplicates receive its result, so the returned slice
+// and the Stats aggregates are byte-identical to a memoization-free run.
 func Run(jobs []Job, workers int) ([]sim.Result, Stats) {
 	results := make([]sim.Result, len(jobs))
-	w := Workers(workers, len(jobs))
-	Do(len(jobs), w, func(i int) {
+	// Deduplicate by Key before dispatch: the canonical index of every
+	// job is decided serially in input order, so the execution set — and
+	// with it every result — is independent of the worker count.
+	canon := make([]int, len(jobs))
+	uniq := make([]int, 0, len(jobs))
+	var firstByKey map[any]int
+	for i := range jobs {
+		canon[i] = i
+		if k := jobs[i].Key; k != nil {
+			if firstByKey == nil {
+				firstByKey = make(map[any]int)
+			}
+			if f, ok := firstByKey[k]; ok {
+				canon[i] = f
+				continue
+			}
+			firstByKey[k] = i
+		}
+		uniq = append(uniq, i)
+	}
+
+	w := Workers(workers, len(uniq))
+	Do(len(uniq), w, func(k int) {
+		i := uniq[k]
 		results[i] = sim.Run(jobs[i].A, jobs[i].B, jobs[i].Settings)
 	})
+	for i, c := range canon {
+		if c != i {
+			r := results[c]
+			// Deep-copy the traces so every slot owns its slices, as it
+			// would had it run itself — callers may mutate trace points
+			// in place (plot rescaling) without corrupting siblings.
+			if r.TraceA != nil {
+				r.TraceA = append([]sim.TracePoint(nil), r.TraceA...)
+			}
+			if r.TraceB != nil {
+				r.TraceB = append([]sim.TracePoint(nil), r.TraceB...)
+			}
+			results[i] = r
+		}
+	}
 
-	st := Stats{Jobs: len(jobs), Workers: w}
+	st := Stats{Jobs: len(jobs), Executed: len(uniq), Workers: w}
 	for _, r := range results {
 		if r.Met {
 			st.Met++

@@ -175,3 +175,128 @@ func TestEmptyBatch(t *testing.T) {
 		t.Errorf("empty batch: res=%v st=%+v", res, st)
 	}
 }
+
+// memoJobs builds a batch where each underlying simulation appears
+// several times under the same Key (duplicated parameter points, as a
+// sweep revisiting a grid would produce).
+func memoJobs(t testing.TB, seed int64, copies int, keyed bool) []Job {
+	t.Helper()
+	g := inst.NewGen(seed)
+	set := sim.DefaultSettings()
+	set.MaxSegments = 2_000_000
+	var jobs []Job
+	for _, c := range []inst.Class{inst.ClassLatecomer, inst.ClassClockDrift} {
+		for _, in := range g.DrawN(c, 2) {
+			for k := 0; k < copies; k++ {
+				j := Job{
+					A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+					B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+					Settings: set,
+				}
+				if keyed {
+					j.Key = in
+				}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs
+}
+
+// TestMemoizationPreservesResults: keyed runs must return exactly what
+// the same batch computes without memoization, for every worker count —
+// the determinism guarantee extends to the dedup path.
+func TestMemoizationPreservesResults(t *testing.T) {
+	baseline, bst := Run(memoJobs(t, 21, 3, false), 1)
+	if bst.Executed != bst.Jobs {
+		t.Fatalf("unkeyed batch memoized: %+v", bst)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, st := Run(memoJobs(t, 21, 3, true), workers)
+		if !reflect.DeepEqual(stripTraces(got), stripTraces(baseline)) {
+			t.Fatalf("workers=%d: memoized results diverge from baseline", workers)
+		}
+		if st.Jobs != len(baseline) || st.Executed != len(baseline)/3 {
+			t.Errorf("workers=%d: Jobs=%d Executed=%d, want %d and %d",
+				workers, st.Jobs, st.Executed, len(baseline), len(baseline)/3)
+		}
+		// Aggregates fold over logical jobs, so they match the
+		// memoization-free accounting exactly.
+		if st.Met != bst.Met || st.Segments != bst.Segments || st.SimTime != bst.SimTime {
+			t.Errorf("workers=%d: aggregates diverge: %+v vs %+v", workers, st, bst)
+		}
+	}
+}
+
+// stripTraces nils the (aliased) trace slices so DeepEqual compares the
+// scalar outcome fields; traces are off in these settings anyway.
+func stripTraces(rs []sim.Result) []sim.Result {
+	out := make([]sim.Result, len(rs))
+	for i, r := range rs {
+		r.TraceA, r.TraceB = nil, nil
+		out[i] = r
+	}
+	return out
+}
+
+// TestMemoizationMixedKeys: nil-keyed jobs never share, distinct keys
+// never collide, and duplicates resolve to the first occurrence in
+// input order.
+func TestMemoizationMixedKeys(t *testing.T) {
+	g := inst.NewGen(33)
+	in := g.DrawN(inst.ClassLatecomer, 1)[0]
+	set := sim.DefaultSettings()
+	set.MaxSegments = 2_000_000
+	mk := func(key any) Job {
+		return Job{
+			A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+			B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+			Settings: set,
+			Key:      key,
+		}
+	}
+	jobs := []Job{mk(nil), mk("a"), mk(nil), mk("a"), mk("b")}
+	res, st := Run(jobs, 4)
+	if st.Executed != 4 { // two nil + "a" + "b"
+		t.Fatalf("Executed = %d, want 4", st.Executed)
+	}
+	if !reflect.DeepEqual(res[1], res[3]) {
+		t.Errorf("duplicate key results differ")
+	}
+	for i, r := range res {
+		if !r.Met {
+			t.Errorf("job %d did not meet: %v", i, r)
+		}
+	}
+}
+
+// TestMemoizedTracesIndependent: with tracing on, each memoized
+// duplicate must own its trace slices — mutating one slot's trace must
+// not leak into its siblings (they would have been independent had
+// every job run itself).
+func TestMemoizedTracesIndependent(t *testing.T) {
+	g := inst.NewGen(44)
+	in := g.DrawN(inst.ClassLatecomer, 1)[0]
+	set := sim.DefaultSettings()
+	set.MaxSegments = 2_000_000
+	set.TraceCap = 64
+	mk := func() Job {
+		return Job{
+			A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+			B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(core.Compact(), nil), Radius: in.R},
+			Settings: set,
+			Key:      in,
+		}
+	}
+	res, st := Run([]Job{mk(), mk()}, 2)
+	if st.Executed != 1 {
+		t.Fatalf("Executed = %d, want 1", st.Executed)
+	}
+	if len(res[0].TraceA) == 0 || !reflect.DeepEqual(res[0].TraceA, res[1].TraceA) {
+		t.Fatalf("traces missing or unequal: %d vs %d points", len(res[0].TraceA), len(res[1].TraceA))
+	}
+	res[1].TraceA[0].T = -1
+	if res[0].TraceA[0].T == -1 {
+		t.Fatal("memoized duplicate aliases the canonical trace slice")
+	}
+}

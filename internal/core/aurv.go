@@ -69,31 +69,24 @@ func Compact() Schedule {
 
 // Progress is an optional observer of the generated program. Because
 // programs are lazy, the fields reflect exactly how far a simulation
-// actually pulled.
+// pulled from the generator. Note that the simulator's wait coalescing
+// pulls one instruction ahead of execution when fusing a run of waits,
+// so a run halting inside a fused wait at a block boundary can report
+// the following block as started even though none of its instructions
+// executed (sim.Settings.NoWaitCoalesce restores pull == execute).
 type Progress struct {
 	Phase int // last phase started (1-based)
 	Block int // last block started within the phase (1-4)
 }
 
 // Block1 returns block 1 of phase i: the rotated planar walks that solve
-// the mirror (type 1) instances.
+// the mirror (type 1) instances. The epochs are generated lazily, one
+// rotated-walk cursor at a time.
 func Block1(i int) prog.Program {
-	return func(yield func(prog.Instr) bool) {
-		epochs := 1 << uint(i+1)
-		for j := 1; j <= epochs; j++ {
-			ok := true
-			prog.Rotate(walk.Planar(i), geom.DyadicAngle(j, i))(func(ins prog.Instr) bool {
-				if !yield(ins) {
-					ok = false
-					return false
-				}
-				return true
-			})
-			if !ok {
-				return
-			}
-		}
-	}
+	epochs := 1 << uint(i+1)
+	return prog.Repeat(epochs, func(j int) prog.Program {
+		return prog.Rotate(walk.Planar(i), geom.DyadicAngle(j+1, i))
+	})
 }
 
 // Block2 returns block 2 of phase i: wait out the delay, run Latecomers
@@ -129,15 +122,15 @@ func Phase(i int, s Schedule) prog.Program {
 }
 
 // Program returns Algorithm AlmostUniversalRV as an infinite program.
-// If p is non-nil it is updated as phases and blocks are generated.
+// If p is non-nil it is updated as phases and blocks are generated:
+// each block's marker fires when the simulation first pulls from that
+// block, so the fields reflect how far a lazy run actually got.
 func Program(s Schedule, p *Progress) prog.Program {
 	mark := func(i, b int, blk prog.Program) prog.Program {
-		return func(yield func(prog.Instr) bool) {
-			if p != nil {
-				p.Phase, p.Block = i, b
-			}
-			blk(yield)
+		if p == nil {
+			return blk
 		}
+		return prog.OnStart(blk, func() { p.Phase, p.Block = i, b })
 	}
 	return prog.Forever(func(i int) prog.Program {
 		return prog.Seq(

@@ -44,28 +44,47 @@ import (
 	"repro/internal/walk"
 )
 
+// sweepCursor generates the run-wait sweep of phase k procedurally:
+// direction j emits go(û_j, l), wait(w), go(û_j+π, l) — the stream of
+// walk.RunWait over the doubling direction grid, without constructing
+// (and probing) a 3-instruction program per direction.
+type sweepCursor struct {
+	k, dirs, j, sub int
+	l, w            float64
+	theta           float64 // û_j angle, computed once per direction
+}
+
+func (c *sweepCursor) Next() (prog.Instr, bool) {
+	if c.j >= c.dirs {
+		return prog.Instr{}, false
+	}
+	var ins prog.Instr
+	switch c.sub {
+	case 0:
+		c.theta = geom.DyadicAngle(c.j, c.k)
+		ins = prog.Move(c.theta, c.l)
+	case 1:
+		ins = prog.Wait(c.w)
+	case 2:
+		ins = prog.Move(c.theta+math.Pi, c.l)
+	}
+	if c.sub++; c.sub == 3 {
+		c.sub, c.j = 0, c.j+1
+	}
+	return ins, true
+}
+
+func (c *sweepCursor) Close() { c.j = c.dirs }
+
 // Phase returns phase k of the procedure (both mechanisms, sweep first).
 func Phase(k int) prog.Program {
-	return func(yield func(prog.Instr) bool) {
-		l := math.Ldexp(1, k)   // run length 2^k
-		w := math.Ldexp(1, 2*k) // far-end wait 2^{2k}
-		dirs := 1 << uint(k+1)  // 2^{k+1} directions
-		for j := 0; j < dirs; j++ {
-			theta := geom.DyadicAngle(j, k)
-			ok := true
-			walk.RunWait(theta, l, w)(func(ins prog.Instr) bool {
-				if !yield(ins) {
-					ok = false
-					return false
-				}
-				return true
-			})
-			if !ok {
-				return
-			}
-		}
-		walk.Planar(k)(yield)
-	}
+	l := math.Ldexp(1, k)   // run length 2^k
+	w := math.Ldexp(1, 2*k) // far-end wait 2^{2k}
+	dirs := 1 << uint(k+1)  // 2^{k+1} directions
+	sweep := prog.CursorProgram(func() prog.Cursor {
+		return &sweepCursor{k: k, dirs: dirs, l: l, w: w}
+	})
+	return prog.Seq(sweep, walk.Planar(k))
 }
 
 // Program returns the full infinite procedure.

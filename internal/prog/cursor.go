@@ -1,0 +1,433 @@
+// Cursor engine: direct-call pull iteration over programs.
+//
+// The public Program type stays iter.Seq[Instr] (push), but every
+// combinator in this package is backed by a Cursor — a plain struct
+// whose Next method returns the following instruction with an ordinary
+// function call. Pulling from a cursor therefore costs a handful of
+// nanoseconds, where iter.Pull on a push program costs a runtime
+// coroutine switch per instruction plus a walk through the whole
+// combinator closure stack. The astronomically scheduled programs of
+// Algorithm 1 emit millions of instructions per run, making this the
+// hottest path of the simulator.
+//
+// Adapters run in both directions:
+//
+//   - CursorProgram wraps a cursor factory into an ordinary Program, so
+//     cursor-backed programs compose with hand-written push closures and
+//     range-over-func loops transparently;
+//   - NewCursor returns a pull cursor for ANY program: the registered
+//     factory when the program is cursor-backed (the fast path the
+//     simulator takes), or an iter.Pull adapter otherwise.
+//
+// Detection is zero-cost and side-effect-free: all CursorProgram
+// closures share one code pointer (the function is noinline, so the
+// literal is never duplicated into callers), and the factory is
+// recovered by invoking the closure with a sentinel yield — a code path
+// that executes no program code.
+package prog
+
+import (
+	"iter"
+	"reflect"
+	"sync"
+)
+
+// Cursor is a single-use pull stream of instructions. Next returns the
+// following instruction, or ok == false when the program is exhausted.
+// Close releases resources; it is idempotent, and Next must not be
+// called after Close. Cursors are not safe for concurrent use.
+type Cursor interface {
+	Next() (Instr, bool)
+	Close()
+}
+
+// CursorProgram wraps a cursor factory into a Program. The factory is
+// invoked once per iteration of the returned program, so the program
+// remains re-iterable as the Program contract requires; mk must be safe
+// to call concurrently if the program is shared between goroutines.
+//
+//go:noinline
+func CursorProgram(mk func() Cursor) Program {
+	return func(yield func(Instr) bool) {
+		if isProbe(yield) {
+			probeResult = mk
+			return
+		}
+		c := mk()
+		defer c.Close()
+		for {
+			ins, ok := c.Next()
+			if !ok {
+				return
+			}
+			if !yield(ins) {
+				return
+			}
+		}
+	}
+}
+
+// probeYield is never invoked with instructions: its identity marks a
+// factory-recovery call on a CursorProgram closure.
+func probeYield(Instr) bool { return false }
+
+var (
+	probeYieldPtr = reflect.ValueOf(probeYield).Pointer()
+	// cursorProgPtr is the code pointer shared by every closure
+	// CursorProgram returns (the function is noinline, so the literal has
+	// exactly one symbol).
+	cursorProgPtr = reflect.ValueOf(CursorProgram(func() Cursor { return emptyCursor{} })).Pointer()
+
+	probeMu     sync.Mutex
+	probeResult func() Cursor
+)
+
+func isProbe(yield func(Instr) bool) bool {
+	return reflect.ValueOf(yield).Pointer() == probeYieldPtr
+}
+
+// CursorOf reports whether the program is cursor-backed and, if so,
+// returns its cursor factory. The check never executes program code.
+func CursorOf(p Program) (func() Cursor, bool) {
+	if p == nil {
+		return nil, false
+	}
+	if reflect.ValueOf(p).Pointer() != cursorProgPtr {
+		return nil, false
+	}
+	probeMu.Lock()
+	defer probeMu.Unlock()
+	probeResult = nil
+	p(probeYield) // the CursorProgram closure only records its factory
+	mk := probeResult
+	probeResult = nil
+	return mk, mk != nil
+}
+
+// CursorFactory returns a factory of pull cursors for any program: the
+// registered factory for cursor-backed programs, or an iter.Pull
+// adapter for plain push closures.
+func CursorFactory(p Program) func() Cursor {
+	if mk, ok := CursorOf(p); ok {
+		return mk
+	}
+	return func() Cursor {
+		next, stop := iter.Pull(p)
+		return &pullCursor{next: next, stop: stop}
+	}
+}
+
+// NewCursor returns a pull cursor over the program: the direct-call
+// fast path when the program is cursor-backed, an iter.Pull coroutine
+// adapter otherwise.
+func NewCursor(p Program) Cursor {
+	return CursorFactory(p)()
+}
+
+// Opaque wraps a program in a plain closure, hiding any cursor backing.
+// Consumers (in particular the simulator) then fall back to the
+// iter.Pull path. It exists for differential testing and benchmarking
+// of the two engines against each other.
+func Opaque(p Program) Program {
+	return func(yield func(Instr) bool) { p(yield) }
+}
+
+// pullCursor adapts a push program via iter.Pull (the slow path).
+type pullCursor struct {
+	next func() (Instr, bool)
+	stop func()
+}
+
+func (c *pullCursor) Next() (Instr, bool) { return c.next() }
+func (c *pullCursor) Close()              { c.stop() }
+
+// ---- Cursor implementations of the combinators. ----
+
+type emptyCursor struct{}
+
+func (emptyCursor) Next() (Instr, bool) { return Instr{}, false }
+func (emptyCursor) Close()              {}
+
+// sliceCursor emits the instructions of a fixed list, skipping
+// zero-duration entries (the Instrs contract).
+type sliceCursor struct {
+	list []Instr
+	i    int
+}
+
+func (c *sliceCursor) Next() (Instr, bool) {
+	for c.i < len(c.list) {
+		ins := c.list[c.i]
+		c.i++
+		if ins.Amount == 0 {
+			continue
+		}
+		return ins, true
+	}
+	return Instr{}, false
+}
+func (c *sliceCursor) Close() { c.i = len(c.list) }
+
+// seqCursor concatenates sub-cursors created lazily from factories.
+type seqCursor struct {
+	mks []func() Cursor
+	cur Cursor
+	i   int
+}
+
+func (c *seqCursor) Next() (Instr, bool) {
+	for {
+		if c.cur == nil {
+			if c.i >= len(c.mks) {
+				return Instr{}, false
+			}
+			c.cur = c.mks[c.i]()
+			c.i++
+		}
+		if ins, ok := c.cur.Next(); ok {
+			return ins, true
+		}
+		c.cur.Close()
+		c.cur = nil
+	}
+}
+
+func (c *seqCursor) Close() {
+	if c.cur != nil {
+		c.cur.Close()
+		c.cur = nil
+	}
+	c.i = len(c.mks)
+}
+
+// foreverCursor runs gen(1), gen(2), … without end.
+type foreverCursor struct {
+	gen func(i int) Program
+	cur Cursor
+	i   int
+}
+
+func (c *foreverCursor) Next() (Instr, bool) {
+	for {
+		if c.cur == nil {
+			c.i++
+			c.cur = NewCursor(c.gen(c.i))
+		}
+		if ins, ok := c.cur.Next(); ok {
+			return ins, true
+		}
+		c.cur.Close()
+		c.cur = nil
+	}
+}
+
+func (c *foreverCursor) Close() {
+	if c.cur != nil {
+		c.cur.Close()
+		c.cur = nil
+	}
+	c.gen = nil
+}
+
+// repeatCursor runs gen(0), …, gen(n-1): the bounded Forever.
+type repeatCursor struct {
+	gen  func(j int) Program
+	cur  Cursor
+	j, n int
+}
+
+func (c *repeatCursor) Next() (Instr, bool) {
+	for {
+		if c.cur == nil {
+			if c.j >= c.n {
+				return Instr{}, false
+			}
+			c.cur = NewCursor(c.gen(c.j))
+			c.j++
+		}
+		if ins, ok := c.cur.Next(); ok {
+			return ins, true
+		}
+		c.cur.Close()
+		c.cur = nil
+	}
+}
+
+func (c *repeatCursor) Close() {
+	if c.cur != nil {
+		c.cur.Close()
+		c.cur = nil
+	}
+	c.j = c.n
+}
+
+// rotateCursor advances every move direction by alpha.
+type rotateCursor struct {
+	src   Cursor
+	alpha float64
+}
+
+func (c *rotateCursor) Next() (Instr, bool) {
+	ins, ok := c.src.Next()
+	if ok && ins.Op == OpMove {
+		ins.Theta += c.alpha
+	}
+	return ins, ok
+}
+func (c *rotateCursor) Close() { c.src.Close() }
+
+// budgetCursor truncates its source after exactly T local time units,
+// splitting the final instruction and padding an early-ending source
+// with a closing wait.
+type budgetCursor struct {
+	src     Cursor
+	T       float64
+	elapsed float64
+	done    bool
+}
+
+func (c *budgetCursor) Next() (Instr, bool) {
+	if c.done {
+		return Instr{}, false
+	}
+	ins, ok := c.src.Next()
+	if !ok {
+		c.done = true
+		if c.elapsed < c.T {
+			return Wait(c.T - c.elapsed), true
+		}
+		return Instr{}, false
+	}
+	d := ins.Duration()
+	if c.elapsed+d <= c.T {
+		c.elapsed += d
+		return ins, true
+	}
+	head, _ := ins.Split(c.T - c.elapsed)
+	c.elapsed = c.T
+	c.done = true
+	if head.Amount > 0 {
+		return head, true
+	}
+	return Instr{}, false
+}
+
+func (c *budgetCursor) Close() {
+	c.done = true
+	c.src.Close()
+}
+
+// timeSliceCursor cuts the source into sliceDur-long slices separated
+// by wait(pause), splitting instructions exactly at slice boundaries.
+type timeSliceCursor struct {
+	src             Cursor
+	sliceDur, pause float64
+	inSlice         float64
+	carry           Instr // remainder of a split instruction
+	hasCarry        bool
+	pausePending    bool
+}
+
+func (c *timeSliceCursor) Next() (Instr, bool) {
+	for {
+		if c.pausePending {
+			c.pausePending = false
+			c.inSlice = 0
+			return Wait(c.pause), true
+		}
+		var ins Instr
+		if c.hasCarry {
+			ins, c.hasCarry = c.carry, false
+		} else {
+			var ok bool
+			if ins, ok = c.src.Next(); !ok {
+				return Instr{}, false
+			}
+			if ins.Amount <= 0 {
+				continue
+			}
+		}
+		room := c.sliceDur - c.inSlice
+		if ins.Duration() <= room {
+			c.inSlice += ins.Duration()
+			if c.inSlice == c.sliceDur {
+				c.pausePending = true
+			}
+			return ins, true
+		}
+		head, tail := ins.Split(room)
+		c.carry, c.hasCarry = tail, true
+		c.pausePending = true
+		if head.Amount > 0 {
+			return head, true
+		}
+	}
+}
+
+func (c *timeSliceCursor) Close() { c.src.Close() }
+
+// recordedCursor appends every pulled instruction to *rec.
+type recordedCursor struct {
+	src Cursor
+	rec *[]Instr
+}
+
+func (c *recordedCursor) Next() (Instr, bool) {
+	ins, ok := c.src.Next()
+	if ok {
+		*c.rec = append(*c.rec, ins)
+	}
+	return ins, ok
+}
+func (c *recordedCursor) Close() { c.src.Close() }
+
+// backtrackCursor replays recorded instructions backwards (moves
+// reversed, waits skipped).
+type backtrackCursor struct {
+	rec []Instr
+	i   int // next index to replay, counting down
+}
+
+func (c *backtrackCursor) Next() (Instr, bool) {
+	for c.i >= 0 {
+		ins := c.rec[c.i].Reversed()
+		c.i--
+		if ins.Amount == 0 {
+			continue
+		}
+		return ins, true
+	}
+	return Instr{}, false
+}
+func (c *backtrackCursor) Close() { c.i = -1 }
+
+// withBacktrackCursor emits the source and then the reverse of
+// everything it emitted, delegating the replay to an embedded
+// backtrackCursor so the reversal rules live in one place.
+type withBacktrackCursor struct {
+	src  Cursor
+	rec  []Instr
+	back backtrackCursor
+	in   bool // replay phase entered
+}
+
+func (c *withBacktrackCursor) Next() (Instr, bool) {
+	if !c.in {
+		if ins, ok := c.src.Next(); ok {
+			c.rec = append(c.rec, ins)
+			return ins, true
+		}
+		c.src.Close()
+		c.in = true
+		c.back = backtrackCursor{rec: c.rec, i: len(c.rec) - 1}
+	}
+	return c.back.Next()
+}
+
+func (c *withBacktrackCursor) Close() {
+	if !c.in {
+		c.src.Close()
+		c.in = true
+	}
+	c.back.Close()
+}

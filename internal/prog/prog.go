@@ -17,6 +17,14 @@
 // demand. Combinators provided here implement exactly the program surgery
 // Algorithm 1 performs: rotation into a Rot(α) system, time budgeting,
 // time slicing with interleaved waits, and path recording + backtracking.
+//
+// Every combinator is backed by the direct-call cursor engine of
+// cursor.go: the returned Program is still an ordinary iter.Seq[Instr],
+// but consumers that pull many instructions (the simulator above all)
+// recover the underlying Cursor via NewCursor and bypass the iter.Pull
+// coroutine entirely. Hand-written push closures remain first-class:
+// they compose with the combinators and the simulator transparently,
+// only without the fast path.
 package prog
 
 import (
@@ -83,103 +91,65 @@ type Program = iter.Seq[Instr]
 
 // Empty is the program with no instructions.
 func Empty() Program {
-	return func(yield func(Instr) bool) {}
+	return CursorProgram(func() Cursor { return emptyCursor{} })
 }
 
 // Instrs returns a program that emits the given instructions.
 func Instrs(list ...Instr) Program {
-	return func(yield func(Instr) bool) {
-		for _, ins := range list {
-			if ins.Amount == 0 {
-				continue
-			}
-			if !yield(ins) {
-				return
-			}
-		}
-	}
+	return CursorProgram(func() Cursor { return &sliceCursor{list: list} })
 }
 
 // Seq concatenates programs.
 func Seq(ps ...Program) Program {
-	return func(yield func(Instr) bool) {
-		for _, p := range ps {
-			stop := false
-			p(func(ins Instr) bool {
-				if !yield(ins) {
-					stop = true
-					return false
-				}
-				return true
-			})
-			if stop {
-				return
-			}
-		}
+	mks := make([]func() Cursor, len(ps))
+	for i, p := range ps {
+		mks[i] = CursorFactory(p)
 	}
+	return CursorProgram(func() Cursor { return &seqCursor{mks: mks} })
 }
 
 // Forever yields the programs produced by gen(1), gen(2), … without end.
-// It is the "repeat" loop of Algorithm 1.
+// It is the "repeat" loop of Algorithm 1. gen is invoked lazily, each
+// round's program only when the previous round has been exhausted.
 func Forever(gen func(i int) Program) Program {
-	return func(yield func(Instr) bool) {
-		for i := 1; ; i++ {
-			stop := false
-			gen(i)(func(ins Instr) bool {
-				if !yield(ins) {
-					stop = true
-					return false
-				}
-				return true
-			})
-			if stop {
-				return
-			}
-		}
-	}
+	return CursorProgram(func() Cursor { return &foreverCursor{gen: gen} })
+}
+
+// Repeat yields the programs produced by gen(0), …, gen(n-1): the
+// bounded counterpart of Forever, used for the per-phase epoch loops of
+// Algorithm 1 (block 1) and the Latecomers sweep. gen is invoked
+// lazily.
+func Repeat(n int, gen func(j int) Program) Program {
+	return CursorProgram(func() Cursor { return &repeatCursor{gen: gen, n: n} })
+}
+
+// OnStart invokes fn every time iteration of the program begins (before
+// its first instruction is produced). Algorithm 1 uses it to expose
+// phase/block progress to observers.
+func OnStart(p Program, fn func()) Program {
+	mk := CursorFactory(p)
+	return CursorProgram(func() Cursor { fn(); return mk() })
 }
 
 // Rotate re-expresses a program in the local system Rot(alpha): every
 // move direction is advanced by alpha (counterclockwise in the agent's
 // own system, per §2 of the paper).
 func Rotate(p Program, alpha float64) Program {
-	return func(yield func(Instr) bool) {
-		p(func(ins Instr) bool {
-			if ins.Op == OpMove {
-				ins.Theta += alpha
-			}
-			return yield(ins)
-		})
-	}
+	mk := CursorFactory(p)
+	return CursorProgram(func() Cursor { return &rotateCursor{src: mk(), alpha: alpha} })
 }
 
 // Budget truncates a program after exactly T local time units, splitting
 // the final instruction if needed. This is "execute P during time T"
-// (lines 10 and 17 of Algorithm 1).
+// (lines 10 and 17 of Algorithm 1). If the program runs out before the
+// budget, the remainder is padded with a single wait so the wrapper
+// still consumes exactly T local time (an agent that has finished early
+// simply idles; durations in the analysis assume the full window). The
+// padding is only produced while the consumer is still pulling — a
+// consumer that stops early never receives it (the iter.Seq contract).
 func Budget(p Program, T float64) Program {
-	return func(yield func(Instr) bool) {
-		elapsed := 0.0
-		p(func(ins Instr) bool {
-			d := ins.Duration()
-			if elapsed+d <= T {
-				elapsed += d
-				return yield(ins)
-			}
-			head, _ := ins.Split(T - elapsed)
-			elapsed = T
-			if head.Amount > 0 {
-				yield(head)
-			}
-			return false
-		})
-		// If the program ran out before the budget, pad with idling so the
-		// wrapper still consumes exactly T local time (an agent that has
-		// finished early simply waits; durations in the analysis assume
-		// the full window).
-		if elapsed < T {
-			yield(Wait(T - elapsed))
-		}
-	}
+	mk := CursorFactory(p)
+	return CursorProgram(func() Cursor { return &budgetCursor{src: mk(), T: T} })
 }
 
 // TimeSlice cuts a program into consecutive slices of sliceDur local time
@@ -187,94 +157,32 @@ func Budget(p Program, T float64) Program {
 // of Algorithm 1: S₁ wait(2^i) S₂ wait(2^i) … Slices are formed by
 // splitting instructions exactly at slice boundaries.
 func TimeSlice(p Program, sliceDur, pause float64) Program {
-	return func(yield func(Instr) bool) {
-		inSlice := 0.0 // time used inside the current slice
-		stop := false
-		emit := func(ins Instr) bool {
-			if !yield(ins) {
-				stop = true
-				return false
-			}
-			return true
-		}
-		p(func(ins Instr) bool {
-			for ins.Amount > 0 {
-				room := sliceDur - inSlice
-				if ins.Duration() <= room {
-					inSlice += ins.Duration()
-					if !emit(ins) {
-						return false
-					}
-					ins.Amount = 0
-					if inSlice == sliceDur {
-						if !emit(Wait(pause)) {
-							return false
-						}
-						inSlice = 0
-					}
-					break
-				}
-				head, tail := ins.Split(room)
-				if head.Amount > 0 && !emit(head) {
-					return false
-				}
-				if !emit(Wait(pause)) {
-					return false
-				}
-				inSlice = 0
-				ins = tail
-			}
-			return !stop
-		})
-	}
+	mk := CursorFactory(p)
+	return CursorProgram(func() Cursor {
+		return &timeSliceCursor{src: mk(), sliceDur: sliceDur, pause: pause}
+	})
 }
 
 // Recorded runs a program while appending every emitted instruction to
-// *rec (which the caller typically backtracks afterwards).
+// *rec (which the caller typically backtracks afterwards). Instructions
+// are recorded as they are pulled by the consumer.
 func Recorded(p Program, rec *[]Instr) Program {
-	return func(yield func(Instr) bool) {
-		p(func(ins Instr) bool {
-			*rec = append(*rec, ins)
-			return yield(ins)
-		})
-	}
+	mk := CursorFactory(p)
+	return CursorProgram(func() Cursor { return &recordedCursor{src: mk(), rec: rec} })
 }
 
 // BacktrackOf returns the program that retraces the recorded instructions
 // backwards (moves reversed, waits skipped), returning the agent to the
 // point where the recording began.
 func BacktrackOf(rec []Instr) Program {
-	return func(yield func(Instr) bool) {
-		for i := len(rec) - 1; i >= 0; i-- {
-			ins := rec[i].Reversed()
-			if ins.Amount == 0 {
-				continue
-			}
-			if !yield(ins) {
-				return
-			}
-		}
-	}
+	return CursorProgram(func() Cursor { return &backtrackCursor{rec: rec, i: len(rec) - 1} })
 }
 
 // WithBacktrack emits p and then the reverse of everything p emitted.
 // It implements the pattern of lines 10–12 and 18–20 of Algorithm 1.
 func WithBacktrack(p Program) Program {
-	return func(yield func(Instr) bool) {
-		var rec []Instr
-		stop := false
-		Recorded(p, &rec)(func(ins Instr) bool {
-			if !yield(ins) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if stop {
-			return
-		}
-		BacktrackOf(rec)(yield)
-	}
+	mk := CursorFactory(p)
+	return CursorProgram(func() Cursor { return &withBacktrackCursor{src: mk()} })
 }
 
 // TotalDuration sums the local durations of a finite program. It must not

@@ -1,0 +1,154 @@
+package sim_test
+
+// Differential tests for the cursor fast path: the simulator must
+// produce byte-identical Results whether it drains a program through
+// the direct-call cursor engine or through the iter.Pull coroutine
+// fallback (forced with prog.Opaque). Both engines share the
+// wait-coalescing logic in loadSegment, so the comparison is exact in
+// both accounting modes; a separate check pins what coalescing is
+// allowed to change relative to per-instruction accounting (Segments
+// only — the trajectory outcomes must survive).
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cgkk"
+	"repro/internal/core"
+	"repro/internal/inst"
+	"repro/internal/latecomers"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+// diffCase is one simulation whose cursor and pull runs are compared.
+type diffCase struct {
+	name string
+	in   inst.Instance
+	mk   func() prog.Program // fresh program per agent per run
+}
+
+func diffCases() []diffCase {
+	aurv := func() prog.Program { return core.Program(core.Compact(), nil) }
+	return []diffCase{
+		{"type2-latecomer", inst.Instance{R: 1.0, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: 1}, aurv},
+		{"type3-clock-drift", inst.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: 2, V: 0.5, T: 0.5, Chi: 1}, aurv},
+		{"type4-rotated", inst.Instance{R: 0.8, X: 0.9, Y: 0.2, Phi: 1.1, Tau: 1, V: 1, T: 1.5, Chi: 1}, aurv},
+		{"type1-mirror", inst.Instance{R: 0.9, X: 1.1, Y: 0, Phi: 0, Tau: 1, V: 1, T: 1.0, Chi: -1},
+			func() prog.Program { return core.Program(core.Compact(), nil) }},
+		{"cgkk-substrate", inst.Instance{R: 0.6, X: 1.0, Y: 0.2, Phi: 1.2, Tau: 1, V: 1, T: 0, Chi: 1},
+			func() prog.Program { return cgkk.Program(cgkk.Compact()) }},
+		{"latecomers-substrate", inst.Instance{R: 0.8, X: 0.9, Y: 0.3, Phi: 0, Tau: 1, V: 1, T: 1.2, Chi: 1},
+			func() prog.Program { return latecomers.Program() }},
+		// A non-meeting run: the comparison must also hold when the
+		// segment budget, not a rendezvous, ends the run.
+		{"no-meet-budget", inst.Instance{R: 0.5, X: 2, Y: 0, Phi: 0, Tau: 1, V: 1, T: 0.7, Chi: 1}, aurv},
+	}
+}
+
+func runCase(c diffCase, opaque, noCoalesce bool) sim.Result {
+	set := sim.DefaultSettings()
+	set.MaxSegments = 3_000_000
+	set.NoWaitCoalesce = noCoalesce
+	mk := func() prog.Program {
+		p := c.mk()
+		if opaque {
+			p = prog.Opaque(p)
+		}
+		return p
+	}
+	a := sim.AgentSpec{Attrs: c.in.AgentA(), Prog: mk(), Radius: c.in.R}
+	b := sim.AgentSpec{Attrs: c.in.AgentB(), Prog: mk(), Radius: c.in.R}
+	return sim.Run(a, b, set)
+}
+
+// TestCursorVsPullByteIdentical: the tentpole guarantee. For every case
+// and both accounting modes, the cursor engine and the iter.Pull
+// fallback produce identical Results in every field.
+func TestCursorVsPullByteIdentical(t *testing.T) {
+	for _, c := range diffCases() {
+		for _, noCoalesce := range []bool{false, true} {
+			fast := runCase(c, false, noCoalesce)
+			slow := runCase(c, true, noCoalesce)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("%s (noCoalesce=%v): cursor and pull results differ\ncursor: %+v\npull:   %+v",
+					c.name, noCoalesce, fast, slow)
+			}
+		}
+	}
+}
+
+// TestWaitCoalescingAccounting pins what coalescing may change versus
+// per-instruction accounting: Segments can only shrink, and the
+// trajectory outcomes (Met, MeetTime, MinGap) must be preserved to
+// analytic tolerance (coalescing merges event intervals, which can move
+// float64 rounding by ulps; anything larger is a bug).
+func TestWaitCoalescingAccounting(t *testing.T) {
+	for _, c := range diffCases() {
+		fused := runCase(c, false, false)
+		plain := runCase(c, false, true)
+		if fused.Met != plain.Met || fused.Reason != plain.Reason {
+			t.Errorf("%s: outcome changed by coalescing: %v vs %v", c.name, fused, plain)
+			continue
+		}
+		if fused.Segments > plain.Segments {
+			t.Errorf("%s: coalescing increased segments: %d > %d", c.name, fused.Segments, plain.Segments)
+		}
+		if fused.Met {
+			ft, pt := fused.MeetTime.Float64(), plain.MeetTime.Float64()
+			if math.Abs(ft-pt) > 1e-9*math.Max(1, math.Abs(pt)) {
+				t.Errorf("%s: meet time drifted: %v vs %v", c.name, ft, pt)
+			}
+		}
+		if math.Abs(fused.MinGap-plain.MinGap) > 1e-9*math.Max(1, plain.MinGap) {
+			t.Errorf("%s: min gap drifted: %v vs %v", c.name, fused.MinGap, plain.MinGap)
+		}
+	}
+}
+
+// TestProgressEquivalence: the phase/block observer must report the
+// same final position on both engines.
+func TestProgressEquivalence(t *testing.T) {
+	in := inst.Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: 2, V: 0.5, T: 0.5, Chi: 1}
+	run := func(opaque bool) core.Progress {
+		var pg core.Progress
+		p := core.Program(core.Compact(), &pg)
+		if opaque {
+			p = prog.Opaque(p)
+		}
+		set := sim.DefaultSettings()
+		set.MaxSegments = 3_000_000
+		a := sim.AgentSpec{Attrs: in.AgentA(), Prog: p, Radius: in.R}
+		b := sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(core.Compact(), nil), Radius: in.R}
+		sim.Run(a, b, set)
+		return pg
+	}
+	fast, slow := run(false), run(true)
+	if fast != slow {
+		t.Errorf("progress differs between engines: %+v vs %+v", fast, slow)
+	}
+	if fast.Phase == 0 || fast.Block == 0 {
+		t.Errorf("progress never fired: %+v", fast)
+	}
+}
+
+// TestCoalescedWaitRunKept: a program ending in a run of waits must
+// still execute them (the fused segment plays out; exhaustion is only
+// reported afterwards). The moving agent reaches the target during the
+// fused wait window.
+func TestCoalescedWaitRunKept(t *testing.T) {
+	waits := prog.Instrs(prog.Wait(3), prog.Wait(3), prog.Wait(3), prog.Wait(100))
+	mover := prog.Instrs(prog.Wait(5), prog.Move(prog.East, 50))
+	ain := inst.Instance{R: 0.5, X: 10, Y: 0, Phi: 0, Tau: 1, V: 1, T: 0, Chi: 1}
+	a := sim.AgentSpec{Attrs: ain.AgentA(), Prog: mover, Radius: 0.5}
+	b := sim.AgentSpec{Attrs: ain.AgentB(), Prog: waits, Radius: 0.5}
+	res := sim.Run(a, b, sim.DefaultSettings())
+	if !res.Met {
+		t.Fatalf("no meeting through fused waits: %v", res)
+	}
+	// B idles at (10,0); A starts moving at t=5 and closes 10 → 0.5.
+	if got := res.MeetTime.Float64(); math.Abs(got-14.5) > 1e-6 {
+		t.Errorf("meet time %v, want 14.5", got)
+	}
+}

@@ -9,6 +9,14 @@
 // 2^60 time units therefore costs exactly one event, which is what makes
 // the paper's astronomically scheduled algorithms simulable at all.
 //
+// Instructions are pulled through the prog cursor engine: cursor-backed
+// programs (every prog combinator) are drained by direct calls, and only
+// opaque hand-written push closures fall back to an iter.Pull coroutine.
+// Consecutive wait instructions are fused into a single segment (wait
+// coalescing), so a run of padding and scheduling waits costs one event
+// and one Segments unit instead of many; Settings.NoWaitCoalesce
+// restores the one-segment-per-instruction accounting.
+//
 // Absolute time is accumulated in double-double precision (internal/dd),
 // so sight events remain resolvable long after a float64 clock would have
 // lost sub-unit resolution.
@@ -21,7 +29,6 @@ package sim
 
 import (
 	"fmt"
-	"iter"
 	"math"
 
 	"repro/internal/dd"
@@ -59,6 +66,20 @@ type Settings struct {
 	// results are identical for every value — scheduling changes only
 	// wall-clock time, never an outcome.
 	Parallelism int
+	// NoBatchMemoize disables batch-level memoization in
+	// rendezvous.SimulateBatch (duplicate instances sharing one pure
+	// result). Set it when the Algorithm's Program factory wires up
+	// per-job observable side effects (e.g. a progress observer per
+	// job) that must fire for every duplicate. A single Run ignores it.
+	NoBatchMemoize bool
+	// NoWaitCoalesce disables the fusing of consecutive wait
+	// instructions into a single segment. Coalescing never changes the
+	// trajectories — a fused wait occupies exactly the local time of its
+	// parts — but it does change Segments accounting (a fused run counts
+	// once) and can merge event intervals, which may move float64
+	// rounding by ulps on runs whose other agent is moving through the
+	// fused span. Set it for instruction-exact differential comparisons.
+	NoWaitCoalesce bool
 }
 
 // DefaultSettings returns permissive bounds suitable for tests:
@@ -127,39 +148,70 @@ func (r Result) String() string {
 		r.Reason, r.MinGap, r.MinGapTime.Float64(), r.Segments)
 }
 
+// waitFuseLimit caps how many consecutive wait instructions a single
+// segment may absorb, bounding the work per loadSegment call on
+// pathological all-wait programs when MaxTime is unbounded.
+const waitFuseLimit = 4096
+
 // runner is the per-agent execution state.
 type runner struct {
 	attrs  phys.Attributes
-	next   func() (prog.Instr, bool)
-	stop   func()
-	radius float64 // effective sight radius
+	cur    prog.Cursor // instruction source (cursor fast path or iter.Pull adapter)
+	radius float64     // effective sight radius
 
 	pos     geom.Vec2 // position at segStart
 	vel     geom.Vec2 // velocity during the current segment
 	segEnd  dd.T      // absolute end of the current segment
 	local   dd.T      // local time consumed so far (for exact end times)
 	frozen  bool      // saw the other agent (or program ended): never moves again
-	ended   bool      // program exhausted
+	ended   bool      // no further segments will load
+	srcDone bool      // the instruction source is exhausted
+
+	pending    prog.Instr // look-ahead instruction buffered by wait coalescing
+	hasPending bool
+	coalesce   bool
+	maxTime    dd.T // fusing horizon: waits beyond it cannot matter
+
 	trace   []TracePoint
 	stride  int
 	skipped int
 	cap     int
 }
 
-func newRunner(spec AgentSpec, slack float64, traceCap int) *runner {
-	nxt, stp := iter.Pull(spec.Prog)
+func newRunner(spec AgentSpec, slack float64, traceCap int, maxTime dd.T, coalesce bool) *runner {
 	r := &runner{
-		attrs:  spec.Attrs,
-		next:   nxt,
-		stop:   stp,
-		radius: spec.Radius*(1+slack) + 1e-12,
-		pos:    spec.Attrs.Origin,
-		segEnd: dd.FromFloat(spec.Attrs.Wake),
-		stride: 1,
-		cap:    traceCap,
+		attrs:    spec.Attrs,
+		cur:      prog.NewCursor(spec.Prog),
+		radius:   spec.Radius*(1+slack) + 1e-12,
+		pos:      spec.Attrs.Origin,
+		segEnd:   dd.FromFloat(spec.Attrs.Wake),
+		coalesce: coalesce,
+		maxTime:  maxTime,
+		stride:   1,
+		cap:      traceCap,
 	}
 	r.record(0)
 	return r
+}
+
+// stop releases the runner's instruction source (idempotent).
+func (r *runner) stop() { r.cur.Close() }
+
+// take returns the next program instruction, honoring the look-ahead
+// buffer filled by wait coalescing.
+func (r *runner) take() (prog.Instr, bool) {
+	if r.hasPending {
+		r.hasPending = false
+		return r.pending, true
+	}
+	if r.srcDone {
+		return prog.Instr{}, false
+	}
+	ins, ok := r.cur.Next()
+	if !ok {
+		r.srcDone = true
+	}
+	return ins, ok
 }
 
 // record appends a decimated trace point at absolute time t.
@@ -195,10 +247,15 @@ func (r *runner) advanceTo(now dd.T, t dd.T) {
 
 // loadSegment pulls the next instruction and installs the segment
 // starting at the given absolute time. Returns false when the program is
-// exhausted.
+// exhausted. With coalescing enabled, a wait instruction absorbs every
+// immediately following wait (up to waitFuseLimit, and only while the
+// segment end stays below the MaxTime horizon), so runs of scheduling
+// waits cost a single segment; the first non-wait look-ahead is buffered
+// for the next call. Local time is accumulated per instruction either
+// way, so fused and unfused runs agree on every boundary exactly.
 func (r *runner) loadSegment(start dd.T) bool {
 	for {
-		ins, ok := r.next()
+		ins, ok := r.take()
 		if !ok {
 			r.ended = true
 			r.vel = geom.Vec2{}
@@ -208,16 +265,45 @@ func (r *runner) loadSegment(start dd.T) bool {
 			continue
 		}
 		r.local = r.local.AddFloat(ins.Duration())
-		// Absolute end = wake + τ·local, computed from the exact local
-		// accumulator so long schedules do not drift.
-		r.segEnd = r.local.MulFloat(r.attrs.Tau).AddFloat(r.attrs.Wake)
 		if ins.Op == prog.OpWait {
 			r.vel = geom.Vec2{}
+			if r.coalesce {
+				r.fuseWaits()
+			}
 		} else {
 			r.vel = r.attrs.AbsVelocity(ins.Theta)
 		}
+		// Absolute end = wake + τ·local, computed from the exact local
+		// accumulator so long schedules do not drift.
+		r.segEnd = r.local.MulFloat(r.attrs.Tau).AddFloat(r.attrs.Wake)
 		r.record(start.Float64())
 		return true
+	}
+}
+
+// fuseWaits extends the current wait segment over every immediately
+// following wait instruction. Each absorbed wait is added to the local
+// clock individually, preserving the exact dd accumulation order of the
+// unfused path. Fusing stops at the first non-wait (buffered as pending),
+// at source exhaustion, at waitFuseLimit, or once the segment end passes
+// the MaxTime horizon (later waits cannot influence the run).
+func (r *runner) fuseWaits() {
+	for fused := 0; fused < waitFuseLimit; fused++ {
+		if r.maxTime.LessEq(r.local.MulFloat(r.attrs.Tau).AddFloat(r.attrs.Wake)) {
+			return
+		}
+		ins, ok := r.take()
+		if !ok {
+			return
+		}
+		if ins.Amount <= 0 {
+			continue
+		}
+		if ins.Op != prog.OpWait {
+			r.pending, r.hasPending = ins, true
+			return
+		}
+		r.local = r.local.AddFloat(ins.Duration())
 	}
 }
 
@@ -236,8 +322,9 @@ func Run(a, b AgentSpec, s Settings) Result {
 	if s.MaxSegments <= 0 {
 		s.MaxSegments = math.MaxInt
 	}
-	ra := newRunner(a, s.SightSlack, s.TraceCap)
-	rb := newRunner(b, s.SightSlack, s.TraceCap)
+	maxTime := dd.FromFloat(s.MaxTime)
+	ra := newRunner(a, s.SightSlack, s.TraceCap, maxTime, !s.NoWaitCoalesce)
+	rb := newRunner(b, s.SightSlack, s.TraceCap, maxTime, !s.NoWaitCoalesce)
 	defer ra.stop()
 	defer rb.stop()
 
@@ -248,7 +335,6 @@ func Run(a, b AgentSpec, s Settings) Result {
 
 	res := Result{MinGap: math.Inf(1)}
 	now := dd.Zero
-	maxTime := dd.FromFloat(s.MaxTime)
 	segments := 0
 
 	finish := func(reason StopReason, at dd.T) Result {

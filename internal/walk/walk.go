@@ -13,26 +13,49 @@ import (
 	"repro/internal/prog"
 )
 
+// linearCursor generates LinearCowWalk(i) procedurally: step j emits
+// go(E, 2^j), go(W, 2^{j+1}), go(E, 2^j). It is embedded by value in
+// planarCursor so the millions of linear sub-walks of a planar search
+// cost no allocation at all.
+type linearCursor struct {
+	i, j, k int     // j: current step (1-based), k: 0..2 within the step
+	d       float64 // 2^j, maintained by doubling (exact)
+}
+
+func (c *linearCursor) reset(i int) { c.i, c.j, c.k, c.d = i, 1, 0, 2 }
+
+func (c *linearCursor) Next() (prog.Instr, bool) {
+	if c.j > c.i {
+		return prog.Instr{}, false
+	}
+	var ins prog.Instr
+	switch c.k {
+	case 0:
+		ins = prog.Move(prog.East, c.d)
+	case 1:
+		ins = prog.Move(prog.West, 2*c.d)
+	case 2:
+		ins = prog.Move(prog.East, c.d)
+	}
+	if c.k++; c.k == 3 {
+		c.k, c.j, c.d = 0, c.j+1, c.d*2
+	}
+	return ins, true
+}
+
+func (c *linearCursor) Close() { c.j = c.i + 1 }
+
 // Linear returns LinearCowWalk(i) (Algorithm 3): the first i steps of the
 // classic cow-path linear search along the local x-axis. Step j visits
 // all points of the line at distance ≤ 2^j on both sides and returns:
 //
 //	for j = 1..i:  go(E, 2^j); go(W, 2^(j+1)); go(E, 2^j)
 func Linear(i int) prog.Program {
-	return func(yield func(prog.Instr) bool) {
-		for j := 1; j <= i; j++ {
-			d := math.Ldexp(1, j)
-			if !yield(prog.Move(prog.East, d)) {
-				return
-			}
-			if !yield(prog.Move(prog.West, 2*d)) {
-				return
-			}
-			if !yield(prog.Move(prog.East, d)) {
-				return
-			}
-		}
-	}
+	return prog.CursorProgram(func() prog.Cursor {
+		c := &linearCursor{}
+		c.reset(i)
+		return c
+	})
 }
 
 // LinearDuration returns the local-time duration of Linear(i):
@@ -54,44 +77,70 @@ func LinearDuration(i int) float64 {
 // The walk passes within 2^{−(i+1)} of every point of the square and
 // returns to its start.
 func Planar(i int) prog.Program {
-	return func(yield func(prog.Instr) bool) {
-		emit := func(p prog.Program) bool {
-			ok := true
-			p(func(ins prog.Instr) bool {
-				if !yield(ins) {
-					ok = false
-					return false
-				}
-				return true
-			})
-			return ok
-		}
-		if !emit(Linear(i)) {
-			return
-		}
-		step := math.Ldexp(1, -i)
-		span := math.Ldexp(1, i)
-		reps := 1 << uint(2*i)
-		for j := 1; j <= 2; j++ {
-			dir := prog.North
-			back := prog.South
-			if j == 2 {
-				dir, back = prog.South, prog.North
+	return prog.CursorProgram(func() prog.Cursor { return newPlanarCursor(i) })
+}
+
+// planarCursor generates PlanarCowWalk(i) as a flat state machine: the
+// leading linear walk, then two sweeps of reps × (step move + linear
+// walk) each closed by the return move. One allocation per walk.
+type planarCursor struct {
+	i          int
+	step, span float64
+	reps       int
+	lin        linearCursor
+	stage      int // 0: leading linear, 1: next step move, 2: in-sweep linear, 3: return move, 4: done
+	j, k       int // j: sweep 1 or 2, k: reps consumed in the sweep
+}
+
+func newPlanarCursor(i int) *planarCursor {
+	c := &planarCursor{
+		i:    i,
+		step: math.Ldexp(1, -i),
+		span: math.Ldexp(1, i),
+		reps: 1 << uint(2*i),
+	}
+	c.lin.reset(i)
+	return c
+}
+
+func (c *planarCursor) Next() (prog.Instr, bool) {
+	for {
+		switch c.stage {
+		case 0:
+			if ins, ok := c.lin.Next(); ok {
+				return ins, true
 			}
-			for k := 0; k < reps; k++ {
-				if !yield(prog.Move(dir, step)) {
-					return
+			c.stage, c.j, c.k = 1, 1, 0
+		case 1:
+			if c.k < c.reps {
+				c.k++
+				c.lin.reset(c.i)
+				c.stage = 2
+				if c.j == 1 {
+					return prog.Move(prog.North, c.step), true
 				}
-				if !emit(Linear(i)) {
-					return
-				}
+				return prog.Move(prog.South, c.step), true
 			}
-			if !yield(prog.Move(back, span)) {
-				return
+			c.stage = 3
+		case 2:
+			if ins, ok := c.lin.Next(); ok {
+				return ins, true
 			}
+			c.stage = 1
+		case 3:
+			if c.j == 1 {
+				c.j, c.k, c.stage = 2, 0, 1
+				return prog.Move(prog.South, c.span), true
+			}
+			c.stage = 4
+			return prog.Move(prog.North, c.span), true
+		default:
+			return prog.Instr{}, false
 		}
 	}
 }
+
+func (c *planarCursor) Close() { c.stage = 4 }
 
 // PlanarDuration returns the exact local-time duration of Planar(i).
 func PlanarDuration(i int) float64 {

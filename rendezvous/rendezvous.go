@@ -125,6 +125,22 @@ func Simulate(in Instance, alg Algorithm, s Settings) Result {
 	return sim.Run(a, b, s)
 }
 
+// simKey identifies one simulation's full input for batch memoization:
+// the instance tuple, the algorithm (by name — names are the identity
+// of Algorithm values in this API), and the settings bounding the run.
+type simKey struct {
+	in  Instance
+	alg string
+	set Settings
+}
+
+// Compile-time guard: simKey is a map key in internal/batch, so it must
+// stay comparable — adding a non-comparable field to sim.Settings (a
+// callback, a slice) would otherwise turn every SimulateBatch call into
+// a runtime "hash of unhashable type" panic; this line moves that
+// failure to build time.
+var _ = map[simKey]struct{}{}
+
 // SimulateBatch runs every instance under the algorithm on a pool of
 // s.Parallelism workers (0 or negative selects GOMAXPROCS) and returns
 // the results in input order.
@@ -133,6 +149,15 @@ func Simulate(in Instance, alg Algorithm, s Settings) Result {
 // calling Simulate(ins[i], alg, s) serially for each i, regardless of
 // the worker count — parallel scheduling changes wall-clock time and
 // nothing else.
+//
+// Duplicate instances are memoized: within one call, each distinct
+// instance is simulated once and its result shared (simulation is a
+// pure function of the instance, the algorithm, and the settings, so
+// sharing is invisible in the output — sweeps that revisit parameter
+// points simply finish sooner). Memoized duplicates never execute, so
+// an Algorithm whose Program factory wires per-job observers (e.g. a
+// core.Progress per job) would see them fire only for the first
+// occurrence — set Settings.NoBatchMemoize to run every job.
 func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
 	jobs := make([]batch.Job, len(ins))
 	for i, in := range ins {
@@ -140,6 +165,9 @@ func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
 			A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: alg.Program(in), Radius: in.R},
 			B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: alg.Program(in), Radius: in.R},
 			Settings: s,
+		}
+		if !s.NoBatchMemoize {
+			jobs[i].Key = simKey{in: in, alg: alg.Name, set: s}
 		}
 	}
 	res, _ := batch.Run(jobs, s.Parallelism)

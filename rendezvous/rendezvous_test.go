@@ -4,6 +4,9 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prog"
 )
 
 // TestSimulateBatchDeterminism asserts the public batch API's
@@ -123,5 +126,69 @@ func TestMeetGapNeverExceedsR(t *testing.T) {
 	}
 	if math.IsNaN(res.MinGap) || res.MinGap > in.R*(1+1e-6) {
 		t.Errorf("min gap %v", res.MinGap)
+	}
+}
+
+// TestSimulateBatchMemoizesDuplicates: a batch that revisits the same
+// instance returns identical results in every slot, byte-identical to
+// the serial one-at-a-time loop (the memoized duplicates share the
+// first occurrence's pure result).
+func TestSimulateBatchMemoizesDuplicates(t *testing.T) {
+	base := Instance{R: 0.8, X: 1.2, Y: 0.5, Phi: 1.0, Tau: 1, V: 1, T: 0.5, Chi: 1}
+	other := Instance{R: 0.5, X: 1.2, Y: 0.6, Phi: 0.8, Tau: 2, V: 0.5, T: 0.5, Chi: 1}
+	ins := []Instance{base, other, base, base, other}
+	set := DefaultSettings()
+	set.MaxSegments = 500_000
+	set.Parallelism = 4
+
+	alg := AlmostUniversalRV()
+	res := SimulateBatch(ins, alg, set)
+	for i, in := range ins {
+		if one := Simulate(in, alg, set); !reflect.DeepEqual(one, res[i]) {
+			t.Errorf("slot %d differs from direct Simulate", i)
+		}
+	}
+	if !reflect.DeepEqual(res[0], res[2]) || !reflect.DeepEqual(res[0], res[3]) {
+		t.Errorf("duplicate slots differ")
+	}
+}
+
+// TestNoBatchMemoizeRunsEveryJob: algorithms with per-job observers can
+// opt out of memoization so duplicates execute (and their observers
+// fire) individually.
+func TestNoBatchMemoizeRunsEveryJob(t *testing.T) {
+	in := Instance{R: 0.8, X: 1.2, Y: 0.5, Phi: 1.0, Tau: 1, V: 1, T: 0.5, Chi: 1}
+	set := DefaultSettings()
+	set.MaxSegments = 500_000
+	set.Parallelism = 2
+
+	run := func(s Settings) []*core.Progress {
+		var pgs []*core.Progress
+		alg := Algorithm{
+			Name: "observed",
+			Program: func(Instance) prog.Program {
+				pg := new(core.Progress)
+				pgs = append(pgs, pg)
+				return core.Program(core.Compact(), pg)
+			},
+		}
+		SimulateBatch([]Instance{in, in}, alg, s)
+		return pgs
+	}
+
+	memo := run(set)
+	if memo[0].Phase == 0 || memo[1].Phase == 0 {
+		t.Fatalf("first occurrence's observers did not fire: %+v %+v", memo[0], memo[1])
+	}
+	if memo[2].Phase != 0 || memo[3].Phase != 0 {
+		t.Fatalf("memoized duplicate executed: %+v %+v", memo[2], memo[3])
+	}
+
+	set.NoBatchMemoize = true
+	all := run(set)
+	for i, pg := range all {
+		if pg.Phase == 0 {
+			t.Fatalf("NoBatchMemoize: observer %d did not fire: %+v", i, pg)
+		}
 	}
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_PR2.json: the kernel benchmarks that track the
+# instruction-stream engine (cursor vs iter.Pull) and the batch pool.
+#
+# Usage:  scripts/bench.sh [benchtime]
+# e.g.    scripts/bench.sh 2s      # default
+#         scripts/bench.sh 1x     # smoke run (CI uses this)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkPlanarWalkGen'
+
+# Write to a temp file and move into place only on success, so a
+# failed bench run never clobbers the committed perf record.
+TMP="$(mktemp BENCH_PR2.json.XXXXXX)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . |
+  go run ./cmd/benchjson -note \
+    "PR2 cursor engine: *Pull benchmarks force the iter.Pull coroutine path via prog.Opaque; the unsuffixed twins take the cursor fast path. benchtime=$BENCHTIME" \
+    > "$TMP"
+
+mv "$TMP" BENCH_PR2.json
+trap - EXIT
+echo "wrote BENCH_PR2.json"
