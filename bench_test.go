@@ -8,12 +8,14 @@ package repro_test
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/cgkk"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/dist"
 	"repro/internal/exps"
 	"repro/internal/geom"
 	"repro/internal/inst"
@@ -24,6 +26,15 @@ import (
 	"repro/internal/walk"
 	"repro/rendezvous"
 )
+
+// TestMain lets the bench binary serve as its own distributed-worker
+// fleet: the coordinator's default WorkerCmd re-executes the current
+// executable, and MaybeServeStdio diverts that copy into the worker
+// loop (see BenchmarkDistT2Procs*).
+func TestMain(m *testing.M) {
+	dist.MaybeServeStdio()
+	os.Exit(m.Run())
+}
 
 // quickBudgets keeps table regeneration fast enough for benchmarking.
 func quickBudgets() exps.Budgets {
@@ -138,6 +149,34 @@ func BenchmarkBatchT2Workers4(b *testing.B) { benchBatchT2(b, 4) }
 func BenchmarkBatchT2WorkersMax(b *testing.B) {
 	benchBatchT2(b, runtime.GOMAXPROCS(0))
 }
+
+// benchDistT2 runs the same T2 batch through the distributed engine
+// with `procs` local worker subprocesses (spawned fresh per iteration:
+// the measured figure includes the fleet's spawn/handshake cost, which
+// is the realistic per-batch overhead of going multi-process). Results
+// are byte-identical to the in-process benchmarks above; on a
+// single-CPU host the scaling benefit is bounded by the hardware, so
+// the cross-machine figure of merit is sims/s at procs=N vs procs=1.
+func benchDistT2(b *testing.B, procs int) {
+	ins := batchT2Instances()
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = 120_000_000
+	set.Parallelism = 1
+	set.WorkerProcs = procs
+	alg := rendezvous.AlmostUniversalRV()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, res := range rendezvous.SimulateBatch(ins, alg, set) {
+			if !res.Met {
+				b.Fatalf("instance %d failed to meet: %v", j, ins[j])
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+func BenchmarkDistT2Procs1(b *testing.B) { benchDistT2(b, 1) }
+func BenchmarkDistT2Procs2(b *testing.B) { benchDistT2(b, 2) }
 
 // BenchmarkBatchTableT2 regenerates the full T2 table through the pool
 // at 1 vs GOMAXPROCS workers — the end-to-end version of the scaling

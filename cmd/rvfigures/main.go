@@ -12,19 +12,28 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/dist"
 	"repro/internal/exps"
 )
 
 func main() {
+	dist.MaybeServeStdio() // single-binary deploys: -worker re-executes rvfigures itself
+
 	out := flag.String("out", "figures", "output directory")
 	workers := flag.Int("workers", 0, "batch-pool size for simulated figures (0 = GOMAXPROCS)")
+	procs := flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
+	hosts := flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
 	flag.Parse()
+
+	b := exps.DefaultBudgets()
+	b.Workers = *workers
+	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts)}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for name, doc := range exps.FiguresWith(*workers) {
+	for name, doc := range exps.FiguresDist(b) {
 		path := filepath.Join(*out, name+".svg")
 		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)

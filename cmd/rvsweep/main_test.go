@@ -3,6 +3,10 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/prog"
+	"repro/rendezvous"
 )
 
 // sweepCases covers the three sweep modes with their CLI-default-shaped
@@ -55,6 +59,79 @@ func TestPointsUnknownMode(t *testing.T) {
 	if _, _, err := Points("bogus", 1, 2, 0); err == nil {
 		t.Fatal("no error for unknown sweep mode with steps=0")
 	}
+}
+
+// chanWriter hands every Write to the test, blocking until the test
+// has consumed it — the deterministic observation point for streaming.
+type chanWriter struct{ ch chan string }
+
+func (w chanWriter) Write(p []byte) (int, error) {
+	w.ch <- string(p)
+	return len(p), nil
+}
+
+// TestStreamCSVRowBeforeBatchEnds pins the streaming satellite: with
+// the last sweep point's simulation gated open, the first data row
+// must come out of StreamCSV while that job is still running — rows
+// appear as the ordered prefix completes, not after the drain.
+func TestStreamCSVRowBeforeBatchEnds(t *testing.T) {
+	pts, _, err := Points("delay", 0.5, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want 2 points, got %d", len(pts))
+	}
+
+	gate := make(chan struct{})
+	last := pts[len(pts)-1].Inst
+	alg := rendezvous.Algorithm{
+		Name: "gated-sweep-test",
+		Program: func(in rendezvous.Instance) prog.Program {
+			if in == last {
+				return func(yield func(prog.Instr) bool) { <-gate }
+			}
+			return prog.Instrs() // ends immediately
+		},
+	}
+
+	set := SweepSettings(10_000, 2, "", 0)
+	cw := chanWriter{ch: make(chan string)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		streamCSV(cw, "delay", pts, set, alg)
+	}()
+
+	recv := func(what string) string {
+		t.Helper()
+		select {
+		case s := <-cw.ch:
+			return s
+		case <-time.After(60 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+			return ""
+		}
+	}
+	if got := recv("header"); !strings.HasPrefix(got, "delay,meet_time") {
+		t.Fatalf("first write is not the header: %q", got)
+	}
+	row0 := recv("first data row")
+	if !strings.HasPrefix(row0, "0.5,") {
+		t.Fatalf("first row is not point 0: %q", row0)
+	}
+	// The last job is still blocked on the gate, so the sweep cannot
+	// have finished: the row above was observable before batch end.
+	select {
+	case <-done:
+		t.Fatal("sweep completed while its last job was still gated")
+	default:
+	}
+	close(gate)
+	if got := recv("last data row"); !strings.HasPrefix(got, "2,") {
+		t.Fatalf("last row mismatch: %q", got)
+	}
+	<-done
 }
 
 // TestSweepCSVEmission runs each mode under a tiny segment budget (the

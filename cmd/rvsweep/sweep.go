@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"strings"
 
@@ -48,29 +49,54 @@ func Points(mode string, from, to float64, steps int) (pts []Point, skipped []er
 	return pts, skipped, nil
 }
 
+// SweepSettings assembles the simulation settings of a sweep run: the
+// segment budget, the in-process pool size, and (optionally) the
+// distributed worker fleet.
+func SweepSettings(maxSeg, workers int, hosts string, workerProcs int) rendezvous.Settings {
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = maxSeg
+	set.Parallelism = workers
+	set.Hosts = hosts
+	set.WorkerProcs = workerProcs
+	return set
+}
+
 // SweepCSV simulates every point under AlmostUniversalRV on a pool of
 // `workers` goroutines and renders the CSV document (header + one row
 // per point, in sweep order). The batch engine guarantees the document
 // is byte-identical for every worker count.
 func SweepCSV(mode string, pts []Point, maxSeg, workers int) string {
-	set := rendezvous.DefaultSettings()
-	set.MaxSegments = maxSeg
-	set.Parallelism = workers
+	var b strings.Builder
+	StreamCSV(&b, mode, pts, SweepSettings(maxSeg, workers, "", 0))
+	return b.String()
+}
 
+// StreamCSV renders the same document as SweepCSV but writes each row
+// the moment the ordered result prefix completes, instead of after the
+// whole batch drains: a sweep whose early points are cheap prints them
+// while the pool is still grinding through the expensive tail. The
+// emitted bytes are identical to SweepCSV's for every worker count,
+// pool size, and fleet — streaming changes when rows appear, never what
+// they say.
+func StreamCSV(w io.Writer, mode string, pts []Point, set rendezvous.Settings) {
+	streamCSV(w, mode, pts, set, rendezvous.AlmostUniversalRV())
+}
+
+// streamCSV is StreamCSV with the algorithm injectable (tests gate a
+// custom algorithm to observe rows appearing before the batch ends).
+func streamCSV(w io.Writer, mode string, pts []Point, set rendezvous.Settings, alg rendezvous.Algorithm) {
 	ins := make([]rendezvous.Instance, len(pts))
 	for i, p := range pts {
 		ins[i] = p.Inst
 	}
-	results := rendezvous.SimulateBatch(ins, rendezvous.AlmostUniversalRV(), set)
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s,meet_time,min_gap,segments\n", mode)
-	for i, res := range results {
+	fmt.Fprintf(w, "%s,meet_time,min_gap,segments\n", mode)
+	i := 0
+	for res := range rendezvous.SimulateBatchStream(ins, alg, set) {
 		meet := math.NaN()
 		if res.Met {
 			meet = res.MeetTime.Float64()
 		}
-		fmt.Fprintf(&b, "%g,%g,%g,%d\n", pts[i].Value, meet, res.MinGap, res.Segments)
+		fmt.Fprintf(w, "%g,%g,%g,%d\n", pts[i].Value, meet, res.MinGap, res.Segments)
+		i++
 	}
-	return b.String()
 }

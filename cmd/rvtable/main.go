@@ -13,22 +13,28 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/exps"
 	"repro/internal/report"
 )
 
 func main() {
+	dist.MaybeServeStdio() // single-binary deploys: -worker re-executes rvtable itself
+
 	var (
 		exp     = flag.String("exp", "all", "table id: T1..T5 or all")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		n       = flag.Int("n", 5, "samples per class/type")
 		workers = flag.Int("workers", 0, "batch-pool size (0 = GOMAXPROCS); output is identical for every value")
+		procs   = flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
+		hosts   = flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
 	)
 	flag.Parse()
 
 	b := exps.DefaultBudgets()
 	b.Workers = *workers
+	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts)}
 	gens := map[string]func() *report.Table{
 		"T1": func() *report.Table { return exps.T1(*seed, *n, b) },
 		"T2": func() *report.Table { return exps.T2(*seed+1, *n, b) },

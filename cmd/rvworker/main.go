@@ -1,0 +1,55 @@
+// Command rvworker is the worker half of the distributed batch engine:
+// it executes simulation jobs shipped to it by a coordinator
+// (rendezvous.SimulateBatch with Settings.Hosts/WorkerProcs, or the
+// -hosts/-worker flags of rvsweep/rvtable/rvfigures) and streams the
+// results back bit-exactly over the wire codec.
+//
+// Two transports:
+//
+//	rvworker                 # serve one coordinator on stdin/stdout
+//	rvworker -listen :9101   # serve any number of coordinators over TCP
+//
+// Jobs on one stream execute serially; scale out by running more
+// workers (or letting the coordinator spawn subprocess workers, which
+// re-execute the coordinator binary itself — every cmd/ main of this
+// repo can serve as its own worker).
+//
+// Determinism: a worker computes exactly what the coordinator would
+// have computed in-process — algorithms are rebuilt by registered name
+// from the same code, inputs and outputs cross the wire bit-for-bit —
+// so distributing a batch never changes a single reported number.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "", "TCP address to serve workers on (empty: serve stdin/stdout)")
+		list   = flag.Bool("list", false, "print the registered algorithm names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range wire.Algorithms() {
+			fmt.Println(name)
+		}
+		return
+	}
+	var err error
+	if *listen != "" {
+		err = dist.ListenAndServe(*listen)
+	} else {
+		err = dist.ServeStdio()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvworker:", err)
+		os.Exit(1)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Job is one unit of batch work: a pair of agents and the settings
@@ -55,6 +56,14 @@ type Job struct {
 	// its observers never fire. nil (the default) disables memoization
 	// for the job.
 	Key any
+	// Wire, when non-nil, is the serializable description of this job
+	// (instance + registered algorithm name + settings): the form a
+	// worker process can execute. Jobs without a wire form — programs
+	// wired to observers, per-instance closure algorithms — always
+	// execute in the coordinator process; internal/dist ships only
+	// wire-formed jobs across the process boundary. Purity makes the
+	// split invisible in the output.
+	Wire *wire.Job
 }
 
 // Stats is the aggregate accounting of a batch, computed serially in
@@ -94,15 +103,39 @@ func Workers(requested, n int) int {
 // and the Stats aggregates are byte-identical to a memoization-free run.
 func Run(jobs []Job, workers int) ([]sim.Result, Stats) {
 	results := make([]sim.Result, len(jobs))
-	// Deduplicate by Key before dispatch: the canonical index of every
-	// job is decided serially in input order, so the execution set — and
-	// with it every result — is independent of the worker count.
-	canon := make([]int, len(jobs))
-	uniq := make([]int, 0, len(jobs))
+	canon, uniq := Dedup(len(jobs), func(i int) any { return jobs[i].Key })
+
+	w := Workers(workers, len(uniq))
+	Do(len(uniq), w, func(k int) {
+		i := uniq[k]
+		results[i] = sim.Run(jobs[i].A, jobs[i].B, jobs[i].Settings)
+	})
+	for i, c := range canon {
+		if c != i {
+			// Deep-copy the traces so every slot owns its slices, as it
+			// would had it run itself — callers may mutate trace points
+			// in place (plot rescaling) without corrupting siblings.
+			results[i] = results[c].CloneTraces()
+		}
+	}
+	return results, FoldStats(results, len(uniq), w)
+}
+
+// Dedup computes the memoization structure of a job list: canon[i] is
+// the index of the job whose result slot i receives (canon[i] == i for
+// jobs that execute), and uniq lists the executing indices in input
+// order. key(i) returns job i's memoization key; nil disables sharing
+// for that job. The canonical index of every job is decided serially in
+// input order, so the execution set — and with it every result — is
+// independent of how the unique jobs are later scheduled (worker count,
+// process count, host count).
+func Dedup(n int, key func(i int) any) (canon []int, uniq []int) {
+	canon = make([]int, n)
+	uniq = make([]int, 0, n)
 	var firstByKey map[any]int
-	for i := range jobs {
+	for i := 0; i < n; i++ {
 		canon[i] = i
-		if k := jobs[i].Key; k != nil {
+		if k := key(i); k != nil {
 			if firstByKey == nil {
 				firstByKey = make(map[any]int)
 			}
@@ -114,29 +147,16 @@ func Run(jobs []Job, workers int) ([]sim.Result, Stats) {
 		}
 		uniq = append(uniq, i)
 	}
+	return canon, uniq
+}
 
-	w := Workers(workers, len(uniq))
-	Do(len(uniq), w, func(k int) {
-		i := uniq[k]
-		results[i] = sim.Run(jobs[i].A, jobs[i].B, jobs[i].Settings)
-	})
-	for i, c := range canon {
-		if c != i {
-			r := results[c]
-			// Deep-copy the traces so every slot owns its slices, as it
-			// would had it run itself — callers may mutate trace points
-			// in place (plot rescaling) without corrupting siblings.
-			if r.TraceA != nil {
-				r.TraceA = append([]sim.TracePoint(nil), r.TraceA...)
-			}
-			if r.TraceB != nil {
-				r.TraceB = append([]sim.TracePoint(nil), r.TraceB...)
-			}
-			results[i] = r
-		}
-	}
-
-	st := Stats{Jobs: len(jobs), Executed: len(uniq), Workers: w}
+// FoldStats computes the aggregate accounting of a completed batch by a
+// serial fold over the results in input order — the one way to
+// aggregate that is deterministic for every execution schedule. It is
+// shared by every engine that fills a result slice (Run, RunStream, and
+// the distributed coordinator of internal/dist).
+func FoldStats(results []sim.Result, executed, workers int) Stats {
+	st := Stats{Jobs: len(results), Executed: executed, Workers: workers}
 	for _, r := range results {
 		if r.Met {
 			st.Met++
@@ -144,7 +164,7 @@ func Run(jobs []Job, workers int) ([]sim.Result, Stats) {
 		st.Segments += int64(r.Segments)
 		st.SimTime += r.EndTime.Float64()
 	}
-	return results, st
+	return st
 }
 
 // Do runs fn(i) for every i in [0, n) on a pool of `workers`

@@ -84,10 +84,17 @@ func ZeroWait() Schedule {
 
 // Program returns the CGKK procedure as an infinite program.
 func Program(s Schedule) prog.Program {
-	return prog.Forever(func(i int) prog.Program {
-		return prog.Seq(
-			prog.Instrs(prog.Wait(math.Exp2(s.WaitExp(i)))),
-			walk.Planar(i),
+	return prog.CursorProgram(func() prog.Cursor { return ProgramCursor(s) })
+}
+
+// ProgramCursor returns the procedure as a bare single-use cursor (the
+// allocation-lean spelling block 4 of Algorithm 1 budgets and slices
+// once per phase).
+func ProgramCursor(s Schedule) prog.Cursor {
+	return prog.ForeverCursor(func(i int) prog.Cursor {
+		return prog.SeqOf(
+			prog.InstrsCursor(prog.Wait(math.Exp2(s.WaitExp(i)))),
+			walk.NewPlanar(i),
 		)
 	})
 }

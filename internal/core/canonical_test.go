@@ -1,0 +1,58 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cgkk"
+)
+
+// TestScheduleFieldsCoveredByCanonical guards the spoof-protection
+// mechanism against field drift: Canonical compares the tunable fields
+// of Schedule (and the embedded cgkk.Schedule) by hand, so a field
+// added to either struct without extending schedSnapshot/Canonical
+// would silently escape the check — a caller could tweak it and still
+// ship the schedule's name over the wire. If this test fails, extend
+// schedSnapshot and Canonical to cover the new field, then update the
+// expected counts.
+func TestScheduleFieldsCoveredByCanonical(t *testing.T) {
+	if got := reflect.TypeOf(Schedule{}).NumField(); got != 4 {
+		t.Errorf("core.Schedule has %d fields; Canonical covers 4 (Name, Type3WaitExp, CGKK, canon)", got)
+	}
+	if got := reflect.TypeOf(cgkk.Schedule{}).NumField(); got != 2 {
+		t.Errorf("cgkk.Schedule has %d fields; Canonical covers 2 (Name, WaitExp)", got)
+	}
+}
+
+// TestCanonical pins the gate itself: constructor-built schedules pass,
+// any field substitution (or a hand-assembled schedule) fails.
+func TestCanonical(t *testing.T) {
+	if !Compact().Canonical() || !Faithful().Canonical() {
+		t.Fatal("constructor-built schedule not canonical")
+	}
+	if (Schedule{}).Canonical() {
+		t.Fatal("zero schedule claims to be canonical")
+	}
+	hand := Schedule{Name: "compact", Type3WaitExp: func(i int) float64 { return 10 * float64(i) }, CGKK: cgkk.ZeroWait()}
+	if hand.Canonical() {
+		t.Fatal("hand-assembled schedule claims to be canonical")
+	}
+
+	s := Compact()
+	s.Type3WaitExp = func(i int) float64 { return 7 * float64(i) }
+	if s.Canonical() {
+		t.Fatal("tweaked Type3WaitExp still canonical")
+	}
+
+	s = Compact()
+	s.Name = "faithful"
+	if s.Canonical() {
+		t.Fatal("renamed schedule still canonical")
+	}
+
+	s = Compact()
+	s.CGKK = cgkk.Compact()
+	if s.Canonical() {
+		t.Fatal("swapped CGKK schedule still canonical")
+	}
+}

@@ -1,0 +1,528 @@
+// Package dist distributes batch execution across worker processes —
+// local subprocesses speaking length-prefixed frames over stdio pipes,
+// remote workers reached over TCP — while preserving the batch
+// engine's determinism guarantee end to end: any worker-process count,
+// any host mix, any interleaving of completions produces a result
+// slice byte-identical to an in-process serial run.
+//
+// The guarantee has three legs, each inherited from a layer below:
+//
+//  1. sim.Run is a pure function of (instance, algorithm, settings);
+//  2. the wire codec (internal/wire) round-trips every input and
+//     output bit-exactly, and algorithms cross the boundary by
+//     registered name, rebuilt identically on the worker;
+//  3. the coordinator keeps internal/batch's discipline — memoization
+//     canon/uniq decided serially in input order before dispatch,
+//     results stored by input index, aggregates folded serially — so
+//     scheduling (which worker, which order, even a worker dying
+//     mid-job and its job being requeued to a survivor) changes
+//     wall-clock time and nothing else.
+//
+// Jobs without a wire form (programs wired to observers, closure-built
+// per-instance algorithms) cannot cross a process boundary; the
+// coordinator runs them on an in-process pool concurrently with the
+// remote dispatch, which purity again makes invisible in the output.
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// helloTimeout bounds how long the coordinator waits for a freshly
+// spawned or dialed worker to identify itself; a peer that is not a
+// worker (wrong port, a main that forgot MaybeServeStdio) would
+// otherwise hang the batch forever.
+const helloTimeout = 10 * time.Second
+
+// Config selects the worker fleet of a distributed run.
+type Config struct {
+	// Hosts are TCP endpoints of already-running workers
+	// (cmd/rvworker -listen). Each contributes one serial worker
+	// stream.
+	Hosts []string
+	// Procs is the number of local worker subprocesses to spawn for
+	// the run (stdio transport). They are torn down when the run ends.
+	Procs int
+	// Cmd is the command line used to spawn local workers. Empty
+	// selects the current executable re-executed in worker mode (the
+	// WorkerEnv marker + MaybeServeStdio handshake).
+	Cmd []string
+	// Stderr receives the spawned workers' stderr; nil inherits the
+	// coordinator's.
+	Stderr io.Writer
+}
+
+// Enabled reports whether the config names any workers at all.
+func (c Config) Enabled() bool { return len(c.Hosts) > 0 || c.Procs > 0 }
+
+// ParseHosts splits a comma-separated endpoint list into Config.Hosts
+// form, trimming whitespace and dropping empty entries — the one
+// parser behind every -hosts flag and Settings.Hosts.
+func ParseHosts(s string) []string {
+	var hosts []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+// RunOrFallback is Run with the standard degradation policy: when the
+// config names no fleet, or the distributed run fails (no worker
+// reachable, every worker died, a job failed on a worker), the batch
+// completes in-process instead — byte-identical by the determinism
+// guarantee — after a warning on the config's stderr. A mid-run
+// failure keeps the delivered ordered prefix and recomputes only the
+// rest, so a single bad slot does not cost the whole batch twice.
+func RunOrFallback(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result, batch.Stats) {
+	if !cfg.Enabled() {
+		return batch.Run(jobs, localWorkers)
+	}
+	st, err := RunStream(jobs, localWorkers, cfg)
+	if err != nil {
+		fmt.Fprintf(stderrOf(cfg), "dist: distributed batch failed (%v); falling back to in-process\n", err)
+		return batch.Run(jobs, localWorkers)
+	}
+	results := make([]sim.Result, 0, len(jobs))
+	for r := range st.Results() {
+		results = append(results, r)
+	}
+	if err := st.Err(); err == nil {
+		return results, st.Stats()
+	} else {
+		fmt.Fprintf(stderrOf(cfg), "dist: distributed batch failed after %d results (%v); finishing in-process\n", len(results), err)
+	}
+	suffix, _ := batch.Run(jobs[len(results):], localWorkers)
+	results = append(results, suffix...)
+	// Accounting on the splice path: report the canonical execution set
+	// (what a clean run of this batch executes); the suffix re-dedups
+	// independently, so the actual execution count may have been higher.
+	_, uniq := batch.Dedup(len(jobs), func(i int) any { return jobs[i].Key })
+	return results, batch.FoldStats(results, len(uniq), batch.Workers(localWorkers, len(jobs)))
+}
+
+// StreamOrFallback is RunStream with the same degradation policy as
+// RunOrFallback, flattened to a plain ordered channel: every result is
+// delivered in input order exactly once — distributed while the fleet
+// holds, spliced with an in-process run of the undelivered suffix if it
+// fails (determinism makes the splice exact). This is the one home of
+// the streaming fallback discipline; the public SimulateBatchStream is
+// a thin wrapper.
+func StreamOrFallback(jobs []batch.Job, localWorkers int, cfg Config) <-chan sim.Result {
+	out := make(chan sim.Result, len(jobs))
+	go func() {
+		defer close(out)
+		delivered := 0
+		if cfg.Enabled() {
+			st, err := RunStream(jobs, localWorkers, cfg)
+			if err == nil {
+				for r := range st.Results() {
+					out <- r
+					delivered++
+				}
+				if err = st.Err(); err == nil {
+					return
+				}
+			}
+			fmt.Fprintf(stderrOf(cfg), "dist: distributed batch failed after %d results (%v); finishing in-process\n", delivered, err)
+		}
+		for r := range batch.RunStream(jobs[delivered:], localWorkers).Results() {
+			out <- r
+		}
+	}()
+	return out
+}
+
+// Run executes the jobs across the configured worker fleet and returns
+// results in input order plus aggregate accounting, byte-identical to
+// batch.Run on the same jobs. localWorkers sizes the in-process pool
+// for jobs without a wire form (≤ 0 selects GOMAXPROCS). The error is
+// non-nil only when results are incomplete — no worker could be
+// started, every worker died, or a job failed deterministically on a
+// worker; the caller can then fall back to in-process execution, which
+// purity guarantees produces the same output.
+func Run(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result, batch.Stats, error) {
+	st, err := RunStream(jobs, localWorkers, cfg)
+	if err != nil {
+		return nil, batch.Stats{}, err
+	}
+	results := make([]sim.Result, 0, len(jobs))
+	for r := range st.Results() {
+		results = append(results, r)
+	}
+	if err := st.Err(); err != nil {
+		return nil, batch.Stats{}, err
+	}
+	return results, st.Stats(), nil
+}
+
+// RunStream is Run with ordered streaming delivery: the returned
+// Stream releases results in input order as the completed prefix
+// grows, so consumers act on early results while workers are still
+// grinding through the rest. A non-nil error means the run could not
+// start (no worker reachable) and nothing was delivered; failures
+// after startup surface through Stream.Err after the channel closes,
+// with the delivered prefix still byte-exact.
+func RunStream(jobs []batch.Job, localWorkers int, cfg Config) (*batch.Stream, error) {
+	canon, uniq := batch.Dedup(len(jobs), func(i int) any { return jobs[i].Key })
+
+	// Partition the executing set: wire-formed jobs can ship to worker
+	// processes, the rest run here. The partition is pure bookkeeping —
+	// results land by input index either way.
+	var remote, local []int
+	for _, i := range uniq {
+		if jobs[i].Wire != nil {
+			remote = append(remote, i)
+		} else {
+			local = append(local, i)
+		}
+	}
+
+	var conns []*workerConn
+	if len(remote) > 0 {
+		// Cap the fleet at the remote-job count: feeders are synchronous
+		// (one in-flight job each), so extra workers would only pay spawn
+		// and handshake cost to sit idle.
+		if cfg.Procs > len(remote) {
+			cfg.Procs = len(remote)
+		}
+		if len(cfg.Hosts) > len(remote) {
+			cfg.Hosts = cfg.Hosts[:len(remote)]
+		}
+		var errs []error
+		conns, errs = connect(cfg)
+		if len(conns) == 0 {
+			return nil, fmt.Errorf("dist: no worker reachable: %w", errors.Join(errs...))
+		}
+		for _, e := range errs {
+			fmt.Fprintln(stderrOf(cfg), "dist: worker unavailable:", e)
+		}
+	}
+
+	s, p := batch.NewStream(len(jobs))
+	go run(jobs, canon, uniq, remote, local, conns, localWorkers, p)
+	return s, nil
+}
+
+func stderrOf(cfg Config) io.Writer {
+	if cfg.Stderr != nil {
+		return cfg.Stderr
+	}
+	return os.Stderr
+}
+
+// run is the coordinator engine: a claim channel feeds remote jobs to
+// one synchronous feeder goroutine per worker connection, an in-process
+// pool runs the local jobs concurrently, and every completion releases
+// the job's result (and its memoized duplicates) into the stream.
+func run(jobs []batch.Job, canon, uniq, remote, local []int, conns []*workerConn, localWorkers int, p *batch.Producer) {
+	dups := batch.DupsOf(canon)
+	deliver := func(i int, r sim.Result) {
+		p.Put(i, r)
+		for _, j := range dups[i] {
+			p.Put(j, r.CloneTraces())
+		}
+	}
+
+	// Two error severities: a job failing deterministically on a worker
+	// poisons the run (jobErrs), while a worker dying is survivable — its
+	// in-flight job is requeued, and the death (deadErrs) only matters if
+	// jobs are still undone when every feeder has retired.
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		jobErrs  []error
+		deadErrs []error
+	)
+	failJob := func(err error) {
+		errMu.Lock()
+		jobErrs = append(jobErrs, err)
+		errMu.Unlock()
+	}
+	failWorker := func(err error) {
+		errMu.Lock()
+		deadErrs = append(deadErrs, err)
+		errMu.Unlock()
+	}
+
+	localPool := 0
+	if len(local) > 0 {
+		localPool = batch.Workers(localWorkers, len(local))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch.Do(len(local), localPool, func(k int) {
+				i := local[k]
+				deliver(i, sim.Run(jobs[i].A, jobs[i].B, jobs[i].Settings))
+			})
+		}()
+	}
+
+	// remaining counts undelivered/unfailed remote jobs; the feeder that
+	// takes it to zero closes the claim channel. An unclaimed job always
+	// contributes to remaining, so the channel's buffer (cap = initial
+	// fill) can absorb any requeue and a requeue can never race the
+	// close.
+	var remaining atomic.Int64
+	remaining.Store(int64(len(remote)))
+	if len(remote) > 0 {
+		work := make(chan int, len(remote))
+		for _, i := range remote {
+			work <- i
+		}
+		settle := func() {
+			if remaining.Add(-1) == 0 {
+				close(work)
+			}
+		}
+		for _, wc := range conns {
+			wg.Add(1)
+			go func(wc *workerConn) {
+				defer wg.Done()
+				defer wc.close()
+				for i := range work {
+					res, err := wc.roundTrip(uint64(i), *jobs[i].Wire)
+					var jerr *jobError
+					switch {
+					case err == nil:
+						deliver(i, res)
+						settle()
+					case errors.As(err, &jerr):
+						// Deterministic job failure: requeueing would fail
+						// identically on every worker. Count it settled so the
+						// run drains; the overall error reports it.
+						failJob(fmt.Errorf("dist: job %d on %s: %w", i, wc.name, err))
+						settle()
+					default:
+						// Transport failure: the worker is gone. Requeue the
+						// in-flight job for a survivor and retire this feeder.
+						work <- i
+						failWorker(fmt.Errorf("dist: worker %s: %w", wc.name, err))
+						return
+					}
+				}
+			}(wc)
+		}
+	}
+
+	wg.Wait()
+	var err error
+	if rem := remaining.Load(); rem > 0 {
+		// Jobs stranded: every surviving feeder retired, so the deaths
+		// stopped being survivable.
+		err = errors.Join(append(deadErrs,
+			fmt.Errorf("dist: %d jobs undone after every worker failed", rem))...)
+	} else if len(jobErrs) > 0 {
+		err = errors.Join(jobErrs...)
+	}
+	p.Close(len(uniq), len(conns)+localPool, err)
+}
+
+// jobError marks a deterministic per-job failure reported by a worker
+// (FrameError): retrying elsewhere would fail the same way.
+type jobError struct{ msg string }
+
+func (e *jobError) Error() string { return e.msg }
+
+// workerConn is one serial worker stream (spawned subprocess or TCP).
+type workerConn struct {
+	name      string
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	closeOnce sync.Once
+	closeFn   func()
+}
+
+func (wc *workerConn) close() { wc.closeOnce.Do(wc.closeFn) }
+
+// roundTrip sends one job and waits for its answer. Any transport or
+// protocol irregularity is returned as a plain error (requeue); a
+// worker-reported job failure comes back as *jobError (do not requeue).
+func (wc *workerConn) roundTrip(seq uint64, j wire.Job) (sim.Result, error) {
+	if err := wire.WriteFrame(wc.bw, wire.FrameJob, wire.AppendSeq(seq, wire.EncodeJob(j))); err != nil {
+		return sim.Result{}, err
+	}
+	if err := wc.bw.Flush(); err != nil {
+		return sim.Result{}, err
+	}
+	typ, payload, err := wire.ReadFrame(wc.br)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	rseq, body, err := wire.SplitSeq(payload)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if rseq != seq {
+		return sim.Result{}, fmt.Errorf("answer for job %d while awaiting %d", rseq, seq)
+	}
+	switch typ {
+	case wire.FrameResult:
+		return wire.DecodeResult(body)
+	case wire.FrameError:
+		return sim.Result{}, &jobError{msg: string(body)}
+	default:
+		return sim.Result{}, fmt.Errorf("unexpected frame type %d", typ)
+	}
+}
+
+// connect assembles the worker fleet: dial every host, spawn every
+// requested subprocess — all concurrently, so one dead host costs one
+// dial timeout, not a serial sum of them. Individual failures are
+// collected, not fatal — the run proceeds on whatever subset came up
+// (and only fails outright when that subset is empty).
+func connect(cfg Config) ([]*workerConn, []error) {
+	n := len(cfg.Hosts) + cfg.Procs
+	conns := make([]*workerConn, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for k, addr := range cfg.Hosts {
+		go func(k int, addr string) {
+			defer wg.Done()
+			conns[k], errs[k] = dialWorker(addr)
+		}(k, addr)
+	}
+	for k := 0; k < cfg.Procs; k++ {
+		go func(k int) {
+			defer wg.Done()
+			conns[len(cfg.Hosts)+k], errs[len(cfg.Hosts)+k] = spawnWorker(cfg.Cmd, stderrOf(cfg), k)
+		}(k)
+	}
+	wg.Wait()
+	up := conns[:0]
+	var failed []error
+	for k := 0; k < n; k++ {
+		if errs[k] != nil {
+			failed = append(failed, errs[k])
+			continue
+		}
+		up = append(up, conns[k])
+	}
+	return up, failed
+}
+
+// awaitHello reads and validates the worker's hello frame, bounded by
+// helloTimeout; cancel must unblock the pending read (kill the process,
+// close the connection) so the reader goroutine is always reaped.
+func awaitHello(name string, br *bufio.Reader, cancel func()) error {
+	type frame struct {
+		typ     byte
+		payload []byte
+		err     error
+	}
+	ch := make(chan frame, 1)
+	go func() {
+		typ, payload, err := wire.ReadFrame(br)
+		ch <- frame{typ, payload, err}
+	}()
+	select {
+	case f := <-ch:
+		if f.err != nil {
+			return fmt.Errorf("dist: %s: reading hello: %w", name, f.err)
+		}
+		if f.typ != wire.FrameHello {
+			return fmt.Errorf("dist: %s: first frame is type %d, not hello", name, f.typ)
+		}
+		if err := wire.CheckHello(f.payload); err != nil {
+			return fmt.Errorf("dist: %s: %w", name, err)
+		}
+		return nil
+	case <-time.After(helloTimeout):
+		cancel()
+		<-ch
+		return fmt.Errorf("dist: %s: no hello within %v (is the peer a worker?)", name, helloTimeout)
+	}
+}
+
+// dialWorker connects to a TCP worker endpoint. Keepalives are enabled
+// so a silent network partition mid-job surfaces as a transport error
+// (and hence a requeue) instead of wedging the batch on a read that
+// never returns.
+func dialWorker(addr string) (*workerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	wc := &workerConn{
+		name:    "tcp:" + addr,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		closeFn: func() { conn.Close() },
+	}
+	if err := awaitHello(wc.name, wc.br, func() { conn.Close() }); err != nil {
+		wc.close()
+		return nil, err
+	}
+	return wc, nil
+}
+
+// spawnWorker starts one local subprocess worker on stdio pipes. With
+// no explicit command it re-executes the current binary in worker mode.
+func spawnWorker(cmdline []string, stderr io.Writer, ordinal int) (*workerConn, error) {
+	if len(cmdline) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("dist: resolving own executable for worker spawn: %w", err)
+		}
+		cmdline = []string{exe}
+	}
+	cmd := exec.Command(cmdline[0], cmdline[1:]...)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stderr = stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: spawning worker %q: %w", cmdline[0], err)
+	}
+	name := fmt.Sprintf("proc:%d(pid %d)", ordinal, cmd.Process.Pid)
+	kill := func() { cmd.Process.Kill() }
+	wc := &workerConn{
+		name: name,
+		br:   bufio.NewReader(stdout),
+		bw:   bufio.NewWriter(stdin),
+		closeFn: func() {
+			// Closing stdin is the shutdown signal (worker exits on EOF);
+			// escalate to kill if it lingers, and always reap the process.
+			stdin.Close()
+			done := make(chan struct{})
+			go func() { cmd.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				kill()
+				<-done
+			}
+		},
+	}
+	if err := awaitHello(name, wc.br, kill); err != nil {
+		wc.close()
+		return nil, err
+	}
+	return wc, nil
+}

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"repro/internal/batch"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// WorkerEnv is the environment marker that switches a re-executed
+// binary into worker mode (see MaybeServeStdio). Spawned stdio workers
+// get it set by the coordinator.
+const WorkerEnv = "RV_DIST_WORKER"
+
+// materialize rebuilds the executable batch job a wire job describes,
+// looking the algorithm up in the registry. It mirrors exactly how
+// rendezvous.SimulateBatch builds its jobs, which is what makes a
+// worker-computed result byte-identical to a coordinator-computed one.
+func materialize(j wire.Job) (batch.Job, error) {
+	mk, ok := wire.Algorithm(j.Alg)
+	if !ok {
+		return batch.Job{}, fmt.Errorf("dist: algorithm %q is not registered in this worker", j.Alg)
+	}
+	return batch.Job{
+		A:        sim.AgentSpec{Attrs: j.In.AgentA(), Prog: mk(j.In), Radius: j.In.R},
+		B:        sim.AgentSpec{Attrs: j.In.AgentB(), Prog: mk(j.In), Radius: j.In.R},
+		Settings: j.Set,
+	}, nil
+}
+
+// Serve runs the worker side of the protocol on one byte stream: send
+// hello, then answer job frames with result frames until the stream
+// ends. Jobs are executed serially — process-level parallelism is the
+// coordinator's job (it spawns or dials as many workers as it wants).
+// A clean EOF between frames returns nil; anything else is an error.
+func Serve(r io.Reader, w io.Writer) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	if err := wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHello()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err == io.EOF {
+			return nil // coordinator closed the stream: done
+		}
+		if err != nil {
+			return err
+		}
+		if typ != wire.FrameJob {
+			return fmt.Errorf("dist: worker received unexpected frame type %d", typ)
+		}
+		seq, body, err := wire.SplitSeq(payload)
+		if err != nil {
+			return err
+		}
+		var reply []byte
+		replyType := wire.FrameResult
+		if j, err := wire.DecodeJob(body); err != nil {
+			replyType, reply = wire.FrameError, []byte(err.Error())
+		} else if bj, err := materialize(j); err != nil {
+			replyType, reply = wire.FrameError, []byte(err.Error())
+		} else {
+			res := sim.Run(bj.A, bj.B, bj.Settings)
+			reply = wire.EncodeResult(res)
+		}
+		if err := wire.WriteFrame(bw, replyType, wire.AppendSeq(seq, reply)); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeStdio serves the worker protocol on stdin/stdout — the transport
+// of coordinator-spawned subprocess workers.
+func ServeStdio() error { return Serve(os.Stdin, os.Stdout) }
+
+// MaybeServeStdio turns the current process into a stdio worker and
+// exits when the WorkerEnv marker is set, and returns immediately
+// otherwise. Binaries that want to be their own worker fleet (every
+// cmd/ main of this repo, test binaries) call it first thing in main —
+// the coordinator's default WorkerCmd re-executes the current binary
+// with the marker set, so a single binary serves both roles.
+func MaybeServeStdio() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := ServeStdio(); err != nil {
+		fmt.Fprintln(os.Stderr, "rvworker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeListener accepts connections and serves each as an independent
+// worker stream (jobs on one connection run serially; parallelism comes
+// from multiple connections or multiple worker processes). It returns
+// the first Accept error; per-connection protocol errors are reported
+// to stderr and end only their connection.
+func ServeListener(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := Serve(conn, conn); err != nil {
+				fmt.Fprintln(os.Stderr, "rvworker: connection:", err)
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on the TCP address and serves worker
+// connections forever (the cmd/rvworker -listen mode).
+func ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "rvworker: listening on", l.Addr())
+	return ServeListener(l)
+}

@@ -6,11 +6,13 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dedicated"
+	"repro/internal/dist"
 	"repro/internal/geom"
 	"repro/internal/inst"
 	"repro/internal/prog"
 	"repro/internal/sim"
 	"repro/internal/svg"
+	"repro/internal/wire"
 )
 
 // Figures regenerates the paper's five figures as SVG documents, keyed
@@ -22,8 +24,17 @@ func Figures() map[string]string { return FiguresWith(0) }
 // behind Fig4 and Fig5 through the batch pool with the given worker
 // count (0 selects GOMAXPROCS). Output is identical for every count.
 func FiguresWith(workers int) map[string]string {
+	return FiguresDist(Budgets{Workers: workers})
+}
+
+// FiguresDist is FiguresWith with an optional worker fleet
+// (Budgets.Dist): Fig4's wire-formed AURV run may execute in a worker
+// process — its recorded trajectory crosses the codec bit-exactly —
+// while Fig5's closure-built dedicated algorithm stays in-process.
+// Output is identical either way.
+func FiguresDist(b Budgets) map[string]string {
 	jobs := []batch.Job{fig4Job(), fig5Job()}
-	res, _ := batch.Run(jobs, workers)
+	res, _ := b.run(jobs)
 	return map[string]string{
 		"fig1": Fig1(),
 		"fig2": Fig2(),
@@ -148,16 +159,22 @@ func Fig3() string {
 }
 
 // tracedJob builds an AURV batch job on the instance with trajectory
-// recording enabled.
+// recording enabled. The job is wire-formed: trace recording is part of
+// the settings, so a worker process records (and ships back) exactly
+// the trajectory an in-process run would have.
 func tracedJob(in inst.Instance, maxSeg, cap int) batch.Job {
 	set := settings(maxSeg)
 	set.TraceCap = cap
 	s := core.Compact()
-	return batch.Job{
+	j := batch.Job{
 		A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: core.Program(s, nil), Radius: in.R},
 		B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: core.Program(s, nil), Radius: in.R},
 		Settings: set,
 	}
+	if wire.Registered(dist.AlgAURVCompact) {
+		j.Wire = &wire.Job{In: in, Alg: dist.AlgAURVCompact, Set: set}
+	}
+	return j
 }
 
 // fig4Instance is the simulated type-1 instance behind Fig4.

@@ -14,12 +14,14 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dedicated"
+	"repro/internal/dist"
 	"repro/internal/inst"
 	"repro/internal/latecomers"
 	"repro/internal/measure"
 	"repro/internal/prog"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/wire"
 
 	"repro/internal/cgkk"
 )
@@ -33,6 +35,19 @@ type Budgets struct {
 	// T2–T5 and the simulated figures; 0 selects GOMAXPROCS. Tables are
 	// byte-identical for every value (see internal/batch).
 	Workers int
+	// Dist, when enabled, distributes wire-formed jobs over the worker
+	// fleet it names (internal/dist). Jobs that carry observers — every
+	// AURV job whose phase/block progress feeds a table column — have no
+	// wire form and stay in-process, so tables remain byte-identical
+	// with or without a fleet.
+	Dist dist.Config
+}
+
+// run executes a job batch through the distributed coordinator when a
+// fleet is configured, and in-process otherwise; a fleet failure falls
+// back in-process (purity makes the fallback invisible in the tables).
+func (b Budgets) run(jobs []batch.Job) ([]sim.Result, batch.Stats) {
+	return dist.RunOrFallback(jobs, b.Workers, b.Dist)
 }
 
 // DefaultBudgets returns budgets that finish the whole suite in minutes,
@@ -187,7 +202,7 @@ func T2(seed int64, nPerType int, b Budgets) *report.Table {
 			}
 		}
 	}
-	results, _ := batch.Run(jobs, b.Workers)
+	results, _ := b.run(jobs)
 	for _, ty := range types {
 		var times []float64
 		met, maxPhase := 0, 0
@@ -236,27 +251,32 @@ func T3(seed int64, nPerCell int, b Budgets) *report.Table {
 	}
 	algs := []struct {
 		name string
-		mk   func(in inst.Instance) (func() prog.Program, bool)
+		// wireName is the registered wire identity of the algorithm
+		// (empty for Dedicated, whose per-instance closures cannot cross
+		// a process boundary): cells with one may execute on the worker
+		// fleet when Budgets.Dist is enabled.
+		wireName string
+		mk       func(in inst.Instance) (func() prog.Program, bool)
 		// guaranteed reports whether the algorithm's contract covers the
 		// class; uncovered cells get the miss budget.
 		guaranteed func(in inst.Instance) bool
 	}{
-		{"CGKK",
+		{"CGKK", dist.AlgCGKK,
 			func(inst.Instance) (func() prog.Program, bool) {
 				return func() prog.Program { return cgkk.Program(cgkk.Compact()) }, true
 			},
 			cgkk.Covered},
-		{"Latecomers",
+		{"Latecomers", dist.AlgLatecomers,
 			func(inst.Instance) (func() prog.Program, bool) {
 				return func() prog.Program { return latecomers.Program() }, true
 			},
 			latecomers.Covered},
-		{"AURV",
+		{"AURV", dist.AlgAURVCompact,
 			func(inst.Instance) (func() prog.Program, bool) {
 				return func() prog.Program { return core.Program(core.Compact(), nil) }, true
 			},
 			inst.Instance.CoveredByAURV},
-		{"Dedicated",
+		{"Dedicated", "",
 			func(in inst.Instance) (func() prog.Program, bool) {
 				p, ok := dedicated.ForInstance(in, core.Compact())
 				if !ok {
@@ -286,12 +306,16 @@ func T3(seed int64, nPerCell int, b Budgets) *report.Table {
 				if alg.guaranteed(in) {
 					budget = b.MeetSegments
 				}
-				jobs = append(jobs, progJob(in, mk, budget))
+				j := progJob(in, mk, budget)
+				if alg.wireName != "" && wire.Registered(alg.wireName) {
+					j.Wire = &wire.Job{In: in, Alg: alg.wireName, Set: j.Settings}
+				}
+				jobs = append(jobs, j)
 				refs = append(refs, cellRef{row, col})
 			}
 		}
 	}
-	results, _ := batch.Run(jobs, b.Workers)
+	results, _ := b.run(jobs)
 	met := make(map[cellRef]int, len(classes)*len(algs))
 	for i, res := range results {
 		if res.Met {
@@ -348,7 +372,7 @@ func T4(seed int64, b Budgets) *report.Table {
 	alignedJob, _ := aurvJob(aligned, b.MeetSegments)
 	jobs = append(jobs, alignedJob)
 
-	results, _ := batch.Run(jobs, b.Workers)
+	results, _ := b.run(jobs)
 
 	// 1. Generic S2 instances: AURV does not meet; dedicated meets at
 	// gap exactly r within the Lemma 3.9 bound.

@@ -76,20 +76,32 @@ func (c *sweepCursor) Next() (prog.Instr, bool) {
 
 func (c *sweepCursor) Close() { c.j = c.dirs }
 
-// Phase returns phase k of the procedure (both mechanisms, sweep first).
-func Phase(k int) prog.Program {
+// phaseCursor returns phase k as a bare single-use cursor.
+func phaseCursor(k int) prog.Cursor {
 	l := math.Ldexp(1, k)   // run length 2^k
 	w := math.Ldexp(1, 2*k) // far-end wait 2^{2k}
 	dirs := 1 << uint(k+1)  // 2^{k+1} directions
-	sweep := prog.CursorProgram(func() prog.Cursor {
-		return &sweepCursor{k: k, dirs: dirs, l: l, w: w}
-	})
-	return prog.Seq(sweep, walk.Planar(k))
+	return prog.SeqOf(
+		&sweepCursor{k: k, dirs: dirs, l: l, w: w},
+		walk.NewPlanar(k),
+	)
+}
+
+// Phase returns phase k of the procedure (both mechanisms, sweep first).
+func Phase(k int) prog.Program {
+	return prog.CursorProgram(func() prog.Cursor { return phaseCursor(k) })
 }
 
 // Program returns the full infinite procedure.
 func Program() prog.Program {
-	return prog.Forever(Phase)
+	return prog.CursorProgram(func() prog.Cursor { return ProgramCursor() })
+}
+
+// ProgramCursor returns the procedure as a bare single-use cursor (the
+// allocation-lean spelling block 2 of Algorithm 1 budgets once per
+// phase).
+func ProgramCursor() prog.Cursor {
+	return prog.ForeverCursor(phaseCursor)
 }
 
 // PhaseDuration returns the local-time duration of Phase(k).

@@ -200,9 +200,10 @@ func (c *seqCursor) Close() {
 	c.i = len(c.mks)
 }
 
-// foreverCursor runs gen(1), gen(2), … without end.
+// foreverCursor runs gen(1), gen(2), … without end. gen yields cursors
+// directly, so per-round construction costs no Program wrapper.
 type foreverCursor struct {
-	gen func(i int) Program
+	gen func(i int) Cursor
 	cur Cursor
 	i   int
 }
@@ -211,7 +212,7 @@ func (c *foreverCursor) Next() (Instr, bool) {
 	for {
 		if c.cur == nil {
 			c.i++
-			c.cur = NewCursor(c.gen(c.i))
+			c.cur = c.gen(c.i)
 		}
 		if ins, ok := c.cur.Next(); ok {
 			return ins, true
@@ -231,7 +232,7 @@ func (c *foreverCursor) Close() {
 
 // repeatCursor runs gen(0), …, gen(n-1): the bounded Forever.
 type repeatCursor struct {
-	gen  func(j int) Program
+	gen  func(j int) Cursor
 	cur  Cursor
 	j, n int
 }
@@ -242,7 +243,7 @@ func (c *repeatCursor) Next() (Instr, bool) {
 			if c.j >= c.n {
 				return Instr{}, false
 			}
-			c.cur = NewCursor(c.gen(c.j))
+			c.cur = c.gen(c.j)
 			c.j++
 		}
 		if ins, ok := c.cur.Next(); ok {

@@ -112,7 +112,8 @@ func Seq(ps ...Program) Program {
 // It is the "repeat" loop of Algorithm 1. gen is invoked lazily, each
 // round's program only when the previous round has been exhausted.
 func Forever(gen func(i int) Program) Program {
-	return CursorProgram(func() Cursor { return &foreverCursor{gen: gen} })
+	genC := func(i int) Cursor { return NewCursor(gen(i)) }
+	return CursorProgram(func() Cursor { return &foreverCursor{gen: genC} })
 }
 
 // Repeat yields the programs produced by gen(0), …, gen(n-1): the
@@ -120,7 +121,8 @@ func Forever(gen func(i int) Program) Program {
 // Algorithm 1 (block 1) and the Latecomers sweep. gen is invoked
 // lazily.
 func Repeat(n int, gen func(j int) Program) Program {
-	return CursorProgram(func() Cursor { return &repeatCursor{gen: gen, n: n} })
+	genC := func(j int) Cursor { return NewCursor(gen(j)) }
+	return CursorProgram(func() Cursor { return &repeatCursor{gen: genC, n: n} })
 }
 
 // OnStart invokes fn every time iteration of the program begins (before

@@ -80,6 +80,23 @@ type Settings struct {
 	// rounding by ulps on runs whose other agent is moving through the
 	// fused span. Set it for instruction-exact differential comparisons.
 	NoWaitCoalesce bool
+	// Hosts, when non-empty, distributes batch execution over the
+	// worker processes listening at these comma-separated TCP
+	// endpoints (see internal/dist and cmd/rvworker). Like Parallelism
+	// it is a batch-level knob that a single Run ignores, and like
+	// every scheduling knob it cannot change a result — a distributed
+	// batch is byte-identical to an in-process serial one.
+	Hosts string
+	// WorkerProcs, when positive, spawns this many local worker
+	// subprocesses for batch execution (frames over stdio pipes).
+	// Combines with Hosts; a single Run ignores it.
+	WorkerProcs int
+	// WorkerCmd overrides the command line used to spawn local worker
+	// subprocesses (whitespace-split). Empty selects the current
+	// executable re-executed in worker mode — single-binary deploys for
+	// any main that calls dist.MaybeServeStdio early. A single Run
+	// ignores it.
+	WorkerCmd string
 }
 
 // DefaultSettings returns permissive bounds suitable for tests:
@@ -136,6 +153,20 @@ type Result struct {
 	EndTime    dd.T      // absolute time when the run stopped
 	TraceA     []TracePoint
 	TraceB     []TracePoint
+}
+
+// CloneTraces returns the result with freshly copied trace slices, so
+// the copy can be handed to a caller that may rescale trace points in
+// place without corrupting the original (batch memoization shares one
+// computed result across duplicate jobs this way).
+func (r Result) CloneTraces() Result {
+	if r.TraceA != nil {
+		r.TraceA = append([]TracePoint(nil), r.TraceA...)
+	}
+	if r.TraceB != nil {
+		r.TraceB = append([]TracePoint(nil), r.TraceB...)
+	}
+	return r
 }
 
 // String renders a one-line summary.

@@ -80,6 +80,11 @@ func Planar(i int) prog.Program {
 	return prog.CursorProgram(func() prog.Cursor { return newPlanarCursor(i) })
 }
 
+// NewPlanar returns PlanarCowWalk(i) as a bare single-use cursor — the
+// allocation-lean spelling for the per-phase (and, in block 1,
+// per-epoch) program builders of Algorithm 1.
+func NewPlanar(i int) prog.Cursor { return newPlanarCursor(i) }
+
 // planarCursor generates PlanarCowWalk(i) as a flat state machine: the
 // leading linear walk, then two sweeps of reps × (step move + linear
 // walk) each closed by the return move. One allocation per walk.

@@ -1,0 +1,355 @@
+// Package wire is the versioned binary codec of the distribution
+// subsystem: it serializes the simulation boundary — instances,
+// settings, algorithm references, jobs, results — so batches can cross
+// process and host boundaries without perturbing a single bit.
+//
+// Design rules:
+//
+//   - Canonical encoding. Every value has exactly one byte sequence:
+//     fixed-width big-endian integers, IEEE-754 bit patterns for
+//     floats (math.Float64bits — NaN payloads and signed zeros round-trip
+//     exactly), double-double clock values as their two component
+//     floats. No varints, no maps, no reflection.
+//   - Versioned messages. Every top-level message starts with a format
+//     version byte; decoders reject versions they do not understand
+//     instead of misparsing them.
+//   - Algorithms travel by name. Programs are closures and cannot
+//     cross a process boundary; the registry (registry.go) maps stable
+//     names to program constructors on the receiving side.
+//
+// The codec is what makes the batch engine's determinism guarantee
+// survive distribution: a worker process decodes exactly the inputs the
+// coordinator encoded, runs the same pure sim.Run, and the result — dd
+// clock values, float minima, trace points — is returned bit-for-bit.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/dd"
+	"repro/internal/geom"
+	"repro/internal/inst"
+	"repro/internal/sim"
+)
+
+// Version is the wire format version. Bump it whenever any encoding in
+// this package changes shape (field added, reordered, retyped); the
+// field-count guards in wire_test.go fail when a serialized struct
+// gains a field the codec does not cover.
+const Version = 1
+
+// maxSlice bounds decoded slice and string lengths, so a corrupt or
+// hostile stream cannot request an absurd allocation.
+const maxSlice = 1 << 28
+
+// ---- primitive append helpers ----
+
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendI64(b []byte, v int64) []byte  { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, f float64) []byte {
+	return appendU64(b, math.Float64bits(f))
+}
+func appendDD(b []byte, t dd.T) []byte {
+	return appendF64(appendF64(b, t.Hi), t.Lo)
+}
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+func appendVec(b []byte, v geom.Vec2) []byte {
+	return appendF64(appendF64(b, v.X), v.Y)
+}
+
+// dec is a sticky-error reader over one message buffer. After the first
+// failure every read returns zero values, so decoders can be written as
+// straight-line field lists with a single error check at the end.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.fail("truncated message: need %d bytes, have %d", n, len(d.b))
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) u8() byte {
+	if v := d.take(1); v != nil {
+		return v[0]
+	}
+	return 0
+}
+
+func (d *dec) u32() uint32 {
+	if v := d.take(4); v != nil {
+		return binary.BigEndian.Uint32(v)
+	}
+	return 0
+}
+
+func (d *dec) u64() uint64 {
+	if v := d.take(8); v != nil {
+		return binary.BigEndian.Uint64(v)
+	}
+	return 0
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) ddT() dd.T {
+	hi := d.f64()
+	return dd.T{Hi: hi, Lo: d.f64()}
+}
+
+func (d *dec) boolean() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid bool byte")
+		return false
+	}
+}
+
+func (d *dec) str() string {
+	n := d.u32()
+	if n > maxSlice {
+		d.fail("string length %d exceeds limit", n)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+func (d *dec) vec() geom.Vec2 {
+	x := d.f64()
+	return geom.Vec2{X: x, Y: d.f64()}
+}
+
+// version consumes and checks the leading version byte of a message.
+func (d *dec) version() {
+	if v := d.u8(); d.err == nil && v != Version {
+		d.fail("format version %d, this build speaks %d", v, Version)
+	}
+}
+
+// finish returns the decode error, also rejecting trailing garbage —
+// canonical messages have exactly one length.
+func (d *dec) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("%s: %w", what, d.err)
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%s: %d trailing bytes after message", what, len(d.b))
+	}
+	return nil
+}
+
+// ---- Instance ----
+
+func appendInstance(b []byte, in inst.Instance) []byte {
+	b = appendF64(b, in.R)
+	b = appendF64(b, in.X)
+	b = appendF64(b, in.Y)
+	b = appendF64(b, in.Phi)
+	b = appendF64(b, in.Tau)
+	b = appendF64(b, in.V)
+	b = appendF64(b, in.T)
+	return appendI64(b, int64(in.Chi))
+}
+
+func (d *dec) instance() inst.Instance {
+	var in inst.Instance
+	in.R = d.f64()
+	in.X = d.f64()
+	in.Y = d.f64()
+	in.Phi = d.f64()
+	in.Tau = d.f64()
+	in.V = d.f64()
+	in.T = d.f64()
+	in.Chi = int(d.i64())
+	return in
+}
+
+// EncodeInstance serializes the instance tuple as a standalone message.
+func EncodeInstance(in inst.Instance) []byte {
+	return appendInstance(append([]byte(nil), Version), in)
+}
+
+// DecodeInstance inverts EncodeInstance.
+func DecodeInstance(b []byte) (inst.Instance, error) {
+	d := &dec{b: b}
+	d.version()
+	in := d.instance()
+	return in, d.finish("instance")
+}
+
+// ---- Settings ----
+
+func appendSettings(b []byte, s sim.Settings) []byte {
+	b = appendF64(b, s.MaxTime)
+	b = appendI64(b, int64(s.MaxSegments))
+	b = appendF64(b, s.SightSlack)
+	b = appendI64(b, int64(s.TraceCap))
+	b = appendI64(b, int64(s.Parallelism))
+	b = appendBool(b, s.NoBatchMemoize)
+	b = appendBool(b, s.NoWaitCoalesce)
+	b = appendStr(b, s.Hosts)
+	b = appendI64(b, int64(s.WorkerProcs))
+	return appendStr(b, s.WorkerCmd)
+}
+
+func (d *dec) settings() sim.Settings {
+	var s sim.Settings
+	s.MaxTime = d.f64()
+	s.MaxSegments = int(d.i64())
+	s.SightSlack = d.f64()
+	s.TraceCap = int(d.i64())
+	s.Parallelism = int(d.i64())
+	s.NoBatchMemoize = d.boolean()
+	s.NoWaitCoalesce = d.boolean()
+	s.Hosts = d.str()
+	s.WorkerProcs = int(d.i64())
+	s.WorkerCmd = d.str()
+	return s
+}
+
+// EncodeSettings serializes the simulation settings as a standalone
+// message. The batch/distribution knobs (Parallelism, Hosts, …) ride
+// along for fidelity; workers ignore them — a worker process never
+// re-distributes its own jobs.
+func EncodeSettings(s sim.Settings) []byte {
+	return appendSettings(append([]byte(nil), Version), s)
+}
+
+// DecodeSettings inverts EncodeSettings.
+func DecodeSettings(b []byte) (sim.Settings, error) {
+	d := &dec{b: b}
+	d.version()
+	s := d.settings()
+	return s, d.finish("settings")
+}
+
+// ---- Job ----
+
+// Job is the serializable description of one batch job: the instance,
+// the algorithm by registered name, and the settings bounding the run.
+// It deliberately mirrors the (instance, algorithm, settings) triple
+// that identifies a simulation — the struct is comparable, so a Job
+// value doubles as its own memoization key.
+type Job struct {
+	In  inst.Instance
+	Alg string
+	Set sim.Settings
+}
+
+// EncodeJob serializes the job.
+func EncodeJob(j Job) []byte {
+	b := append([]byte(nil), Version)
+	b = appendInstance(b, j.In)
+	b = appendStr(b, j.Alg)
+	return appendSettings(b, j.Set)
+}
+
+// DecodeJob inverts EncodeJob.
+func DecodeJob(b []byte) (Job, error) {
+	d := &dec{b: b}
+	d.version()
+	var j Job
+	j.In = d.instance()
+	j.Alg = d.str()
+	j.Set = d.settings()
+	return j, d.finish("job")
+}
+
+// ---- Result ----
+
+func appendTrace(b []byte, tr []sim.TracePoint) []byte {
+	b = appendU32(b, uint32(len(tr)))
+	for _, p := range tr {
+		b = appendF64(b, p.T)
+		b = appendVec(b, p.Pos)
+	}
+	return b
+}
+
+func (d *dec) trace() []sim.TracePoint {
+	n := d.u32()
+	if n == 0 {
+		return nil // canonical: an absent trace decodes to nil, not []
+	}
+	if n > maxSlice/24 {
+		d.fail("trace length %d exceeds limit", n)
+		return nil
+	}
+	tr := make([]sim.TracePoint, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		t := d.f64()
+		tr = append(tr, sim.TracePoint{T: t, Pos: d.vec()})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return tr
+}
+
+// EncodeResult serializes a simulation result, traces included. Every
+// float crosses as its exact bit pattern, so the decoded result is
+// indistinguishable from one computed in-process.
+func EncodeResult(r sim.Result) []byte {
+	b := append([]byte(nil), Version)
+	b = appendBool(b, r.Met)
+	b = appendI64(b, int64(r.Reason))
+	b = appendDD(b, r.MeetTime)
+	b = appendF64(b, r.MinGap)
+	b = appendDD(b, r.MinGapTime)
+	b = appendVec(b, r.EndA)
+	b = appendVec(b, r.EndB)
+	b = appendI64(b, int64(r.Segments))
+	b = appendDD(b, r.EndTime)
+	b = appendTrace(b, r.TraceA)
+	return appendTrace(b, r.TraceB)
+}
+
+// DecodeResult inverts EncodeResult.
+func DecodeResult(b []byte) (sim.Result, error) {
+	d := &dec{b: b}
+	d.version()
+	var r sim.Result
+	r.Met = d.boolean()
+	r.Reason = sim.StopReason(d.i64())
+	r.MeetTime = d.ddT()
+	r.MinGap = d.f64()
+	r.MinGapTime = d.ddT()
+	r.EndA = d.vec()
+	r.EndB = d.vec()
+	r.Segments = int(d.i64())
+	r.EndTime = d.ddT()
+	r.TraceA = d.trace()
+	r.TraceB = d.trace()
+	return r, d.finish("result")
+}

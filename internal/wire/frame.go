@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Framing: every message on a coordinator↔worker byte stream (stdio
+// pipe or TCP connection) travels as one length-prefixed frame —
+//
+//	4 bytes  big-endian payload length, including the type byte
+//	1 byte   frame type
+//	n bytes  payload (a codec message, usually seq-prefixed)
+//
+// — so the stream stays parseable without any per-message delimiter
+// scanning, and a dead peer is always detected as a short read.
+const (
+	// FrameHello is sent by a worker immediately after connecting; the
+	// payload carries the protocol magic and version (EncodeHello).
+	FrameHello byte = 1
+	// FrameJob carries a u64 job sequence number followed by EncodeJob.
+	FrameJob byte = 2
+	// FrameResult carries the u64 sequence number it answers followed by
+	// EncodeResult.
+	FrameResult byte = 3
+	// FrameError carries the u64 sequence number it answers followed by
+	// an error string: the job failed deterministically on the worker
+	// (e.g. unregistered algorithm) and must not be requeued.
+	FrameError byte = 4
+)
+
+// MaxFrame bounds a frame payload; traces are capped by TraceCap, so
+// real frames are far smaller and anything larger is stream corruption.
+const MaxFrame = 1 << 30
+
+// helloMagic identifies the protocol inside the hello payload, so a
+// coordinator pointed at the wrong port fails with a clear error
+// instead of misparsing whatever service answered.
+const helloMagic = "rvdist"
+
+// WriteFrame writes one frame. The frame is assembled into a single
+// buffer and written with one Write call.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 0, 5+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)+1))
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. io.EOF is returned untouched when the
+// stream ends cleanly between frames (the normal shutdown signal);
+// a stream ending mid-frame is an ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
+	}
+	return body[0], body[1:], nil
+}
+
+// EncodeHello builds the hello payload a worker sends on connect.
+func EncodeHello() []byte {
+	b := appendStr(nil, helloMagic)
+	return appendU32(b, Version)
+}
+
+// CheckHello validates a hello payload against this build's protocol.
+func CheckHello(payload []byte) error {
+	d := &dec{b: payload}
+	magic := d.str()
+	ver := d.u32()
+	if err := d.finish("hello"); err != nil {
+		return err
+	}
+	if magic != helloMagic {
+		return fmt.Errorf("wire: peer is not a rendezvous worker (magic %q)", magic)
+	}
+	if ver != Version {
+		return fmt.Errorf("wire: worker speaks wire version %d, this build speaks %d", ver, Version)
+	}
+	return nil
+}
+
+// AppendSeq prefixes a payload with the u64 job sequence number.
+func AppendSeq(seq uint64, payload []byte) []byte {
+	return append(appendU64(make([]byte, 0, 8+len(payload)), seq), payload...)
+}
+
+// SplitSeq removes the u64 sequence prefix of a job/result/error
+// payload.
+func SplitSeq(payload []byte) (seq uint64, rest []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("wire: %d-byte payload has no sequence prefix", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload[:8]), payload[8:], nil
+}

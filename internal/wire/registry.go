@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/inst"
+	"repro/internal/prog"
+)
+
+// The algorithm registry. Programs are closures, so an algorithm
+// crosses a process boundary as a stable name; the receiving side
+// rebuilds the program with the registered constructor. Registration
+// happens in init functions (internal/dist registers the standard
+// algorithms), so any binary that links the worker loop can execute any
+// standard job.
+var (
+	regMu sync.RWMutex
+	reg   = map[string]func(inst.Instance) prog.Program{}
+)
+
+// RegisterAlgorithm makes the named algorithm constructible on this
+// side of the wire. The constructor must be a pure function of the
+// instance and must produce exactly the program the same name produces
+// everywhere else — the distribution determinism guarantee rides on
+// every process agreeing on what a name means. Registering a name twice
+// panics (two meanings for one name is precisely the bug the panic
+// surfaces).
+func RegisterAlgorithm(name string, mk func(inst.Instance) prog.Program) {
+	if name == "" || mk == nil {
+		panic("wire: RegisterAlgorithm with empty name or nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[name]; dup {
+		panic(fmt.Sprintf("wire: algorithm %q registered twice", name))
+	}
+	reg[name] = mk
+}
+
+// Algorithm returns the registered program constructor for the name.
+func Algorithm(name string) (func(inst.Instance) prog.Program, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	mk, ok := reg[name]
+	return mk, ok
+}
+
+// Registered reports whether the name has a registered constructor —
+// the gate for giving a batch job a wire form.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := reg[name]
+	return ok
+}
+
+// Algorithms returns the sorted registered names (diagnostics: the
+// worker binary lists them with -list).
+func Algorithms() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

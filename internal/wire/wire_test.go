@@ -1,0 +1,294 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dd"
+	"repro/internal/geom"
+	"repro/internal/inst"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+// Field-count guards: the codec enumerates struct fields by hand, so a
+// new field would silently not cross the wire. These tests fail the
+// moment a serialized struct changes shape — update the codec AND bump
+// Version, then fix the expected count.
+func TestCodecCoversAllFields(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		typ  reflect.Type
+		want int
+	}{
+		{"inst.Instance", reflect.TypeOf(inst.Instance{}), 8},
+		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 10},
+		{"sim.Result", reflect.TypeOf(sim.Result{}), 11},
+		{"sim.TracePoint", reflect.TypeOf(sim.TracePoint{}), 2},
+	} {
+		if got := tc.typ.NumField(); got != tc.want {
+			t.Errorf("%s has %d fields, codec covers %d — extend the codec, bump wire.Version, update this test",
+				tc.name, got, tc.want)
+		}
+	}
+}
+
+func testInstance() inst.Instance {
+	return inst.Instance{R: 0.8, X: 1.2, Y: -0.5, Phi: 1.0, Tau: 1.5, V: 2, T: 0.5, Chi: -1}
+}
+
+func testSettings() sim.Settings {
+	s := sim.DefaultSettings()
+	s.TraceCap = 77
+	s.Parallelism = 3
+	s.NoWaitCoalesce = true
+	s.Hosts = "a:1,b:2"
+	s.WorkerProcs = 2
+	s.WorkerCmd = "./rvworker -v"
+	return s
+}
+
+func testResult() sim.Result {
+	return sim.Result{
+		Met:        true,
+		Reason:     sim.ReasonMet,
+		MeetTime:   dd.T{Hi: math.Ldexp(1, 57), Lo: -3.5e-12},
+		MinGap:     0.25,
+		MinGapTime: dd.T{Hi: 17.25, Lo: 1e-19},
+		EndA:       geom.V(1.25, -2.5),
+		EndB:       geom.V(math.Copysign(0, -1), 3),
+		Segments:   123456789,
+		EndTime:    dd.T{Hi: math.Ldexp(1, 57), Lo: -3.5e-12},
+		TraceA:     []sim.TracePoint{{T: 0, Pos: geom.V(0, 0)}, {T: 1.5, Pos: geom.V(0.1, -0.2)}},
+		TraceB:     nil,
+	}
+}
+
+// bitsEqual compares two values through their canonical encodings —
+// the codec itself is the byte-identity witness, so NaN payloads and
+// signed zeros are compared exactly.
+func TestInstanceRoundTrip(t *testing.T) {
+	in := testInstance()
+	got, err := DecodeInstance(EncodeInstance(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Fatalf("round trip changed instance: %+v vs %+v", got, in)
+	}
+	// Exotic float bits survive: NaN payload, -0, ±Inf.
+	in.X = math.Float64frombits(0x7ff8000000abcdef)
+	in.Y = math.Copysign(0, -1)
+	in.T = math.Inf(1)
+	got, err = DecodeInstance(EncodeInstance(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeInstance(got), EncodeInstance(in)) {
+		t.Fatal("exotic float bits did not round-trip exactly")
+	}
+}
+
+func TestSettingsRoundTrip(t *testing.T) {
+	s := testSettings()
+	got, err := DecodeSettings(EncodeSettings(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip changed settings: %+v vs %+v", got, s)
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	j := Job{In: testInstance(), Alg: "AlmostUniversalRV(compact)", Set: testSettings()}
+	got, err := DecodeJob(EncodeJob(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != j {
+		t.Fatalf("round trip changed job: %+v vs %+v", got, j)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	r := testResult()
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip changed result:\n%+v\nvs\n%+v", got, r)
+	}
+	if !bytes.Equal(EncodeResult(got), EncodeResult(r)) {
+		t.Fatal("re-encoding differs: codec is not canonical")
+	}
+	// A nil trace stays nil (not []) so DeepEqual-style byte identity
+	// with an in-process result holds.
+	if got.TraceB != nil {
+		t.Fatal("nil trace decoded to non-nil")
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	good := EncodeResult(testResult())
+	if _, err := DecodeResult(good[:len(good)-3]); err == nil {
+		t.Error("truncated message accepted")
+	}
+	if _, err := DecodeResult(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = Version + 1
+	if _, err := DecodeResult(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := DecodeJob(nil); err == nil {
+		t.Error("empty job accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := AppendSeq(42, EncodeJob(Job{In: testInstance(), Alg: "x", Set: testSettings()}))
+	if err := WriteFrame(&buf, FrameJob, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameHello, EncodeHello()); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != FrameJob || !bytes.Equal(got, payload) {
+		t.Fatalf("first frame: typ %d err %v equal %v", typ, err, bytes.Equal(got, payload))
+	}
+	seq, rest, err := SplitSeq(got)
+	if err != nil || seq != 42 {
+		t.Fatalf("seq %d err %v", seq, err)
+	}
+	if _, err := DecodeJob(rest); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err = ReadFrame(&buf)
+	if err != nil || typ != FrameHello {
+		t.Fatalf("second frame: typ %d err %v", typ, err)
+	}
+	if err := CheckHello(got); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestCheckHelloRejectsStrangers(t *testing.T) {
+	if err := CheckHello(appendU32(appendStr(nil, "http/1.1"), Version)); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	if err := CheckHello(appendU32(appendStr(nil, helloMagic), Version+7)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestFrameRejectsCorruptLength(t *testing.T) {
+	// Length zero (no type byte) and an absurd length must both error
+	// rather than allocate or misparse.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 1})); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Truncated mid-frame is ErrUnexpectedEOF, not clean EOF.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 5, 1, 2})); err == nil || err == io.EOF {
+		t.Errorf("mid-frame truncation returned %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	name := "test-registry-alg"
+	RegisterAlgorithm(name, func(inst.Instance) prog.Program { return prog.Empty() })
+	if !Registered(name) {
+		t.Fatal("registered algorithm not found")
+	}
+	mk, ok := Algorithm(name)
+	if !ok || mk == nil {
+		t.Fatal("Algorithm lookup failed")
+	}
+	if Registered("no-such-algorithm") {
+		t.Fatal("phantom registration")
+	}
+	found := false
+	for _, n := range Algorithms() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Algorithms() misses registered name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterAlgorithm(name, func(inst.Instance) prog.Program { return prog.Empty() })
+}
+
+// FuzzJobRoundTrip exercises decode→encode canonicality on arbitrary
+// job fields: whatever decodes must re-encode to the same bytes.
+func FuzzJobRoundTrip(f *testing.F) {
+	f.Add(EncodeJob(Job{In: testInstance(), Alg: "CGKK", Set: testSettings()}))
+	f.Add([]byte{Version})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := DecodeJob(data)
+		if err != nil {
+			return
+		}
+		re := EncodeJob(j)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", data, re)
+		}
+	})
+}
+
+// FuzzResultRoundTrip does the same for results (covers traces).
+func FuzzResultRoundTrip(f *testing.F) {
+	f.Add(EncodeResult(testResult()))
+	f.Add(EncodeResult(sim.Result{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		re := EncodeResult(r)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", data, re)
+		}
+	})
+}
+
+// FuzzFieldRoundTrip fuzzes structured field values through an
+// encode→decode round trip (the inverse direction of the canonicality
+// fuzz above): arbitrary float bit patterns and strings must survive
+// exactly.
+func FuzzFieldRoundTrip(f *testing.F) {
+	f.Add(uint64(0x7ff8000000000001), uint64(1), int64(-5), "CGKK")
+	f.Fuzz(func(t *testing.T, aBits, bBits uint64, n int64, s string) {
+		a, b := math.Float64frombits(aBits), math.Float64frombits(bBits)
+		j := Job{
+			In:  inst.Instance{R: a, X: b, Y: a, Phi: b, Tau: a, V: b, T: a, Chi: int(n)},
+			Alg: s,
+			Set: sim.Settings{MaxTime: b, MaxSegments: int(n), SightSlack: a, Hosts: s, WorkerCmd: s},
+		}
+		got, err := DecodeJob(EncodeJob(j))
+		if err != nil {
+			t.Fatalf("self-encoded job rejected: %v", err)
+		}
+		if !bytes.Equal(EncodeJob(got), EncodeJob(j)) {
+			t.Fatal("field values did not round-trip bit-exactly")
+		}
+	})
+}

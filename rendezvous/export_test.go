@@ -1,0 +1,6 @@
+package rendezvous
+
+// BatchJobsForTest exposes the internal job builder to the differential
+// tests, which need raw batch.Job lists (with keys and wire forms) to
+// drive the batch and dist engines directly and compare their Stats.
+var BatchJobsForTest = batchJobs

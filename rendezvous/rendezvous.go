@@ -26,17 +26,28 @@
 // to calling Simulate in a loop, for every worker count. Use it
 // whenever throughput matters (experiment tables, parameter sweeps,
 // benchmark fleets); use Simulate when one answer does.
+//
+// Batches also distribute across processes and hosts
+// (Settings.WorkerProcs spawns local worker subprocesses,
+// Settings.Hosts names a TCP fleet of cmd/rvworker processes) and
+// stream (SimulateBatchStream delivers results in input order as the
+// completed prefix grows) — in every case byte-identical to the
+// in-process serial run; see DESIGN.md §6.
 package rendezvous
 
 import (
+	"strings"
+
 	"repro/internal/batch"
 	"repro/internal/cgkk"
 	"repro/internal/core"
 	"repro/internal/dedicated"
+	"repro/internal/dist"
 	"repro/internal/inst"
 	"repro/internal/latecomers"
 	"repro/internal/prog"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Instance is the rendezvous instance tuple (r, x, y, φ, τ, v, t, χ) of
@@ -71,6 +82,14 @@ func FaithfulSchedule() Schedule { return core.Faithful() }
 type Algorithm struct {
 	Name    string
 	Program func(in Instance) prog.Program
+	// wireName is the algorithm's identity in the wire registry, set
+	// only by this package's constructors when Program provably matches
+	// the registered constructor — the Name field alone is not enough
+	// (a caller can hand AlmostUniversalRVWith a tweaked schedule whose
+	// Name still reads "compact"). Algorithms without a wireName simply
+	// run in-process; they are never shipped to workers under a name
+	// that might mean something else there.
+	wireName string
 }
 
 // AlmostUniversalRV returns the paper's Algorithm 1 under the compact
@@ -78,11 +97,19 @@ type Algorithm struct {
 func AlmostUniversalRV() Algorithm { return AlmostUniversalRVWith(core.Compact()) }
 
 // AlmostUniversalRVWith returns Algorithm 1 under an explicit schedule.
+// Only a schedule still exactly as a standard constructor built it
+// (Schedule.Canonical) gets a wire identity: a tweaked schedule keeps
+// working in-process but is never shipped to workers under a name that
+// would rebuild the untweaked program there.
 func AlmostUniversalRVWith(s Schedule) Algorithm {
-	return Algorithm{
+	alg := Algorithm{
 		Name:    "AlmostUniversalRV(" + s.Name + ")",
 		Program: func(Instance) prog.Program { return core.Program(s, nil) },
 	}
+	if s.Canonical() {
+		alg.wireName = alg.Name
+	}
+	return alg
 }
 
 // CGKK returns the substrate procedure with the contract of [18]:
@@ -90,8 +117,9 @@ func AlmostUniversalRVWith(s Schedule) Algorithm {
 // φ ≠ 0 ∧ χ = 1.
 func CGKK() Algorithm {
 	return Algorithm{
-		Name:    "CGKK",
-		Program: func(Instance) prog.Program { return cgkk.Program(cgkk.Compact()) },
+		Name:     "CGKK",
+		Program:  func(Instance) prog.Program { return cgkk.Program(cgkk.Compact()) },
+		wireName: "CGKK",
 	}
 }
 
@@ -99,8 +127,9 @@ func CGKK() Algorithm {
 // rendezvous for synchronous, same-frame instances with t > d − r.
 func Latecomers() Algorithm {
 	return Algorithm{
-		Name:    "Latecomers",
-		Program: func(Instance) prog.Program { return latecomers.Program() },
+		Name:     "Latecomers",
+		Program:  func(Instance) prog.Program { return latecomers.Program() },
+		wireName: "Latecomers",
 	}
 }
 
@@ -141,24 +170,12 @@ type simKey struct {
 // failure to build time.
 var _ = map[simKey]struct{}{}
 
-// SimulateBatch runs every instance under the algorithm on a pool of
-// s.Parallelism workers (0 or negative selects GOMAXPROCS) and returns
-// the results in input order.
-//
-// Determinism guarantee: the returned slice is byte-identical to
-// calling Simulate(ins[i], alg, s) serially for each i, regardless of
-// the worker count — parallel scheduling changes wall-clock time and
-// nothing else.
-//
-// Duplicate instances are memoized: within one call, each distinct
-// instance is simulated once and its result shared (simulation is a
-// pure function of the instance, the algorithm, and the settings, so
-// sharing is invisible in the output — sweeps that revisit parameter
-// points simply finish sooner). Memoized duplicates never execute, so
-// an Algorithm whose Program factory wires per-job observers (e.g. a
-// core.Progress per job) would see them fire only for the first
-// occurrence — set Settings.NoBatchMemoize to run every job.
-func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
+// batchJobs builds the batch job list for a SimulateBatch-style call:
+// per-instance agent specs, the memoization key (unless disabled), and
+// — when the algorithm carries a wire identity that is registered — the
+// serializable wire form that lets the job execute in a worker process.
+func batchJobs(ins []Instance, alg Algorithm, s Settings) []batch.Job {
+	registered := alg.wireName != "" && wire.Registered(alg.wireName)
 	jobs := make([]batch.Job, len(ins))
 	for i, in := range ins {
 		jobs[i] = batch.Job{
@@ -169,9 +186,70 @@ func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
 		if !s.NoBatchMemoize {
 			jobs[i].Key = simKey{in: in, alg: alg.Name, set: s}
 		}
+		if registered {
+			jobs[i].Wire = &wire.Job{In: in, Alg: alg.wireName, Set: s}
+		}
 	}
-	res, _ := batch.Run(jobs, s.Parallelism)
+	return jobs
+}
+
+// distConfig translates the distribution knobs of Settings into a
+// worker-fleet config; ok is false when the settings request none.
+func distConfig(s Settings) (dist.Config, bool) {
+	if s.Hosts == "" && s.WorkerProcs <= 0 {
+		return dist.Config{}, false
+	}
+	cfg := dist.Config{Procs: s.WorkerProcs, Hosts: dist.ParseHosts(s.Hosts)}
+	if s.WorkerCmd != "" {
+		cfg.Cmd = strings.Fields(s.WorkerCmd)
+	}
+	return cfg, cfg.Enabled()
+}
+
+// SimulateBatch runs every instance under the algorithm on a pool of
+// s.Parallelism workers (0 or negative selects GOMAXPROCS) and returns
+// the results in input order. When s.Hosts or s.WorkerProcs request a
+// worker fleet, execution is distributed across those worker processes
+// instead (see internal/dist and cmd/rvworker); if the fleet cannot be
+// reached or fails mid-run the batch transparently falls back to
+// in-process execution, which purity makes invisible in the output (a
+// warning lands on stderr).
+//
+// Determinism guarantee: the returned slice is byte-identical to
+// calling Simulate(ins[i], alg, s) serially for each i, regardless of
+// worker count, process count, or host fleet — scheduling changes
+// wall-clock time and nothing else.
+//
+// Duplicate instances are memoized: within one call, each distinct
+// instance is simulated once and its result shared (simulation is a
+// pure function of the instance, the algorithm, and the settings, so
+// sharing is invisible in the output — sweeps that revisit parameter
+// points simply finish sooner). Memoized duplicates never execute, so
+// an Algorithm whose Program factory wires per-job observers (e.g. a
+// core.Progress per job) would see them fire only for the first
+// occurrence — set Settings.NoBatchMemoize to run every job.
+func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
+	jobs := batchJobs(ins, alg, s)
+	cfg, _ := distConfig(s)
+	res, _ := dist.RunOrFallback(jobs, s.Parallelism, cfg)
 	return res
+}
+
+// SimulateBatchStream is SimulateBatch with ordered streaming delivery:
+// the returned channel yields the results in input order — result i is
+// sent as soon as jobs 0..i have all completed — and is closed after
+// the last one. The sequence of delivered results is byte-identical to
+// SimulateBatch's slice; streaming only changes when a consumer gets to
+// see each entry, which lets sweeps emit their first rows while the
+// slow tail of the batch is still running. The channel is buffered to
+// len(ins), so an abandoned stream leaks nothing.
+//
+// Distribution (s.Hosts / s.WorkerProcs) applies as in SimulateBatch;
+// a mid-run fleet failure falls back to in-process execution for the
+// undelivered suffix, seamlessly — determinism makes the splice exact.
+func SimulateBatchStream(ins []Instance, alg Algorithm, s Settings) <-chan Result {
+	cfg, _ := distConfig(s)
+	return dist.StreamOrFallback(batchJobs(ins, alg, s), s.Parallelism, cfg)
 }
 
 // SimulateRadii runs the Section 5 extension with distinct sight radii.

@@ -1,26 +1,29 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_PR2.json: the kernel benchmarks that track the
-# instruction-stream engine (cursor vs iter.Pull) and the batch pool.
+# Regenerate the kernel-benchmark JSON record: the instruction-stream
+# engine (cursor vs iter.Pull), the batch pool, and the distributed
+# coordinator (local worker subprocesses).
 #
-# Usage:  scripts/bench.sh [benchtime]
-# e.g.    scripts/bench.sh 2s      # default
-#         scripts/bench.sh 1x     # smoke run (CI uses this)
+# Usage:  scripts/bench.sh [benchtime] [out.json]
+# e.g.    scripts/bench.sh                      # 2s -> BENCH_PR3.json
+#         scripts/bench.sh 1x                   # smoke run (CI uses this)
+#         scripts/bench.sh 2s BENCH_PR4.json    # next PR's record
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
-PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkPlanarWalkGen'
+OUT="${2:-BENCH_PR3.json}"
+PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDistT2Procs|BenchmarkPlanarWalkGen'
 
 # Write to a temp file and move into place only on success, so a
 # failed bench run never clobbers the committed perf record.
-TMP="$(mktemp BENCH_PR2.json.XXXXXX)"
+TMP="$(mktemp "$OUT.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . |
   go run ./cmd/benchjson -note \
-    "PR2 cursor engine: *Pull benchmarks force the iter.Pull coroutine path via prog.Opaque; the unsuffixed twins take the cursor fast path. benchtime=$BENCHTIME" \
+    "PR3 distribution + builder alloc trim: DistT2Procs* spawn local worker subprocesses per iteration (byte-identical output; spawn cost included, so procs>1 only wins on multi-core hosts). *Pull benchmarks force the iter.Pull coroutine path via prog.Opaque. benchtime=$BENCHTIME" \
     > "$TMP"
 
-mv "$TMP" BENCH_PR2.json
+mv "$TMP" "$OUT"
 trap - EXIT
-echo "wrote BENCH_PR2.json"
+echo "wrote $OUT"
