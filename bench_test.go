@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -104,7 +105,7 @@ func BenchmarkT4Boundary(b *testing.B) {
 
 func BenchmarkT5Measure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = exps.T5(200_000, 5, 1)
+		_ = exps.T5(200_000, 5, exps.Budgets{Workers: 1})
 	}
 }
 
@@ -177,6 +178,56 @@ func benchDistT2(b *testing.B, procs int) {
 
 func BenchmarkDistT2Procs1(b *testing.B) { benchDistT2(b, 1) }
 func BenchmarkDistT2Procs2(b *testing.B) { benchDistT2(b, 2) }
+
+// benchDistT2Window runs the T2 batch through 2 worker subprocesses at
+// an explicit send window. On loopback pipes the round trip is cheap,
+// so the window's latency-hiding shows up only mildly here — the
+// in-test latency differential (TestWindowHidesLatency) is the ≥2×
+// witness; this benchmark records the no-latency overhead/benefit of
+// pipelining plus the in-worker pool (Parallelism forwarded).
+func benchDistT2Window(b *testing.B, window int) {
+	ins := batchT2Instances()
+	set := rendezvous.DefaultSettings()
+	set.MaxSegments = 120_000_000
+	set.Parallelism = 2 // forwarded: each worker runs a 2-wide pool
+	set.WorkerProcs = 2
+	set.Window = window
+	alg := rendezvous.AlmostUniversalRV()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, res := range rendezvous.SimulateBatch(ins, alg, set) {
+			if !res.Met {
+				b.Fatalf("instance %d failed to meet: %v", j, ins[j])
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+func BenchmarkDistT2Window1(b *testing.B) { benchDistT2Window(b, 1) }
+func BenchmarkDistT2Window4(b *testing.B) { benchDistT2Window(b, 4) }
+
+// BenchmarkDistT5Chunks ships the T5 Monte-Carlo chunks to 2 worker
+// subprocesses (spawned fresh per iteration, so the figure includes
+// fleet startup — the realistic per-sweep overhead); the result is
+// asserted byte-identical to the in-process chunked sweep.
+func BenchmarkDistT5Chunks(b *testing.B) {
+	const n = 512_000 // 8 chunks
+	eps := []float64{0.25, 0.35, 0.5}
+	box := measure.DefaultBox()
+	want := measure.SweepParallel(n, eps, box, 5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := dist.Sweep(n, eps, box, 5, 1, dist.Config{Procs: 2, Window: 2})
+		if err != nil {
+			b.Fatalf("distributed sweep failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			b.Fatal("distributed sweep diverged from in-process")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
 
 // BenchmarkBatchTableT2 regenerates the full T2 table through the pool
 // at 1 vs GOMAXPROCS workers — the end-to-end version of the scaling

@@ -20,14 +20,15 @@ func main() {
 	dist.MaybeServeStdio() // single-binary deploys: -worker re-executes rvfigures itself
 
 	out := flag.String("out", "figures", "output directory")
-	workers := flag.Int("workers", 0, "batch-pool size for simulated figures (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "batch-pool size for simulated figures, in-process and per worker process (0 = GOMAXPROCS)")
 	procs := flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
 	hosts := flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
+	window := flag.Int("window", 0, "jobs in flight per worker connection (0 = default; 1 = synchronous)")
 	flag.Parse()
 
 	b := exps.DefaultBudgets()
 	b.Workers = *workers
-	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts)}
+	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts), Window: *window}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)

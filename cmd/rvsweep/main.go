@@ -32,9 +32,10 @@ func main() {
 		to      = flag.Float64("to", 32, "sweep end")
 		steps   = flag.Int("steps", 8, "number of points (geometric spacing)")
 		seg     = flag.Int("max-seg", 400_000_000, "segment budget per run")
-		workers = flag.Int("workers", 0, "batch-pool size (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS)")
 		procs   = flag.Int("worker", 0, "local worker subprocesses to spawn (distributed execution)")
 		hosts   = flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
+		window  = flag.Int("window", 0, "jobs in flight per worker connection (0 = default; 1 = synchronous)")
 	)
 	flag.Parse()
 
@@ -49,5 +50,5 @@ func main() {
 	// Unbuffered stdout: Fprintf issues one Write per row, so each row
 	// is visible (even through a pipe) the moment its result prefix
 	// completes.
-	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs))
+	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window))
 }

@@ -26,21 +26,22 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		n       = flag.Int("n", 5, "samples per class/type")
-		workers = flag.Int("workers", 0, "batch-pool size (0 = GOMAXPROCS); output is identical for every value")
+		workers = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS); output is identical for every value")
 		procs   = flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
 		hosts   = flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
+		window  = flag.Int("window", 0, "jobs in flight per worker connection (0 = default; 1 = synchronous)")
 	)
 	flag.Parse()
 
 	b := exps.DefaultBudgets()
 	b.Workers = *workers
-	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts)}
+	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts), Window: *window}
 	gens := map[string]func() *report.Table{
 		"T1": func() *report.Table { return exps.T1(*seed, *n, b) },
 		"T2": func() *report.Table { return exps.T2(*seed+1, *n, b) },
 		"T3": func() *report.Table { return exps.T3(*seed+2, min(*n, 3), b) },
 		"T4": func() *report.Table { return exps.T4(*seed+3, b) },
-		"T5": func() *report.Table { return exps.T5(2_000_000, *seed+4, b.Workers) },
+		"T5": func() *report.Table { return exps.T5(2_000_000, *seed+4, b) },
 		"T6": func() *report.Table { return exps.T6(*seed+5, b) },
 	}
 	order := []string{"T1", "T2", "T3", "T4", "T5", "T6"}

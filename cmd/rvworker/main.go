@@ -9,10 +9,13 @@
 //	rvworker                 # serve one coordinator on stdin/stdout
 //	rvworker -listen :9101   # serve any number of coordinators over TCP
 //
-// Jobs on one stream execute serially; scale out by running more
-// workers (or letting the coordinator spawn subprocess workers, which
-// re-execute the coordinator binary itself — every cmd/ main of this
-// repo can serve as its own worker).
+// Jobs on one stream execute on an in-worker pool sized by the jobs'
+// forwarded Parallelism setting (cap or force it with -pool), so a
+// single worker process saturates its host when the coordinator's send
+// window keeps the pool fed; scale further by running more workers (or
+// letting the coordinator spawn subprocess workers, which re-execute
+// the coordinator binary itself — every cmd/ main of this repo can
+// serve as its own worker).
 //
 // Determinism: a worker computes exactly what the coordinator would
 // have computed in-process — algorithms are rebuilt by registered name
@@ -33,6 +36,7 @@ func main() {
 	var (
 		listen = flag.String("listen", "", "TCP address to serve workers on (empty: serve stdin/stdout)")
 		list   = flag.Bool("list", false, "print the registered algorithm names and exit")
+		pool   = flag.Int("pool", 0, "in-worker execution pool per connection (0 = honor the jobs' forwarded Parallelism; <0 = serial)")
 	)
 	flag.Parse()
 
@@ -42,11 +46,12 @@ func main() {
 		}
 		return
 	}
+	opts := dist.ServeOptions{Pool: *pool}
 	var err error
 	if *listen != "" {
-		err = dist.ListenAndServe(*listen)
+		err = dist.ListenAndServeWith(*listen, opts)
 	} else {
-		err = dist.ServeStdio()
+		err = dist.ServeWith(os.Stdin, os.Stdout, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvworker:", err)

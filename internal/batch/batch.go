@@ -29,10 +29,7 @@
 package batch
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -80,20 +77,9 @@ type Stats struct {
 
 // Workers resolves a requested parallelism degree: values ≤ 0 mean
 // GOMAXPROCS, and the result is clamped to n so a small batch never
-// spawns idle goroutines.
-func Workers(requested, n int) int {
-	w := requested
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
+// spawns idle goroutines. (It is internal/pool's resolver, re-exported
+// because batch callers size their pools through this package.)
+func Workers(requested, n int) int { return pool.Workers(requested, n) }
 
 // Run executes the jobs on a pool of workers (≤ 0 selects GOMAXPROCS)
 // and returns the results in input order, plus aggregate accounting.
@@ -169,35 +155,9 @@ func FoldStats(results []sim.Result, executed, workers int) Stats {
 
 // Do runs fn(i) for every i in [0, n) on a pool of `workers`
 // goroutines (callers should pre-resolve the count with Workers). It
-// is the indexed-parallelism primitive under Run, exported for
-// consumers whose work items are not agent pairs (e.g. the
-// Monte-Carlo sweep chunks of internal/measure). fn must be safe to
-// call concurrently for distinct i; Do returns after every index has
-// been processed.
-func Do(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// is the indexed-parallelism primitive under Run — internal/pool's
+// claim-counter loop, re-exported for consumers whose work items are
+// not agent pairs (those use Run). fn must be safe to call
+// concurrently for distinct i; Do returns after every index has been
+// processed.
+func Do(n, workers int, fn func(i int)) { pool.Do(n, workers, fn) }

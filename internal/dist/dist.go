@@ -14,9 +14,10 @@
 //  3. the coordinator keeps internal/batch's discipline — memoization
 //     canon/uniq decided serially in input order before dispatch,
 //     results stored by input index, aggregates folded serially — so
-//     scheduling (which worker, which order, even a worker dying
-//     mid-job and its job being requeued to a survivor) changes
-//     wall-clock time and nothing else.
+//     scheduling (which worker, which order, how many jobs a
+//     connection pipelines in its window, even a worker dying with a
+//     window full of jobs that are requeued to survivors or to its own
+//     respawned successor) changes wall-clock time and nothing else.
 //
 // Jobs without a wire form (programs wired to observers, closure-built
 // per-instance algorithms) cannot cross a process boundary; the
@@ -34,7 +35,6 @@ import (
 	"os/exec"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
@@ -48,11 +48,13 @@ import (
 // otherwise hang the batch forever.
 const helloTimeout = 10 * time.Second
 
-// Config selects the worker fleet of a distributed run.
+// Config selects the worker fleet of a distributed run and shapes its
+// dispatch (window depth, respawn policy).
 type Config struct {
 	// Hosts are TCP endpoints of already-running workers
-	// (cmd/rvworker -listen). Each contributes one serial worker
-	// stream.
+	// (cmd/rvworker -listen). Each contributes one pipelined worker
+	// connection (up to Window jobs in flight, executed by the worker's
+	// in-process pool).
 	Hosts []string
 	// Procs is the number of local worker subprocesses to spawn for
 	// the run (stdio transport). They are torn down when the run ends.
@@ -64,6 +66,20 @@ type Config struct {
 	// Stderr receives the spawned workers' stderr; nil inherits the
 	// coordinator's.
 	Stderr io.Writer
+	// Window is the number of jobs kept in flight per worker
+	// connection. 0 selects DefaultWindow; 1 restores synchronous
+	// request/response dispatch. Deeper windows hide network latency
+	// and keep in-worker pools fed; they cannot change a result.
+	Window int
+	// MaxRespawns bounds how many times one fleet slot reconnects
+	// (re-dial a TCP host, respawn a stdio subprocess) after mid-run
+	// deaths. 0 selects DefaultMaxRespawns; negative disables
+	// respawning (a dead worker retires its slot, as before PR 4).
+	MaxRespawns int
+	// RedialWait is the backoff before a slot's first reconnection
+	// attempt, doubling per consecutive attempt. 0 selects
+	// DefaultRedialWait.
+	RedialWait time.Duration
 }
 
 // Enabled reports whether the config names any workers at all.
@@ -193,11 +209,19 @@ func RunStream(jobs []batch.Job, localWorkers int, cfg Config) (*batch.Stream, e
 		}
 	}
 
-	var conns []*workerConn
+	var slots []*slot
 	if len(remote) > 0 {
-		// Cap the fleet at the remote-job count: feeders are synchronous
-		// (one in-flight job each), so extra workers would only pay spawn
-		// and handshake cost to sit idle.
+		// Cap the fleet at the remote-job count. Feeders are no longer
+		// synchronous — each connection pipelines a whole window — so the
+		// old "one in-flight job each" reading of this cap is gone, but
+		// the pigeonhole bound that mattered survives it: a fleet larger
+		// than the job count guarantees workers that never claim a job
+		// yet still pay spawn and handshake cost. What the window does
+		// change is the other side of the formula: dispatch clamps each
+		// connection's window to ceil(jobs/fleet), the largest share a
+		// connection could hold if the batch spread evenly, so a small
+		// batch on a wide fleet doesn't reserve in-flight slots no
+		// schedule could fill.
 		if cfg.Procs > len(remote) {
 			cfg.Procs = len(remote)
 		}
@@ -205,8 +229,8 @@ func RunStream(jobs []batch.Job, localWorkers int, cfg Config) (*batch.Stream, e
 			cfg.Hosts = cfg.Hosts[:len(remote)]
 		}
 		var errs []error
-		conns, errs = connect(cfg)
-		if len(conns) == 0 {
+		slots, errs = assemble(cfg)
+		if len(slots) == 0 {
 			return nil, fmt.Errorf("dist: no worker reachable: %w", errors.Join(errs...))
 		}
 		for _, e := range errs {
@@ -215,22 +239,38 @@ func RunStream(jobs []batch.Job, localWorkers int, cfg Config) (*batch.Stream, e
 	}
 
 	s, p := batch.NewStream(len(jobs))
-	go run(jobs, canon, uniq, remote, local, conns, localWorkers, p)
+	go run(jobs, canon, uniq, remote, local, slots, localWorkers, cfg, p)
 	return s, nil
+}
+
+// stderrMu serializes every write the distribution subsystem makes to
+// a run's stderr: per-slot supervisors report deaths and reconnects
+// concurrently, and spawned workers' stderr is copied by os/exec
+// goroutines — the caller-supplied Config.Stderr (often a plain
+// strings.Builder in tests) is not required to cope with that on its
+// own.
+var stderrMu sync.Mutex
+
+type lockedWriter struct{ w io.Writer }
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	stderrMu.Lock()
+	defer stderrMu.Unlock()
+	return lw.w.Write(p)
 }
 
 func stderrOf(cfg Config) io.Writer {
 	if cfg.Stderr != nil {
-		return cfg.Stderr
+		return lockedWriter{w: cfg.Stderr}
 	}
-	return os.Stderr
+	return lockedWriter{w: os.Stderr}
 }
 
-// run is the coordinator engine: a claim channel feeds remote jobs to
-// one synchronous feeder goroutine per worker connection, an in-process
-// pool runs the local jobs concurrently, and every completion releases
-// the job's result (and its memoized duplicates) into the stream.
-func run(jobs []batch.Job, canon, uniq, remote, local []int, conns []*workerConn, localWorkers int, p *batch.Producer) {
+// run is the coordinator engine: the windowed dispatch engine
+// (engine.go) pipelines remote jobs over the fleet, an in-process pool
+// runs the local jobs concurrently, and every completion releases the
+// job's result (and its memoized duplicates) into the stream.
+func run(jobs []batch.Job, canon, uniq, remote, local []int, slots []*slot, localWorkers int, cfg Config, p *batch.Producer) {
 	dups := batch.DupsOf(canon)
 	deliver := func(i int, r sim.Result) {
 		p.Put(i, r)
@@ -239,27 +279,7 @@ func run(jobs []batch.Job, canon, uniq, remote, local []int, conns []*workerConn
 		}
 	}
 
-	// Two error severities: a job failing deterministically on a worker
-	// poisons the run (jobErrs), while a worker dying is survivable — its
-	// in-flight job is requeued, and the death (deadErrs) only matters if
-	// jobs are still undone when every feeder has retired.
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		jobErrs  []error
-		deadErrs []error
-	)
-	failJob := func(err error) {
-		errMu.Lock()
-		jobErrs = append(jobErrs, err)
-		errMu.Unlock()
-	}
-	failWorker := func(err error) {
-		errMu.Lock()
-		deadErrs = append(deadErrs, err)
-		errMu.Unlock()
-	}
-
+	var wg sync.WaitGroup
 	localPool := 0
 	if len(local) > 0 {
 		localPool = batch.Workers(localWorkers, len(local))
@@ -273,64 +293,33 @@ func run(jobs []batch.Job, canon, uniq, remote, local []int, conns []*workerConn
 		}()
 	}
 
-	// remaining counts undelivered/unfailed remote jobs; the feeder that
-	// takes it to zero closes the claim channel. An unclaimed job always
-	// contributes to remaining, so the channel's buffer (cap = initial
-	// fill) can absorb any requeue and a requeue can never race the
-	// close.
-	var remaining atomic.Int64
-	remaining.Store(int64(len(remote)))
+	var distErr error
 	if len(remote) > 0 {
-		work := make(chan int, len(remote))
-		for _, i := range remote {
-			work <- i
-		}
-		settle := func() {
-			if remaining.Add(-1) == 0 {
-				close(work)
+		tasks := make([]task, len(remote))
+		for k, i := range remote {
+			i := i
+			tasks[k] = task{
+				id:      i,
+				payload: wire.EncodeJob(*jobs[i].Wire),
+				deliver: func(body []byte) error {
+					res, err := wire.DecodeResult(body)
+					if err != nil {
+						return err
+					}
+					deliver(i, res)
+					return nil
+				},
 			}
 		}
-		for _, wc := range conns {
-			wg.Add(1)
-			go func(wc *workerConn) {
-				defer wg.Done()
-				defer wc.close()
-				for i := range work {
-					res, err := wc.roundTrip(uint64(i), *jobs[i].Wire)
-					var jerr *jobError
-					switch {
-					case err == nil:
-						deliver(i, res)
-						settle()
-					case errors.As(err, &jerr):
-						// Deterministic job failure: requeueing would fail
-						// identically on every worker. Count it settled so the
-						// run drains; the overall error reports it.
-						failJob(fmt.Errorf("dist: job %d on %s: %w", i, wc.name, err))
-						settle()
-					default:
-						// Transport failure: the worker is gone. Requeue the
-						// in-flight job for a survivor and retire this feeder.
-						work <- i
-						failWorker(fmt.Errorf("dist: worker %s: %w", wc.name, err))
-						return
-					}
-				}
-			}(wc)
-		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			distErr = dispatch(slots, tasks, wire.FrameJob, wire.FrameResult, cfg)
+		}()
 	}
 
 	wg.Wait()
-	var err error
-	if rem := remaining.Load(); rem > 0 {
-		// Jobs stranded: every surviving feeder retired, so the deaths
-		// stopped being survivable.
-		err = errors.Join(append(deadErrs,
-			fmt.Errorf("dist: %d jobs undone after every worker failed", rem))...)
-	} else if len(jobErrs) > 0 {
-		err = errors.Join(jobErrs...)
-	}
-	p.Close(len(uniq), len(conns)+localPool, err)
+	p.Close(len(uniq), len(slots)+localPool, distErr)
 }
 
 // jobError marks a deterministic per-job failure reported by a worker
@@ -339,7 +328,9 @@ type jobError struct{ msg string }
 
 func (e *jobError) Error() string { return e.msg }
 
-// workerConn is one serial worker stream (spawned subprocess or TCP).
+// workerConn is one worker connection (spawned subprocess or TCP). The
+// read and write halves are independent: drive's sender goroutine owns
+// bw, its reader goroutine owns br.
 type workerConn struct {
 	name      string
 	br        *bufio.Reader
@@ -350,69 +341,58 @@ type workerConn struct {
 
 func (wc *workerConn) close() { wc.closeOnce.Do(wc.closeFn) }
 
-// roundTrip sends one job and waits for its answer. Any transport or
-// protocol irregularity is returned as a plain error (requeue); a
-// worker-reported job failure comes back as *jobError (do not requeue).
-func (wc *workerConn) roundTrip(seq uint64, j wire.Job) (sim.Result, error) {
-	if err := wire.WriteFrame(wc.bw, wire.FrameJob, wire.AppendSeq(seq, wire.EncodeJob(j))); err != nil {
-		return sim.Result{}, err
+// send writes one seq-prefixed request frame and flushes it onto the
+// wire, so a job is visible to the worker the moment send returns.
+func (wc *workerConn) send(seq uint64, typ byte, payload []byte) error {
+	if err := wire.WriteFrame(wc.bw, typ, wire.AppendSeq(seq, payload)); err != nil {
+		return err
 	}
-	if err := wc.bw.Flush(); err != nil {
-		return sim.Result{}, err
-	}
-	typ, payload, err := wire.ReadFrame(wc.br)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	rseq, body, err := wire.SplitSeq(payload)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	if rseq != seq {
-		return sim.Result{}, fmt.Errorf("answer for job %d while awaiting %d", rseq, seq)
-	}
-	switch typ {
-	case wire.FrameResult:
-		return wire.DecodeResult(body)
-	case wire.FrameError:
-		return sim.Result{}, &jobError{msg: string(body)}
-	default:
-		return sim.Result{}, fmt.Errorf("unexpected frame type %d", typ)
-	}
+	return wc.bw.Flush()
 }
 
-// connect assembles the worker fleet: dial every host, spawn every
-// requested subprocess — all concurrently, so one dead host costs one
-// dial timeout, not a serial sum of them. Individual failures are
-// collected, not fatal — the run proceeds on whatever subset came up
-// (and only fails outright when that subset is empty).
-func connect(cfg Config) ([]*workerConn, []error) {
+// assemble builds the worker fleet as supervisable slots: dial every
+// host, spawn every requested subprocess — all concurrently, so one
+// dead host costs one dial timeout, not a serial sum of them. Each
+// slot carries its reconnection recipe, which is what lets the engine
+// re-dial a lost host or respawn a dead subprocess mid-run. Individual
+// failures are collected, not fatal — the run proceeds on whatever
+// subset came up (and only fails outright when that subset is empty).
+func assemble(cfg Config) ([]*slot, []error) {
 	n := len(cfg.Hosts) + cfg.Procs
-	conns := make([]*workerConn, n)
+	slots := make([]*slot, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for k, addr := range cfg.Hosts {
 		go func(k int, addr string) {
 			defer wg.Done()
-			conns[k], errs[k] = dialWorker(addr)
+			s := &slot{name: "tcp:" + addr, dial: func() (*workerConn, error) { return dialWorker(addr) }}
+			if s.wc, errs[k] = s.dial(); errs[k] == nil {
+				slots[k] = s
+			}
 		}(k, addr)
 	}
 	for k := 0; k < cfg.Procs; k++ {
 		go func(k int) {
 			defer wg.Done()
-			conns[len(cfg.Hosts)+k], errs[len(cfg.Hosts)+k] = spawnWorker(cfg.Cmd, stderrOf(cfg), k)
+			s := &slot{
+				name: fmt.Sprintf("proc:%d", k),
+				dial: func() (*workerConn, error) { return spawnWorker(cfg.Cmd, stderrOf(cfg), k) },
+			}
+			if s.wc, errs[len(cfg.Hosts)+k] = s.dial(); errs[len(cfg.Hosts)+k] == nil {
+				slots[len(cfg.Hosts)+k] = s
+			}
 		}(k)
 	}
 	wg.Wait()
-	up := conns[:0]
+	up := slots[:0]
 	var failed []error
 	for k := 0; k < n; k++ {
 		if errs[k] != nil {
 			failed = append(failed, errs[k])
 			continue
 		}
-		up = append(up, conns[k])
+		up = append(up, slots[k])
 	}
 	return up, failed
 }

@@ -16,7 +16,12 @@ import (
 
 // TestMain lets the test binary double as the spawned worker (the
 // coordinator's default WorkerCmd re-executes the current executable).
+// maybeFlakyStdio runs first: it hijacks worker mode into a
+// die-after-one-job fake exactly once per marker file, the
+// deterministic stand-in for a stdio subprocess dying mid-run (see
+// TestStdioRespawnMidRun).
 func TestMain(m *testing.M) {
+	maybeFlakyStdio()
 	MaybeServeStdio()
 	os.Exit(m.Run())
 }
@@ -213,7 +218,10 @@ func TestWorkerDeathRequeues(t *testing.T) {
 }
 
 // TestAllWorkersDead: when every worker is gone and jobs remain, the
-// run must error out rather than hang.
+// run must error out rather than hang. Respawning is disabled — the
+// dead fake never accepts again, so each re-dial would only burn a
+// hello timeout before the same verdict (TestRespawnBudgetExhausted
+// covers the bounded-respawn path).
 func TestAllWorkersDead(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -224,7 +232,7 @@ func TestAllWorkersDead(t *testing.T) {
 
 	ins := drawInstances(2)
 	_, _, err = Run(aurvJobs(t, ins, testSettings()), 1,
-		Config{Hosts: []string{l.Addr().String()}})
+		Config{Hosts: []string{l.Addr().String()}, MaxRespawns: -1})
 	if err == nil {
 		t.Fatal("run with only a dying worker reported success")
 	}

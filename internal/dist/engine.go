@@ -1,0 +1,374 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The dispatch engine: the payload-agnostic core of the coordinator.
+// It ships encoded request frames to a fleet of worker connections and
+// routes each reply to its task's deliver continuation, preserving the
+// batch discipline (every task settles exactly once; which connection
+// answers, and in what order, is invisible to the caller). Both remote
+// workloads — simulation jobs (FrameJob/FrameResult) and Monte-Carlo
+// sweep chunks (FrameSweepJob/FrameSweepResult) — run through this one
+// engine.
+//
+// Throughput comes from three mechanisms layered on the claim channel:
+//
+//   - Pipelined windows. Each connection keeps up to `window` requests
+//     in flight (a sender goroutine claims and writes, a reader
+//     goroutine matches replies by sequence number), so a round trip
+//     of latency stalls nothing: the next job is already on the wire
+//     while the previous one computes. Replies may arrive out of order
+//     — workers run in-process pools — which the in-flight map makes
+//     irrelevant.
+//   - In-worker pools. The worker side (Serve) executes the jobs of
+//     one connection concurrently, so a deep window saturates a whole
+//     host through a single connection.
+//   - Slot supervision. A connection belongs to a slot that knows how
+//     to re-establish it (re-dial the TCP endpoint, respawn the stdio
+//     subprocess). When a worker dies mid-run its in-flight tasks are
+//     requeued for the survivors and the slot reconnects with
+//     exponential backoff, so a transient death costs a retry, not a
+//     permanently smaller fleet.
+//
+// Determinism: a task is claimed, executed remotely as a pure function
+// of its encoded payload, and settled exactly once — requeue on death
+// re-executes the same pure computation. The engine never aggregates;
+// callers deliver results by index and fold serially, exactly as
+// internal/batch prescribes.
+
+// Fleet-shape defaults, overridable per Config.
+const (
+	// DefaultWindow is the per-connection in-flight window when
+	// Config.Window (or Settings.Window) is zero. Four hides a few
+	// round trips of latency and keeps a small in-worker pool fed
+	// without stockpiling half the batch on one worker.
+	DefaultWindow = 4
+	// DefaultMaxRespawns bounds how many times one slot reconnects
+	// after mid-run deaths before retiring. The budget never resets:
+	// a worker that keeps dying retires after this many attempts, so
+	// a run with stranded jobs always terminates (with the error the
+	// caller's fallback path expects).
+	DefaultMaxRespawns = 3
+	// DefaultRedialWait is the backoff before the first reconnection
+	// attempt; it doubles per consecutive attempt on the same slot.
+	DefaultRedialWait = 250 * time.Millisecond
+)
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return DefaultWindow
+}
+
+func (c Config) maxRespawns() int {
+	switch {
+	case c.MaxRespawns > 0:
+		return c.MaxRespawns
+	case c.MaxRespawns < 0:
+		return 0 // respawn disabled
+	default:
+		return DefaultMaxRespawns
+	}
+}
+
+func (c Config) redialWait() time.Duration {
+	if c.RedialWait > 0 {
+		return c.RedialWait
+	}
+	return DefaultRedialWait
+}
+
+// task is one unit of remote work: an encoded request body and the
+// continuation that decodes and delivers its reply. id is the caller's
+// index for the task (job index, chunk index) — used in error text.
+type task struct {
+	id      int
+	payload []byte
+	// deliver consumes a successful reply body; a non-nil error means
+	// the bytes are corrupt, which retires the connection that produced
+	// them and requeues the task elsewhere.
+	deliver func(body []byte) error
+}
+
+// slot is one position in the worker fleet: a live connection plus the
+// recipe for re-establishing it after a mid-run death.
+type slot struct {
+	name string
+	dial func() (*workerConn, error)
+	wc   *workerConn // the initial connection (consumed by supervise)
+}
+
+// engine carries the shared state of one dispatch: the claim channel,
+// the settle counter, and the two error severities (a deterministic
+// job failure poisons the run; a worker death only matters if jobs are
+// stranded when every slot has retired).
+type engine struct {
+	tasks    []task
+	reqFrame byte
+	resFrame byte
+	window   int
+
+	// work is the claim channel. Its buffer holds every task, and an
+	// unsettled task is never in more than one place (queued, or in
+	// exactly one connection's in-flight map), so a death can always
+	// requeue its in-flight tasks without blocking and never races the
+	// close: close happens only when no unsettled task remains.
+	work      chan int
+	remaining atomic.Int64
+	done      chan struct{} // closed with work: aborts backoffs and dials
+
+	errMu    sync.Mutex
+	jobErrs  []error
+	deadErrs []error
+}
+
+func (e *engine) settle() {
+	if e.remaining.Add(-1) == 0 {
+		close(e.work)
+		close(e.done)
+	}
+}
+
+func (e *engine) failJob(err error) {
+	e.errMu.Lock()
+	e.jobErrs = append(e.jobErrs, err)
+	e.errMu.Unlock()
+}
+
+func (e *engine) noteDeath(err error) {
+	e.errMu.Lock()
+	e.deadErrs = append(e.deadErrs, err)
+	e.errMu.Unlock()
+}
+
+// dispatch runs every task to completion across the fleet and returns
+// the overall verdict: nil when every task settled by delivery, the
+// joined job errors when workers reported deterministic failures, and
+// the joined death log when tasks were stranded by total fleet loss.
+func dispatch(slots []*slot, tasks []task, reqFrame, resFrame byte, cfg Config) error {
+	e := &engine{
+		tasks:    tasks,
+		reqFrame: reqFrame,
+		resFrame: resFrame,
+		window:   cfg.window(),
+		work:     make(chan int, len(tasks)),
+		done:     make(chan struct{}),
+	}
+	// Clamp the window to the share of the batch a connection could
+	// actually hold if tasks spread evenly: reserving more in-flight
+	// slots than that buys nothing on a batch this small.
+	if need := (len(tasks) + len(slots) - 1) / len(slots); e.window > need {
+		e.window = need
+	}
+	e.remaining.Store(int64(len(tasks)))
+	for i := range tasks {
+		e.work <- i
+	}
+	var wg sync.WaitGroup
+	for _, s := range slots {
+		wg.Add(1)
+		go func(s *slot) {
+			defer wg.Done()
+			e.supervise(s, cfg)
+		}(s)
+	}
+	wg.Wait()
+	if rem := e.remaining.Load(); rem > 0 {
+		return errors.Join(append(e.deadErrs,
+			fmt.Errorf("dist: %d jobs undone after every worker failed", rem))...)
+	}
+	if len(e.jobErrs) > 0 {
+		return errors.Join(e.jobErrs...)
+	}
+	return nil
+}
+
+// supervise drives one slot until the work drains or the slot's
+// respawn budget is exhausted: drive the live connection, and on a
+// transport death reconnect with exponential backoff. The budget never
+// resets, so a slot that keeps dying retires and dispatch terminates.
+func (e *engine) supervise(s *slot, cfg Config) {
+	wc := s.wc
+	s.wc = nil
+	attempts := 0
+	backoff := cfg.redialWait()
+	for {
+		if wc == nil {
+			if attempts >= cfg.maxRespawns() {
+				return
+			}
+			attempts++
+			select {
+			case <-e.done:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			var err error
+			if wc, err = e.redial(s); err != nil {
+				if errors.Is(err, errDispatchDone) {
+					return
+				}
+				e.noteDeath(fmt.Errorf("dist: %s: reconnect attempt %d: %w", s.name, attempts, err))
+				wc = nil
+				continue
+			}
+			fmt.Fprintf(stderrOf(cfg), "dist: %s: reconnected (attempt %d)\n", s.name, attempts)
+		}
+		err := e.drive(wc)
+		wc.close()
+		wc = nil
+		if err == nil {
+			return // work drained
+		}
+		e.noteDeath(fmt.Errorf("dist: worker %s: %w", s.name, err))
+		if attempts < cfg.maxRespawns() {
+			fmt.Fprintf(stderrOf(cfg), "dist: worker %s died (%v); reconnecting\n", s.name, err)
+		}
+	}
+}
+
+// errDispatchDone aborts a reconnect that lost its reason to exist:
+// every task settled while the slot was dialing.
+var errDispatchDone = errors.New("dispatch complete")
+
+// redial re-establishes the slot's connection, abandoning the attempt
+// the moment the run completes (the dial goroutine cleans up its own
+// connection if one materializes late).
+func (e *engine) redial(s *slot) (*workerConn, error) {
+	type res struct {
+		wc  *workerConn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		wc, err := s.dial()
+		ch <- res{wc, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.wc, r.err
+	case <-e.done:
+		go func() {
+			if r := <-ch; r.wc != nil {
+				r.wc.close()
+			}
+		}()
+		return nil, errDispatchDone
+	}
+}
+
+// drive runs the windowed pipeline on one live connection: the calling
+// goroutine claims tasks and writes request frames while an in-flight
+// window slot is free; a reader goroutine matches replies by sequence
+// number and settles them. It returns nil when the work channel closed
+// (every task settled — necessarily including this connection's, so
+// the in-flight map is empty), or the transport error after requeueing
+// every task still in flight, exactly once each: a task leaves the
+// in-flight map either by being answered (reader, before settling) or
+// by this requeue (after the reader has provably exited), never both.
+func (e *engine) drive(wc *workerConn) error {
+	var (
+		mu       sync.Mutex
+		inflight = make(map[uint64]int, e.window)
+	)
+	window := make(chan struct{}, e.window)
+	readErr := make(chan error, 1)
+	readerDone := make(chan struct{})
+
+	go func() { // reader: match replies, settle tasks, free window slots
+		defer close(readerDone)
+		for {
+			typ, payload, err := wire.ReadFrame(wc.br)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			seq, body, err := wire.SplitSeq(payload)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			mu.Lock()
+			k, ok := inflight[seq]
+			if ok {
+				delete(inflight, seq)
+			}
+			mu.Unlock()
+			if !ok {
+				readErr <- fmt.Errorf("answer for sequence %d that is not in flight", seq)
+				return
+			}
+			switch typ {
+			case e.resFrame:
+				if derr := e.tasks[k].deliver(body); derr != nil {
+					// Corrupt reply: requeue the task (it already left the
+					// in-flight map) and retire the connection.
+					e.work <- k
+					readErr <- fmt.Errorf("reply for job %d: %w", e.tasks[k].id, derr)
+					return
+				}
+				e.settle()
+			case wire.FrameError:
+				// Deterministic job failure: requeueing would fail
+				// identically on every worker. Count it settled so the run
+				// drains; the overall error reports it.
+				e.failJob(fmt.Errorf("dist: job %d on %s: %w", e.tasks[k].id, wc.name, &jobError{msg: string(body)}))
+				e.settle()
+			default:
+				e.work <- k
+				readErr <- fmt.Errorf("unexpected frame type %d", typ)
+				return
+			}
+			<-window
+		}
+	}()
+
+	// fail retires the connection: unblock and join the reader, then
+	// requeue everything still in flight (the reader being gone is what
+	// makes "still in flight" unambiguous).
+	fail := func(err error) error {
+		wc.close()
+		<-readerDone
+		mu.Lock()
+		for _, k := range inflight {
+			e.work <- k
+		}
+		inflight = nil
+		mu.Unlock()
+		return err
+	}
+
+	for { // sender: claim a window slot, claim a task, ship it
+		select {
+		case err := <-readErr:
+			return fail(err)
+		case window <- struct{}{}:
+		}
+		var k int
+		var ok bool
+		select {
+		case err := <-readErr:
+			return fail(err)
+		case k, ok = <-e.work:
+			if !ok {
+				return nil
+			}
+		}
+		mu.Lock()
+		inflight[uint64(k)] = k
+		mu.Unlock()
+		if err := wc.send(uint64(k), e.reqFrame, e.tasks[k].payload); err != nil {
+			return fail(err)
+		}
+	}
+}

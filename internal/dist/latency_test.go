@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// The latency rig: a TCP proxy that adds a fixed one-way delay in each
+// direction while preserving pipelining — bytes are delivered
+// delay-after-arrival (a delay line), not rate-limited — which is
+// exactly what WAN latency does to a byte stream. Windowed dispatch
+// exists to hide this; the test below measures that it does.
+
+func delayCopy(dst io.WriteCloser, src io.Reader, delay time.Duration) {
+	defer dst.Close()
+	type chunk struct {
+		data []byte
+		due  time.Time
+	}
+	ch := make(chan chunk, 4096)
+	go func() {
+		defer close(ch)
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				ch <- chunk{data: append([]byte(nil), buf[:n]...), due: time.Now().Add(delay)}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for c := range ch {
+		time.Sleep(time.Until(c.due))
+		if _, err := dst.Write(c.data); err != nil {
+			return
+		}
+	}
+}
+
+// latencyProxy listens on loopback and forwards every connection to
+// target with `delay` of one-way latency each direction.
+func latencyProxy(t *testing.T, target string, delay time.Duration) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s, err := net.Dial("tcp", target)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go delayCopy(s, c, delay)
+			go delayCopy(c, s, delay)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestWindowHidesLatency is the PR's throughput acceptance criterion:
+// against a worker behind simulated network latency, a 4-deep window
+// must finish the batch at least twice as fast as synchronous
+// (window=1) dispatch — while producing byte-identical results. With 8
+// jobs whose compute time is negligible next to a 25 ms one-way delay,
+// window=1 pays ~8 round trips serially and window=4 pays ~2, so the
+// expected ratio is ~4×; asserting ≥2× leaves headroom for scheduler
+// noise on a loaded CI host.
+func TestWindowHidesLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps through simulated network latency")
+	}
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer wl.Close()
+	go ServeListener(wl)
+
+	const delay = 25 * time.Millisecond
+	addr := latencyProxy(t, wl.Addr().String(), delay)
+
+	ins := drawInstances(4) // 8 distinct instances
+	set := testSettings()
+	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
+
+	timed := func(window int) time.Duration {
+		start := time.Now()
+		got, _, err := Run(aurvJobs(t, ins, set), 1,
+			Config{Hosts: []string{addr}, Window: window, MaxRespawns: -1})
+		if err != nil {
+			t.Fatalf("window=%d run failed: %v", window, err)
+		}
+		if !bytes.Equal(encodeAll(got), encodeAll(want)) {
+			t.Fatalf("window=%d results differ from in-process serial", window)
+		}
+		return time.Since(start)
+	}
+
+	sync := timed(1)
+	pipe := timed(4)
+	t.Logf("window=1: %v, window=4: %v (%.1fx)", sync, pipe, float64(sync)/float64(pipe))
+	if pipe*2 > sync {
+		t.Fatalf("windowed dispatch did not hide latency: window=1 took %v, window=4 took %v (want ≥2x)", sync, pipe)
+	}
+}

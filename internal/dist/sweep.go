@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/pool"
+	"repro/internal/wire"
+)
+
+// Distributed Monte-Carlo sweep (the T5 workload). The fixed-size
+// chunks of measure.SweepParallel are pure functions of their
+// descriptor — sample count, pre-derived splitmix seed, ε ladder,
+// sampling box — so they ship over the same wire and dispatch engine
+// as simulation jobs: chunk i's counts land in slot i no matter which
+// worker computed them, and the merge is the same serial
+// measure.MergeChunks the in-process pool uses. The result is
+// byte-identical to measure.SweepParallel for every fleet shape,
+// window depth, and in-worker pool size.
+
+// Sweep runs the n-sample Monte-Carlo sweep across the configured
+// worker fleet and returns the merged Stats, identical to
+// measure.SweepParallel(n, epsilons, box, seed, workers). workers is
+// forwarded to the fleet as the in-worker pool hint. The error is
+// non-nil when the fleet could not be reached or lost chunks; the
+// caller can then fall back to the in-process sweep, which determinism
+// makes exact.
+func Sweep(n int, epsilons []float64, box measure.Box, seed int64, workers int, cfg Config) (measure.Stats, error) {
+	chunks, err := sweepChunks(n, epsilons, box, seed, workers, cfg)
+	if err != nil {
+		return measure.Stats{}, err
+	}
+	return measure.MergeChunks(chunks, n), nil
+}
+
+// sweepChunks dispatches the sweep's chunks to the fleet and returns
+// the per-chunk Stats slice, populated as far as the fleet got: on an
+// error, delivered chunks keep their (complete, pure) counts and
+// undelivered chunks are zero — distinguishable by Samples == 0, since
+// every real chunk draws at least one sample. The fallback path uses
+// that to recompute only the holes.
+func sweepChunks(n int, epsilons []float64, box measure.Box, seed int64, workers int, cfg Config) ([]measure.Stats, error) {
+	nChunks := measure.NumChunks(n)
+	if nChunks == 0 {
+		return nil, nil
+	}
+	// Same fleet cap as the batch coordinator, with chunks as the job
+	// unit (see RunStream).
+	if cfg.Procs > nChunks {
+		cfg.Procs = nChunks
+	}
+	if len(cfg.Hosts) > nChunks {
+		cfg.Hosts = cfg.Hosts[:nChunks]
+	}
+	slots, errs := assemble(cfg)
+	if len(slots) == 0 {
+		return make([]measure.Stats, nChunks), fmt.Errorf("dist: no worker reachable: %w", errors.Join(errs...))
+	}
+	for _, e := range errs {
+		fmt.Fprintln(stderrOf(cfg), "dist: worker unavailable:", e)
+	}
+
+	chunks := make([]measure.Stats, nChunks)
+	tasks := make([]task, nChunks)
+	for k := range tasks {
+		k := k
+		tasks[k] = task{
+			id: k,
+			payload: wire.EncodeSweepJob(wire.SweepJob{
+				Seed: measure.ChunkSeed(seed, k),
+				N:    measure.ChunkSamples(n, k),
+				Par:  workers,
+				Eps:  epsilons,
+				Box:  box,
+			}),
+			deliver: func(body []byte) error {
+				s, err := wire.DecodeMeasureStats(body)
+				if err != nil {
+					return err
+				}
+				chunks[k] = s
+				return nil
+			},
+		}
+	}
+	err := dispatch(slots, tasks, wire.FrameSweepJob, wire.FrameSweepResult, cfg)
+	return chunks, err
+}
+
+// SweepOrFallback is Sweep with the standard degradation policy: no
+// configured fleet, an unreachable fleet, or a mid-run fleet loss all
+// complete in-process — byte-identical by the determinism guarantee —
+// after a warning on the config's stderr. As with the batch splice in
+// RunOrFallback, a mid-run failure keeps every chunk the fleet did
+// deliver and recomputes only the holes, so a fleet dying late costs a
+// remainder, not the whole sweep twice.
+func SweepOrFallback(n int, epsilons []float64, box measure.Box, seed int64, workers int, cfg Config) measure.Stats {
+	if !cfg.Enabled() {
+		return measure.SweepParallel(n, epsilons, box, seed, workers)
+	}
+	chunks, err := sweepChunks(n, epsilons, box, seed, workers, cfg)
+	if err != nil {
+		var missing []int
+		for i, c := range chunks {
+			if c.Samples == 0 { // never delivered (real chunks draw ≥ 1 sample)
+				missing = append(missing, i)
+			}
+		}
+		fmt.Fprintf(stderrOf(cfg), "dist: distributed sweep failed (%v); falling back in-process for %d/%d chunks\n",
+			err, len(missing), len(chunks))
+		pool.Do(len(missing), pool.Workers(workers, len(missing)), func(k int) {
+			i := missing[k]
+			chunks[i] = measure.Sweep(measure.ChunkSamples(n, i), epsilons, box, measure.ChunkSeed(seed, i))
+		})
+	}
+	return measure.MergeChunks(chunks, n)
+}

@@ -6,8 +6,11 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/internal/batch"
+	"repro/internal/measure"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -16,6 +19,16 @@ import (
 // binary into worker mode (see MaybeServeStdio). Spawned stdio workers
 // get it set by the coordinator.
 const WorkerEnv = "RV_DIST_WORKER"
+
+// ServeOptions shape one worker stream's execution.
+type ServeOptions struct {
+	// Pool caps the in-worker execution pool. 0 sizes the pool from the
+	// first job's forwarded Settings.Parallelism (itself ≤ 0 meaning
+	// GOMAXPROCS); > 0 overrides the forwarded value (the rvworker
+	// -pool flag, for hosts that run several worker processes);
+	// negative forces strictly serial execution.
+	Pool int
+}
 
 // materialize rebuilds the executable batch job a wire job describes,
 // looking the algorithm up in the registry. It mirrors exactly how
@@ -33,12 +46,36 @@ func materialize(j wire.Job) (batch.Job, error) {
 	}, nil
 }
 
+// poolSize resolves the in-worker pool for a stream whose first job
+// forwarded parallelism `par`.
+func poolSize(par int, opts ServeOptions) int {
+	switch {
+	case opts.Pool > 0:
+		return opts.Pool
+	case opts.Pool < 0:
+		return 1
+	case par > 0:
+		return par
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
+}
+
 // Serve runs the worker side of the protocol on one byte stream: send
-// hello, then answer job frames with result frames until the stream
-// ends. Jobs are executed serially — process-level parallelism is the
-// coordinator's job (it spawns or dials as many workers as it wants).
-// A clean EOF between frames returns nil; anything else is an error.
-func Serve(r io.Reader, w io.Writer) error {
+// hello, then answer job frames (simulation jobs and Monte-Carlo sweep
+// chunks) with result frames until the stream ends. Jobs execute on an
+// in-worker pool sized by the forwarded Settings.Parallelism of the
+// stream's first job (see ServeOptions.Pool), so a single worker
+// process saturates a whole host when the coordinator's send window
+// keeps its pool fed; replies go out as jobs finish, which with a pool
+// means out of coordinator order — the coordinator matches them by
+// sequence number. Purity makes the pool invisible in the results.
+// A clean EOF between frames returns nil (after the in-flight jobs
+// drain); anything else is an error.
+func Serve(r io.Reader, w io.Writer) error { return ServeWith(r, w, ServeOptions{}) }
+
+// ServeWith is Serve with explicit options.
+func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
 	if err := wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHello()); err != nil {
@@ -47,43 +84,117 @@ func Serve(r io.Reader, w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
+
+	// The reply side is shared by every executor goroutine; the first
+	// write failure sticks (the stream is dead — the read loop will see
+	// it too) and suppresses the rest.
+	var (
+		writeMu  sync.Mutex
+		writeErr error
+		wg       sync.WaitGroup
+		pool     chan struct{}
+	)
+	reply := func(seq uint64, typ byte, body []byte) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if writeErr != nil {
+			return
+		}
+		if writeErr = wire.WriteFrame(bw, typ, wire.AppendSeq(seq, body)); writeErr != nil {
+			return
+		}
+		writeErr = bw.Flush()
+	}
+	finish := func(readErr error) error {
+		wg.Wait() // drain in-flight executors before reporting
+		if readErr != nil {
+			return readErr
+		}
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeErr
+	}
+
+	deadStream := func() bool {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeErr != nil
+	}
+
 	for {
 		typ, payload, err := wire.ReadFrame(br)
 		if err == io.EOF {
-			return nil // coordinator closed the stream: done
+			return finish(nil) // coordinator closed the stream: done
 		}
 		if err != nil {
-			return err
+			return finish(err)
 		}
-		if typ != wire.FrameJob {
-			return fmt.Errorf("dist: worker received unexpected frame type %d", typ)
+		if deadStream() {
+			// A reply already failed to write: the coordinator is gone.
+			// Executing jobs still buffered on the read side would burn
+			// CPU on results nobody can receive.
+			return finish(nil)
 		}
 		seq, body, err := wire.SplitSeq(payload)
 		if err != nil {
-			return err
+			return finish(err)
 		}
-		var reply []byte
-		replyType := wire.FrameResult
-		if j, err := wire.DecodeJob(body); err != nil {
-			replyType, reply = wire.FrameError, []byte(err.Error())
-		} else if bj, err := materialize(j); err != nil {
-			replyType, reply = wire.FrameError, []byte(err.Error())
-		} else {
-			res := sim.Run(bj.A, bj.B, bj.Settings)
-			reply = wire.EncodeResult(res)
+
+		// Decode on the read loop (cheap, and malformed jobs answer
+		// FrameError in order); execute on the pool.
+		var execute func() (byte, []byte)
+		var par int
+		switch typ {
+		case wire.FrameJob:
+			j, err := wire.DecodeJob(body)
+			if err != nil {
+				reply(seq, wire.FrameError, []byte(err.Error()))
+				continue
+			}
+			bj, err := materialize(j)
+			if err != nil {
+				reply(seq, wire.FrameError, []byte(err.Error()))
+				continue
+			}
+			par = j.Set.Parallelism
+			execute = func() (byte, []byte) {
+				return wire.FrameResult, wire.EncodeResult(sim.Run(bj.A, bj.B, bj.Settings))
+			}
+		case wire.FrameSweepJob:
+			sj, err := wire.DecodeSweepJob(body)
+			if err != nil {
+				reply(seq, wire.FrameError, []byte(err.Error()))
+				continue
+			}
+			par = sj.Par
+			execute = func() (byte, []byte) {
+				return wire.FrameSweepResult, wire.EncodeMeasureStats(measure.Sweep(sj.N, sj.Eps, sj.Box, sj.Seed))
+			}
+		default:
+			return finish(fmt.Errorf("dist: worker received unexpected frame type %d", typ))
 		}
-		if err := wire.WriteFrame(bw, replyType, wire.AppendSeq(seq, reply)); err != nil {
-			return err
+
+		if pool == nil {
+			// The stream's first job fixes the pool size (jobs of one run
+			// share settings); the semaphore also backpressures the read
+			// loop, so a deep coordinator window cannot pile up more than
+			// a pool's worth of running jobs.
+			pool = make(chan struct{}, poolSize(par, opts))
 		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
+		pool <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-pool }()
+			t, b := execute()
+			reply(seq, t, b)
+		}()
 	}
 }
 
 // ServeStdio serves the worker protocol on stdin/stdout — the transport
 // of coordinator-spawned subprocess workers.
-func ServeStdio() error { return Serve(os.Stdin, os.Stdout) }
+func ServeStdio() error { return ServeWith(os.Stdin, os.Stdout, ServeOptions{}) }
 
 // MaybeServeStdio turns the current process into a stdio worker and
 // exits when the WorkerEnv marker is set, and returns immediately
@@ -103,11 +214,15 @@ func MaybeServeStdio() {
 }
 
 // ServeListener accepts connections and serves each as an independent
-// worker stream (jobs on one connection run serially; parallelism comes
-// from multiple connections or multiple worker processes). It returns
-// the first Accept error; per-connection protocol errors are reported
-// to stderr and end only their connection.
-func ServeListener(l net.Listener) error {
+// worker stream (each with its own in-worker pool; host-level
+// parallelism also comes from multiple connections or multiple worker
+// processes). It returns the first Accept error; per-connection
+// protocol errors are reported to stderr and end only their connection.
+func ServeListener(l net.Listener) error { return ServeListenerWith(l, ServeOptions{}) }
+
+// ServeListenerWith is ServeListener with explicit options (the
+// rvworker -pool flag).
+func ServeListenerWith(l net.Listener, opts ServeOptions) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -115,7 +230,7 @@ func ServeListener(l net.Listener) error {
 		}
 		go func() {
 			defer conn.Close()
-			if err := Serve(conn, conn); err != nil {
+			if err := ServeWith(conn, conn, opts); err != nil {
 				fmt.Fprintln(os.Stderr, "rvworker: connection:", err)
 			}
 		}()
@@ -124,11 +239,14 @@ func ServeListener(l net.Listener) error {
 
 // ListenAndServe listens on the TCP address and serves worker
 // connections forever (the cmd/rvworker -listen mode).
-func ListenAndServe(addr string) error {
+func ListenAndServe(addr string) error { return ListenAndServeWith(addr, ServeOptions{}) }
+
+// ListenAndServeWith is ListenAndServe with explicit options.
+func ListenAndServeWith(addr string, opts ServeOptions) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "rvworker: listening on", l.Addr())
-	return ServeListener(l)
+	return ServeListenerWith(l, opts)
 }

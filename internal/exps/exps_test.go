@@ -1,9 +1,21 @@
 package exps
 
 import (
+	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/dist"
 )
+
+// TestMain lets this test binary serve as its own worker fleet: the
+// coordinator's default WorkerCmd re-executes the current executable
+// and MaybeServeStdio diverts that copy into the worker loop (see
+// TestT5DistributedMatchesInProcess).
+func TestMain(m *testing.M) {
+	dist.MaybeServeStdio()
+	os.Exit(m.Run())
+}
 
 // smallBudgets keeps the test-suite runtime in check while preserving
 // every assertion the tables make. Workers 0 fans the per-instance runs
@@ -94,7 +106,7 @@ func TestT4Checks(t *testing.T) {
 }
 
 func TestT5Measure(t *testing.T) {
-	tb := T5(300_000, 5, 0)
+	tb := T5(300_000, 5, Budgets{})
 	out := tb.String()
 	if !strings.Contains(out, "feasible share") {
 		t.Fatalf("missing rows:\n%s", out)
@@ -152,10 +164,30 @@ func TestT2ParallelMatchesSerial(t *testing.T) {
 // TestT5ParallelMatchesSerial pins the worker-count independence of the
 // chunked Monte-Carlo sweep.
 func TestT5ParallelMatchesSerial(t *testing.T) {
-	s := T5(200_000, 5, 1).String()
-	p := T5(200_000, 5, 8).String()
+	s := T5(200_000, 5, Budgets{Workers: 1}).String()
+	p := T5(200_000, 5, Budgets{Workers: 8}).String()
 	if s != p {
 		t.Errorf("T5 output depends on worker count:\n%s\nvs\n%s", s, p)
+	}
+}
+
+// TestT5DistributedMatchesInProcess pins the distributed T5 table to
+// the in-process one: shipping the Monte-Carlo chunks to worker
+// subprocesses must not change a character of the rendered table.
+func TestT5DistributedMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	local := T5(200_000, 5, Budgets{Workers: 2}).String()
+	var distLog strings.Builder
+	d := T5(200_000, 5, Budgets{Workers: 2, Dist: dist.Config{Procs: 2, Window: 2, Stderr: &distLog}}).String()
+	if local != d {
+		t.Errorf("T5 output depends on distribution:\n%s\nvs\n%s", local, d)
+	}
+	// Identical output via the in-process fallback would prove nothing:
+	// the chunks must actually have crossed the process boundary.
+	if log := distLog.String(); strings.Contains(log, "falling back") {
+		t.Errorf("distributed sweep silently fell back in-process:\n%s", log)
 	}
 }
 

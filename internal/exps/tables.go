@@ -422,14 +422,19 @@ func T4(seed int64, b Budgets) *report.Table {
 }
 
 // T5 validates the measure-theoretic smallness argument of Section 4.
-// The Monte-Carlo sweep fans out over `workers` goroutines (0 selects
-// GOMAXPROCS) with a worker-count-independent chunking, so the table is
-// byte-identical for any parallelism degree.
-func T5(samples int, seed int64, workers int) *report.Table {
+// The Monte-Carlo sweep fans out over b.Workers goroutines (0 selects
+// GOMAXPROCS) — or, when b.Dist names a worker fleet, ships its chunks
+// to worker processes over the wire — with a worker-count-independent
+// chunking, so the table is byte-identical for any parallelism degree
+// and any fleet shape.
+func T5(samples int, seed int64, b Budgets) *report.Table {
 	t := report.New("T5 — Section 4: exception sets are slim",
 		"quantity", "value", "theory")
 	eps := []float64{0.25, 0.35, 0.5}
-	s := measure.SweepParallel(samples, eps, measure.DefaultBox(), seed, workers)
+	// The Monte-Carlo chunks distribute over the same worker fleet as
+	// the simulation batches (b.Dist); without a fleet — or if the fleet
+	// fails — they run on the in-process pool, byte-identically.
+	s := dist.SweepOrFallback(samples, eps, measure.DefaultBox(), seed, b.Workers, b.Dist)
 	t.Add("samples", s.Samples, "-")
 	t.Add("feasible share", fmt.Sprintf("%.3f", s.FeasibleShare), "> 0 (fat set)")
 	t.Add("exact S1 hits", s.ExactS1, "0 (measure zero)")

@@ -19,9 +19,9 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/batch"
 	"repro/internal/geom"
 	"repro/internal/inst"
+	"repro/internal/pool"
 )
 
 // Box is the sampling domain of instance parameters.
@@ -124,21 +124,43 @@ func Sweep(n int, epsilons []float64, box Box, seed int64) Stats {
 // SweepParallel is deterministic for any parallelism degree.
 const SweepChunk = 1 << 16
 
+// NumChunks is the number of fixed-size chunks an n-sample sweep splits
+// into — the unit of scheduling for both the in-process pool and the
+// distributed coordinator (internal/dist ships chunk descriptors over
+// the wire).
+func NumChunks(n int) int { return (n + SweepChunk - 1) / SweepChunk }
+
+// ChunkSamples is the sample count of chunk i of an n-sample sweep.
+func ChunkSamples(n, i int) int {
+	lo := i * SweepChunk
+	return min(lo+SweepChunk, n) - lo
+}
+
 // SweepParallel is Sweep fanned over a pool of `workers` goroutines
 // (≤ 0 selects GOMAXPROCS): the n samples are split into fixed-size
 // chunks, each drawing from its own splitmix-derived RNG stream, and
 // the per-chunk counts are merged serially in chunk order. The sample
 // set differs from Sweep's single serial stream, but is itself fixed
 // given (n, seed) — the result is byte-identical for every worker
-// count.
+// count. The distributed sweep (internal/dist) executes exactly the
+// same chunks on worker processes and merges through the same
+// MergeChunks, which is what makes it byte-identical to this function
+// for every fleet shape.
 func SweepParallel(n int, epsilons []float64, box Box, seed int64, workers int) Stats {
-	nChunks := (n + SweepChunk - 1) / SweepChunk
+	nChunks := NumChunks(n)
 	chunks := make([]Stats, nChunks)
-	batch.Do(nChunks, batch.Workers(workers, nChunks), func(i int) {
-		lo := i * SweepChunk
-		hi := min(lo+SweepChunk, n)
-		chunks[i] = Sweep(hi-lo, epsilons, box, chunkSeed(seed, i))
+	pool.Do(nChunks, pool.Workers(workers, nChunks), func(i int) {
+		chunks[i] = Sweep(ChunkSamples(n, i), epsilons, box, ChunkSeed(seed, i))
 	})
+	return MergeChunks(chunks, n)
+}
+
+// MergeChunks folds per-chunk sweep counts into the totals, serially in
+// chunk order — the one aggregation shared by every engine that splits
+// a sweep (the in-process pool above and the distributed coordinator),
+// so a chunk set always merges to the same Stats no matter where the
+// chunks were computed.
+func MergeChunks(chunks []Stats, n int) Stats {
 	total := Stats{NearS1ByEps: map[float64]int{}, NearS2ByEps: map[float64]int{}}
 	for _, c := range chunks {
 		total.Samples += c.Samples
@@ -156,9 +178,11 @@ func SweepParallel(n int, epsilons []float64, box Box, seed int64, workers int) 
 	return total
 }
 
-// chunkSeed derives a well-mixed per-chunk seed (splitmix64), so
-// neighboring chunks draw uncorrelated streams.
-func chunkSeed(seed int64, i int) int64 {
+// ChunkSeed derives a well-mixed per-chunk seed (splitmix64), so
+// neighboring chunks draw uncorrelated streams. Exported because the
+// distributed coordinator pre-computes each shipped chunk's seed — the
+// worker then runs a plain Sweep, ignorant of the chunk structure.
+func ChunkSeed(seed int64, i int) int64 {
 	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB

@@ -1,0 +1,66 @@
+// Package pool provides the indexed-parallelism primitive shared by
+// every fan-out engine of the reproduction: run fn(i) for i in [0, n)
+// on a fixed pool of goroutines that claim indices from an atomic
+// counter. It carries no policy beyond scheduling — determinism is the
+// caller's affair (the batch engine writes results by index and folds
+// aggregates serially; the Monte-Carlo sweep derives per-chunk RNG
+// streams from the chunk index) — which is what lets packages as far
+// apart as internal/batch and internal/measure share it without
+// depending on each other.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree: values ≤ 0 mean
+// GOMAXPROCS, and the result is clamped to n so a small workload never
+// spawns idle goroutines.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(i) for every i in [0, n) on a pool of `workers` goroutines
+// (callers should pre-resolve the count with Workers). fn must be safe
+// to call concurrently for distinct i; Do returns after every index has
+// been processed. With workers ≤ 1 the loop runs inline — no goroutines,
+// no atomics — so a serial caller pays nothing for the generality.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

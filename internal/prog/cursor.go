@@ -23,13 +23,18 @@
 // closures share one code pointer (the function is noinline, so the
 // literal is never duplicated into callers), and the factory is
 // recovered by invoking the closure with a sentinel yield — a code path
-// that executes no program code.
+// that executes no program code. Factory recovery is lock-free: each
+// probe hands the factory over through its own sync.Map slot (keyed by
+// a unique id smuggled through the sentinel call's Instr), so
+// concurrent cursor creations — every parallel simulation probes its
+// programs — never serialize on a shared mutex.
 package prog
 
 import (
 	"iter"
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // Cursor is a single-use pull stream of instructions. Next returns the
@@ -50,7 +55,15 @@ type Cursor interface {
 func CursorProgram(mk func() Cursor) Program {
 	return func(yield func(Instr) bool) {
 		if isProbe(yield) {
-			probeResult = mk
+			// Factory handoff (see probeRecv): park mk in the probe table
+			// under a fresh id, tell the probe yield the id through the
+			// one channel available — the Instr argument — and let it
+			// collect mk into its caller's slot. Each probe uses its own
+			// table entry, so concurrent probes never contend.
+			id := probeSeq.Add(1)
+			probeTable.Store(id, mk)
+			yield(Instr{Amount: float64(id)})
+			probeTable.Delete(id) // no-op normally; belt-and-braces on a bailed probe
 			return
 		}
 		c := mk()
@@ -67,27 +80,47 @@ func CursorProgram(mk func() Cursor) Program {
 	}
 }
 
-// probeYield is never invoked with instructions: its identity marks a
-// factory-recovery call on a CursorProgram closure.
-func probeYield(Instr) bool { return false }
+// probeRecv builds the sentinel yield of one factory-recovery call: its
+// code pointer marks the call as a probe (all its closures share the
+// noinline literal's single symbol), and its body collects the factory
+// that CursorProgram parked in the probe table under the id it passes
+// via Instr.Amount. The id is a small integer, exact in a float64 for
+// the first 2^53 probes — far beyond any process lifetime.
+//
+//go:noinline
+func probeRecv(slot *func() Cursor) func(Instr) bool {
+	return func(ins Instr) bool {
+		if mk, ok := probeTable.LoadAndDelete(uint64(ins.Amount)); ok {
+			*slot = mk.(func() Cursor)
+		}
+		return false
+	}
+}
 
 var (
-	probeYieldPtr = reflect.ValueOf(probeYield).Pointer()
+	probeRecvPtr = reflect.ValueOf(probeRecv(new(func() Cursor))).Pointer()
 	// cursorProgPtr is the code pointer shared by every closure
 	// CursorProgram returns (the function is noinline, so the literal has
 	// exactly one symbol).
 	cursorProgPtr = reflect.ValueOf(CursorProgram(func() Cursor { return emptyCursor{} })).Pointer()
 
-	probeMu     sync.Mutex
-	probeResult func() Cursor
+	// The lock-free factory-handoff rendezvous: CursorProgram stores the
+	// factory under a unique id, the probe yield LoadAndDeletes it.
+	// Entries live only for the duration of one probe call; distinct
+	// probes touch distinct keys, so parallel cursor creation scales
+	// instead of serializing on a process-wide mutex (the contention
+	// point this replaced — see ROADMAP).
+	probeSeq   atomic.Uint64
+	probeTable sync.Map // uint64 → func() Cursor
 )
 
 func isProbe(yield func(Instr) bool) bool {
-	return reflect.ValueOf(yield).Pointer() == probeYieldPtr
+	return reflect.ValueOf(yield).Pointer() == probeRecvPtr
 }
 
 // CursorOf reports whether the program is cursor-backed and, if so,
-// returns its cursor factory. The check never executes program code.
+// returns its cursor factory. The check never executes program code,
+// takes no locks, and is safe for unbounded concurrency.
 func CursorOf(p Program) (func() Cursor, bool) {
 	if p == nil {
 		return nil, false
@@ -95,12 +128,8 @@ func CursorOf(p Program) (func() Cursor, bool) {
 	if reflect.ValueOf(p).Pointer() != cursorProgPtr {
 		return nil, false
 	}
-	probeMu.Lock()
-	defer probeMu.Unlock()
-	probeResult = nil
-	p(probeYield) // the CursorProgram closure only records its factory
-	mk := probeResult
-	probeResult = nil
+	var mk func() Cursor
+	p(probeRecv(&mk)) // the CursorProgram closure only hands over its factory
 	return mk, mk != nil
 }
 

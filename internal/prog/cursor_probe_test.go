@@ -1,0 +1,63 @@
+package prog
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCursorOfConcurrent hammers the lock-free factory-recovery path
+// from many goroutines, each probing its own distinct CursorProgram,
+// and checks every probe gets exactly its own factory back — the
+// property the old global-mutex probe bought with serialization and
+// the sync.Map handoff must preserve without it. Run under -race this
+// also proves the handoff is data-race-free.
+func TestCursorOfConcurrent(t *testing.T) {
+	const goroutines = 32
+	const rounds = 200
+
+	// Program g emits a single wait of duration g+1: pulling one
+	// instruction through the recovered factory identifies which
+	// program the factory belongs to.
+	progs := make([]Program, goroutines)
+	for g := range progs {
+		amount := float64(g + 1)
+		progs[g] = CursorProgram(func() Cursor {
+			return &sliceCursor{list: []Instr{Wait(amount)}}
+		})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				mk, ok := CursorOf(progs[g])
+				if !ok {
+					t.Errorf("goroutine %d: CursorOf failed on a CursorProgram", g)
+					return
+				}
+				c := mk()
+				ins, ok := c.Next()
+				c.Close()
+				if !ok || ins.Amount != float64(g+1) {
+					t.Errorf("goroutine %d: recovered a foreign factory (got amount %v)", g, ins.Amount)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCursorOfNonCursorProgram pins the negative path: a hand-written
+// push closure has no factory and must not be mistaken for one.
+func TestCursorOfNonCursorProgram(t *testing.T) {
+	plain := Program(func(yield func(Instr) bool) { yield(Wait(1)) })
+	if _, ok := CursorOf(plain); ok {
+		t.Fatal("plain closure reported as cursor-backed")
+	}
+	if _, ok := CursorOf(nil); ok {
+		t.Fatal("nil program reported as cursor-backed")
+	}
+}

@@ -97,6 +97,14 @@ type Settings struct {
 	// any main that calls dist.MaybeServeStdio early. A single Run
 	// ignores it.
 	WorkerCmd string
+	// Window is the number of jobs a distributed coordinator keeps in
+	// flight per worker connection (pipelined dispatch — see
+	// internal/dist): deeper windows hide network latency and keep a
+	// worker's in-process pool fed. 0 selects the default (currently 4);
+	// 1 restores strictly synchronous request/response dispatch. Like
+	// every scheduling knob it cannot change a result, and both a single
+	// Run and an in-process batch ignore it.
+	Window int
 }
 
 // DefaultSettings returns permissive bounds suitable for tests:

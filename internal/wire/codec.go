@@ -38,7 +38,14 @@ import (
 // this package changes shape (field added, reordered, retyped); the
 // field-count guards in wire_test.go fail when a serialized struct
 // gains a field the codec does not cover.
-const Version = 1
+//
+// History: v1 — PR 3 (instances, settings, jobs, results, frames);
+// v2 — PR 4 (Settings.Window; sweep chunk descriptors and
+// measure.Stats for the distributed Monte-Carlo sweep; replies on a
+// connection may arrive out of order now that workers run in-process
+// pools, so a v2 coordinator must not be paired with a v1 worker —
+// the hello version check enforces exactly that).
+const Version = 2
 
 // maxSlice bounds decoded slice and string lengths, so a corrupt or
 // hostile stream cannot request an absurd allocation.
@@ -220,7 +227,8 @@ func appendSettings(b []byte, s sim.Settings) []byte {
 	b = appendBool(b, s.NoWaitCoalesce)
 	b = appendStr(b, s.Hosts)
 	b = appendI64(b, int64(s.WorkerProcs))
-	return appendStr(b, s.WorkerCmd)
+	b = appendStr(b, s.WorkerCmd)
+	return appendI64(b, int64(s.Window))
 }
 
 func (d *dec) settings() sim.Settings {
@@ -235,13 +243,16 @@ func (d *dec) settings() sim.Settings {
 	s.Hosts = d.str()
 	s.WorkerProcs = int(d.i64())
 	s.WorkerCmd = d.str()
+	s.Window = int(d.i64())
 	return s
 }
 
 // EncodeSettings serializes the simulation settings as a standalone
-// message. The batch/distribution knobs (Parallelism, Hosts, …) ride
-// along for fidelity; workers ignore them — a worker process never
-// re-distributes its own jobs.
+// message. The distribution knobs (Hosts, WorkerProcs, Window, …) ride
+// along for fidelity but a worker process never re-distributes its own
+// jobs; Parallelism is the one scheduling knob a worker honors — it
+// sizes the in-worker execution pool (see dist.Serve), which scheduling
+// determinism keeps invisible in the results.
 func EncodeSettings(s sim.Settings) []byte {
 	return appendSettings(append([]byte(nil), Version), s)
 }

@@ -28,6 +28,12 @@ const (
 	// an error string: the job failed deterministically on the worker
 	// (e.g. unregistered algorithm) and must not be requeued.
 	FrameError byte = 4
+	// FrameSweepJob carries a u64 sequence number followed by
+	// EncodeSweepJob — one Monte-Carlo chunk of a distributed T5 sweep.
+	FrameSweepJob byte = 5
+	// FrameSweepResult answers a FrameSweepJob: the u64 sequence number
+	// followed by EncodeMeasureStats.
+	FrameSweepResult byte = 6
 )
 
 // MaxFrame bounds a frame payload; traces are capped by TraceCap, so

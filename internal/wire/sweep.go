@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/measure"
+)
+
+// Sweep messages: the T5 Monte-Carlo sweep distributes by shipping
+// chunk descriptors to workers and collecting per-chunk counts back.
+// A chunk is self-contained — sample count, pre-derived RNG seed
+// (measure.ChunkSeed applied by the coordinator), the ε ladder, and
+// the sampling box — so the worker runs a plain measure.Sweep with no
+// knowledge of the chunk structure, and the coordinator merges the
+// returned Stats in chunk order exactly as measure.SweepParallel does.
+// Both sides computing pure functions of bit-exact inputs is what
+// makes the distributed sweep byte-identical to the in-process one.
+
+// SweepJob describes one Monte-Carlo chunk of a distributed T5 sweep.
+// Par rides along as the in-worker pool-size hint (the worker pool
+// executes chunks concurrently; chunk results do not depend on it).
+type SweepJob struct {
+	Seed int64
+	N    int
+	Par  int
+	Eps  []float64
+	Box  measure.Box
+}
+
+func appendBox(b []byte, box measure.Box) []byte {
+	b = appendF64(b, box.RMin)
+	b = appendF64(b, box.RMax)
+	b = appendF64(b, box.XYMax)
+	b = appendF64(b, box.TauMin)
+	b = appendF64(b, box.TauMax)
+	b = appendF64(b, box.VMin)
+	b = appendF64(b, box.VMax)
+	return appendF64(b, box.TMax)
+}
+
+func (d *dec) box() measure.Box {
+	var box measure.Box
+	box.RMin = d.f64()
+	box.RMax = d.f64()
+	box.XYMax = d.f64()
+	box.TauMin = d.f64()
+	box.TauMax = d.f64()
+	box.VMin = d.f64()
+	box.VMax = d.f64()
+	box.TMax = d.f64()
+	return box
+}
+
+// EncodeSweepJob serializes the chunk descriptor.
+func EncodeSweepJob(j SweepJob) []byte {
+	b := append([]byte(nil), Version)
+	b = appendI64(b, j.Seed)
+	b = appendI64(b, int64(j.N))
+	b = appendI64(b, int64(j.Par))
+	b = appendU32(b, uint32(len(j.Eps)))
+	for _, e := range j.Eps {
+		b = appendF64(b, e)
+	}
+	return appendBox(b, j.Box)
+}
+
+// DecodeSweepJob inverts EncodeSweepJob.
+func DecodeSweepJob(b []byte) (SweepJob, error) {
+	d := &dec{b: b}
+	d.version()
+	var j SweepJob
+	j.Seed = d.i64()
+	j.N = int(d.i64())
+	j.Par = int(d.i64())
+	n := d.u32()
+	if n > maxSlice/8 {
+		d.fail("epsilon list length %d exceeds limit", n)
+	} else if n > 0 {
+		j.Eps = make([]float64, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			j.Eps = append(j.Eps, d.f64())
+		}
+		if d.err != nil {
+			j.Eps = nil
+		}
+	}
+	j.Box = d.box()
+	return j, d.finish("sweep job")
+}
+
+// appendEpsCounts serializes a hit-count map canonically: entries
+// sorted by the key's IEEE-754 bit pattern, so one map has exactly one
+// byte sequence. (measure.Sweep only ever stores entries for ε values
+// that were hit, so presence/absence round-trips too.)
+func appendEpsCounts(b []byte, m map[float64]int) []byte {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return math.Float64bits(keys[i]) < math.Float64bits(keys[j])
+	})
+	b = appendU32(b, uint32(len(keys)))
+	for _, k := range keys {
+		b = appendF64(b, k)
+		b = appendI64(b, int64(m[k]))
+	}
+	return b
+}
+
+func (d *dec) epsCounts() map[float64]int {
+	n := d.u32()
+	if n > maxSlice/16 {
+		d.fail("count map length %d exceeds limit", n)
+		return nil
+	}
+	// Decode to a non-nil map even when empty: measure.Sweep always
+	// returns initialized maps, and a decoded Stats must be
+	// indistinguishable from one computed in-process.
+	m := make(map[float64]int, n)
+	var prev uint64
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		k := d.f64()
+		bits := math.Float64bits(k)
+		if i > 0 && bits <= prev {
+			d.fail("count map keys not strictly increasing (non-canonical)")
+			return nil
+		}
+		// A NaN key can be inserted into a Go map but never found again
+		// (NaN != NaN), so such a message could not re-encode to itself —
+		// and no sweep ever produces one (ε values are real).
+		if k != k {
+			d.fail("count map key is NaN (non-canonical)")
+			return nil
+		}
+		prev = bits
+		m[k] = int(d.i64())
+		// Distinct bit patterns can still collide as map keys (+0 == -0):
+		// such a message cannot re-encode to itself, so reject it.
+		if len(m) != int(i)+1 {
+			d.fail("count map keys collide (non-canonical)")
+			return nil
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return m
+}
+
+// EncodeMeasureStats serializes one chunk's sweep counts. FeasibleShare
+// crosses as its exact bits for fidelity even though merges recompute
+// it from the totals.
+func EncodeMeasureStats(s measure.Stats) []byte {
+	b := append([]byte(nil), Version)
+	b = appendI64(b, int64(s.Samples))
+	b = appendI64(b, int64(s.Feasible))
+	b = appendI64(b, int64(s.ExactS1))
+	b = appendI64(b, int64(s.ExactS2))
+	b = appendEpsCounts(b, s.NearS1ByEps)
+	b = appendEpsCounts(b, s.NearS2ByEps)
+	return appendF64(b, s.FeasibleShare)
+}
+
+// DecodeMeasureStats inverts EncodeMeasureStats.
+func DecodeMeasureStats(b []byte) (measure.Stats, error) {
+	d := &dec{b: b}
+	d.version()
+	var s measure.Stats
+	s.Samples = int(d.i64())
+	s.Feasible = int(d.i64())
+	s.ExactS1 = int(d.i64())
+	s.ExactS2 = int(d.i64())
+	s.NearS1ByEps = d.epsCounts()
+	s.NearS2ByEps = d.epsCounts()
+	s.FeasibleShare = d.f64()
+	return s, d.finish("measure stats")
+}

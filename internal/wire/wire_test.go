@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math"
 	"reflect"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/dd"
 	"repro/internal/geom"
 	"repro/internal/inst"
+	"repro/internal/measure"
 	"repro/internal/prog"
 	"repro/internal/sim"
 )
@@ -25,9 +27,12 @@ func TestCodecCoversAllFields(t *testing.T) {
 		want int
 	}{
 		{"inst.Instance", reflect.TypeOf(inst.Instance{}), 8},
-		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 10},
+		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 11},
 		{"sim.Result", reflect.TypeOf(sim.Result{}), 11},
 		{"sim.TracePoint", reflect.TypeOf(sim.TracePoint{}), 2},
+		{"wire.SweepJob", reflect.TypeOf(SweepJob{}), 5},
+		{"measure.Box", reflect.TypeOf(measure.Box{}), 8},
+		{"measure.Stats", reflect.TypeOf(measure.Stats{}), 7},
 	} {
 		if got := tc.typ.NumField(); got != tc.want {
 			t.Errorf("%s has %d fields, codec covers %d — extend the codec, bump wire.Version, update this test",
@@ -48,6 +53,7 @@ func testSettings() sim.Settings {
 	s.Hosts = "a:1,b:2"
 	s.WorkerProcs = 2
 	s.WorkerCmd = "./rvworker -v"
+	s.Window = 4
 	return s
 }
 
@@ -235,6 +241,105 @@ func TestRegistry(t *testing.T) {
 		}
 	}()
 	RegisterAlgorithm(name, func(inst.Instance) prog.Program { return prog.Empty() })
+}
+
+func testSweepJob() SweepJob {
+	return SweepJob{
+		Seed: measure.ChunkSeed(5, 3),
+		N:    1 << 16,
+		Par:  4,
+		Eps:  []float64{0.25, 0.35, 0.5},
+		Box:  measure.DefaultBox(),
+	}
+}
+
+func TestSweepJobRoundTrip(t *testing.T) {
+	j := testSweepJob()
+	got, err := DecodeSweepJob(EncodeSweepJob(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, j) {
+		t.Fatalf("round trip changed sweep job:\n%+v\nvs\n%+v", got, j)
+	}
+	if !bytes.Equal(EncodeSweepJob(got), EncodeSweepJob(j)) {
+		t.Fatal("re-encoding differs: sweep job codec is not canonical")
+	}
+}
+
+func TestMeasureStatsRoundTrip(t *testing.T) {
+	j := testSweepJob()
+	s := measure.Sweep(2000, j.Eps, j.Box, j.Seed)
+	got, err := DecodeMeasureStats(EncodeMeasureStats(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip changed stats:\n%+v\nvs\n%+v", got, s)
+	}
+	// Empty hit maps stay non-nil (as measure.Sweep returns them).
+	empty := measure.Sweep(10, nil, j.Box, 1)
+	got, err = DecodeMeasureStats(EncodeMeasureStats(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NearS1ByEps == nil || got.NearS2ByEps == nil {
+		t.Fatal("empty hit map decoded to nil")
+	}
+}
+
+func TestMeasureStatsRejectsNonCanonicalMap(t *testing.T) {
+	s := measure.Stats{
+		Samples:     10,
+		NearS1ByEps: map[float64]int{0.25: 1, 0.5: 2},
+		NearS2ByEps: map[float64]int{},
+	}
+	enc := EncodeMeasureStats(s)
+	// Swap the two sorted entries: same set, different byte order — a
+	// canonical decoder must reject it.
+	// Layout: version(1) + 4×i64(32) + u32 len + [f64 k, i64 v]×2 ...
+	off := 1 + 32 + 4
+	swapped := append([]byte(nil), enc...)
+	copy(swapped[off:off+16], enc[off+16:off+32])
+	copy(swapped[off+16:off+32], enc[off:off+16])
+	if _, err := DecodeMeasureStats(swapped); err == nil {
+		t.Fatal("out-of-order count-map entries accepted")
+	}
+	// A NaN key would insert into the map but never be found again
+	// (NaN != NaN), so re-encoding could not reproduce the bytes. Put it
+	// in the last entry: NaN bit patterns are large, so the
+	// strictly-increasing guard alone would not catch it there.
+	nan := append([]byte(nil), enc...)
+	binary.BigEndian.PutUint64(nan[off+16:], 0x7ff8000000000001)
+	if _, err := DecodeMeasureStats(nan); err == nil {
+		t.Fatal("NaN count-map key accepted")
+	}
+}
+
+// FuzzSweepRoundTrip exercises decode→encode canonicality on the sweep
+// messages: whatever decodes must re-encode to the same bytes.
+func FuzzSweepRoundTrip(f *testing.F) {
+	f.Add(EncodeSweepJob(testSweepJob()), true)
+	f.Add(EncodeMeasureStats(measure.Sweep(500, []float64{0.25}, measure.DefaultBox(), 3)), false)
+	f.Fuzz(func(t *testing.T, data []byte, asJob bool) {
+		if asJob {
+			j, err := DecodeSweepJob(data)
+			if err != nil {
+				return
+			}
+			if re := EncodeSweepJob(j); !bytes.Equal(re, data) {
+				t.Fatalf("sweep job decode/encode not canonical:\nin  %x\nout %x", data, re)
+			}
+			return
+		}
+		s, err := DecodeMeasureStats(data)
+		if err != nil {
+			return
+		}
+		if re := EncodeMeasureStats(s); !bytes.Equal(re, data) {
+			t.Fatalf("stats decode/encode not canonical:\nin  %x\nout %x", data, re)
+		}
+	})
 }
 
 // FuzzJobRoundTrip exercises decode→encode canonicality on arbitrary

@@ -32,7 +32,11 @@
 // Settings.Hosts names a TCP fleet of cmd/rvworker processes) and
 // stream (SimulateBatchStream delivers results in input order as the
 // completed prefix grows) — in every case byte-identical to the
-// in-process serial run; see DESIGN.md §6.
+// in-process serial run; see DESIGN.md §6. Distributed dispatch is
+// pipelined: each worker connection keeps Settings.Window jobs in
+// flight (hiding network latency) and each worker process runs its own
+// Settings.Parallelism-sized pool, so one worker saturates one host;
+// lost workers are re-dialed or respawned mid-run (DESIGN.md §7).
 package rendezvous
 
 import (
@@ -199,7 +203,7 @@ func distConfig(s Settings) (dist.Config, bool) {
 	if s.Hosts == "" && s.WorkerProcs <= 0 {
 		return dist.Config{}, false
 	}
-	cfg := dist.Config{Procs: s.WorkerProcs, Hosts: dist.ParseHosts(s.Hosts)}
+	cfg := dist.Config{Procs: s.WorkerProcs, Hosts: dist.ParseHosts(s.Hosts), Window: s.Window}
 	if s.WorkerCmd != "" {
 		cfg.Cmd = strings.Fields(s.WorkerCmd)
 	}
