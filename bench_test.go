@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/cgkk"
 	"repro/internal/core"
 	"repro/internal/dd"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/prog"
 	"repro/internal/sim"
 	"repro/internal/walk"
+	"repro/internal/wire"
 	"repro/rendezvous"
 )
 
@@ -178,6 +180,52 @@ func benchDistT2(b *testing.B, procs int) {
 
 func BenchmarkDistT2Procs1(b *testing.B) { benchDistT2(b, 1) }
 func BenchmarkDistT2Procs2(b *testing.B) { benchDistT2(b, 2) }
+
+// BenchmarkDistT2Session is the fleet-session contrast to
+// BenchmarkDistT2Procs2: the same batch over the same 2-subprocess
+// fleet, but dialed ONCE outside the loop (dist.Dial) and reused per
+// iteration — the spawn/handshake amortization rvtable gets by sharing
+// one session across T1–T6. The per-iteration delta against
+// DistT2Procs2 is the session's savings.
+func BenchmarkDistT2Session(b *testing.B) {
+	ins := batchT2Instances()
+	set := sim.DefaultSettings()
+	set.MaxSegments = 120_000_000
+	set.Parallelism = 1
+	mk, ok := wire.Algorithm(dist.AlgAURVCompact)
+	if !ok {
+		b.Fatalf("algorithm %q not registered", dist.AlgAURVCompact)
+	}
+	jobs := make([]batch.Job, len(ins))
+	for i, in := range ins {
+		wj := wire.Job{In: in, Alg: dist.AlgAURVCompact, Set: set}
+		jobs[i] = batch.Job{
+			A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(in), Radius: in.R},
+			B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(in), Radius: in.R},
+			Settings: set,
+			Key:      wj,
+			Wire:     &wj,
+		}
+	}
+	f, err := dist.Dial(dist.Config{Procs: 2})
+	if err != nil {
+		b.Fatalf("fleet dial failed: %v", err)
+	}
+	defer f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := f.Run(jobs, 1)
+		if err != nil {
+			b.Fatalf("session batch failed: %v", err)
+		}
+		for j, r := range res {
+			if !r.Met {
+				b.Fatalf("instance %d failed to meet: %v", j, ins[j])
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
 
 // benchDistT2Window runs the T2 batch through 2 worker subprocesses at
 // an explicit send window. On loopback pipes the round trip is cheap,

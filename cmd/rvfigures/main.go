@@ -22,13 +22,30 @@ func main() {
 	out := flag.String("out", "figures", "output directory")
 	workers := flag.Int("workers", 0, "batch-pool size for simulated figures, in-process and per worker process (0 = GOMAXPROCS)")
 	procs := flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
-	hosts := flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
-	window := flag.Int("window", 0, "jobs in flight per worker connection (0 = default; 1 = synchronous)")
+	hosts := flag.String("hosts", "", "comma-separated rvworker -listen endpoints, each addr or addr*pool (distributed execution)")
+	window := flag.Int("window", 0, "jobs in flight per worker connection (0 = adaptive; 1 = synchronous)")
+	maxWindow := flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 	flag.Parse()
 
+	hostList, err := dist.ParseHosts(*hosts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	b := exps.DefaultBudgets()
 	b.Workers = *workers
-	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts), Window: *window}
+	b.Dist = dist.Config{Procs: *procs, Hosts: hostList, Window: *window, MaxWindow: *maxWindow}
+
+	// One fleet session for all figures (see rvtable): dial once, share
+	// the connections, close at exit.
+	if b.Dist.Enabled() {
+		if f, derr := dist.Dial(b.Dist); derr != nil {
+			fmt.Fprintln(os.Stderr, "rvfigures: fleet unavailable (running in-process):", derr)
+		} else {
+			b.Fleet = f
+			defer f.Close()
+		}
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -27,17 +27,26 @@ func main() {
 	dist.MaybeServeStdio() // single-binary deploys: -worker re-executes rvsweep itself
 
 	var (
-		sweep   = flag.String("sweep", "delay", "parameter: delay | ratio | radius")
-		from    = flag.Float64("from", 0.5, "sweep start")
-		to      = flag.Float64("to", 32, "sweep end")
-		steps   = flag.Int("steps", 8, "number of points (geometric spacing)")
-		seg     = flag.Int("max-seg", 400_000_000, "segment budget per run")
-		workers = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS)")
-		procs   = flag.Int("worker", 0, "local worker subprocesses to spawn (distributed execution)")
-		hosts   = flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
-		window  = flag.Int("window", 0, "jobs in flight per worker connection (0 = default; 1 = synchronous)")
+		sweep     = flag.String("sweep", "delay", "parameter: delay | ratio | radius")
+		from      = flag.Float64("from", 0.5, "sweep start")
+		to        = flag.Float64("to", 32, "sweep end")
+		steps     = flag.Int("steps", 8, "number of points (geometric spacing)")
+		seg       = flag.Int("max-seg", 400_000_000, "segment budget per run")
+		workers   = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS)")
+		procs     = flag.Int("worker", 0, "local worker subprocesses to spawn (distributed execution)")
+		hosts     = flag.String("hosts", "", "comma-separated rvworker -listen endpoints, each addr or addr*pool (distributed execution)")
+		window    = flag.Int("window", 0, "jobs in flight per worker connection (0 = adaptive; 1 = synchronous)")
+		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 	)
 	flag.Parse()
+
+	// Validate -hosts upfront (the parse happens again inside the batch
+	// path): a malformed host:port*pool hint must exit 2 like rvtable
+	// and rvfigures, not silently run the whole sweep in-process.
+	if _, err := dist.ParseHosts(*hosts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	pts, skipped, err := Points(*sweep, *from, *to, *steps)
 	if err != nil {
@@ -50,5 +59,5 @@ func main() {
 	// Unbuffered stdout: Fprintf issues one Write per row, so each row
 	// is visible (even through a pipe) the moment its result prefix
 	// completes.
-	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window))
+	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window, *maxWindow))
 }

@@ -52,14 +52,16 @@ func Points(mode string, from, to float64, steps int) (pts []Point, skipped []er
 // SweepSettings assembles the simulation settings of a sweep run: the
 // segment budget, the in-process pool size (also forwarded to workers
 // as their in-process pool), and (optionally) the distributed worker
-// fleet with its per-connection send window.
-func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window int) rendezvous.Settings {
+// fleet with its per-connection send window (fixed when window > 0,
+// adaptive up to maxWindow when window == 0).
+func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWindow int) rendezvous.Settings {
 	set := rendezvous.DefaultSettings()
 	set.MaxSegments = maxSeg
 	set.Parallelism = workers
 	set.Hosts = hosts
 	set.WorkerProcs = workerProcs
 	set.Window = window
+	set.MaxWindow = maxWindow
 	return set
 }
 
@@ -69,7 +71,7 @@ func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window int) r
 // is byte-identical for every worker count.
 func SweepCSV(mode string, pts []Point, maxSeg, workers int) string {
 	var b strings.Builder
-	StreamCSV(&b, mode, pts, SweepSettings(maxSeg, workers, "", 0, 0))
+	StreamCSV(&b, mode, pts, SweepSettings(maxSeg, workers, "", 0, 0, 0))
 	return b.String()
 }
 

@@ -22,20 +22,26 @@ func main() {
 	dist.MaybeServeStdio() // single-binary deploys: -worker re-executes rvtable itself
 
 	var (
-		exp     = flag.String("exp", "all", "table id: T1..T5 or all")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		n       = flag.Int("n", 5, "samples per class/type")
-		workers = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS); output is identical for every value")
-		procs   = flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
-		hosts   = flag.String("hosts", "", "comma-separated rvworker -listen endpoints (distributed execution)")
-		window  = flag.Int("window", 0, "jobs in flight per worker connection (0 = default; 1 = synchronous)")
+		exp       = flag.String("exp", "all", "table id: T1..T6 or all")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		n         = flag.Int("n", 5, "samples per class/type")
+		workers   = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS); output is identical for every value")
+		procs     = flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
+		hosts     = flag.String("hosts", "", "comma-separated rvworker -listen endpoints, each addr or addr*pool (distributed execution)")
+		window    = flag.Int("window", 0, "jobs in flight per worker connection (0 = adaptive; 1 = synchronous)")
+		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 	)
 	flag.Parse()
 
+	hostList, err := dist.ParseHosts(*hosts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	b := exps.DefaultBudgets()
 	b.Workers = *workers
-	b.Dist = dist.Config{Procs: *procs, Hosts: dist.ParseHosts(*hosts), Window: *window}
+	b.Dist = dist.Config{Procs: *procs, Hosts: hostList, Window: *window, MaxWindow: *maxWindow}
 	gens := map[string]func() *report.Table{
 		"T1": func() *report.Table { return exps.T1(*seed, *n, b) },
 		"T2": func() *report.Table { return exps.T2(*seed+1, *n, b) },
@@ -47,21 +53,36 @@ func main() {
 	order := []string{"T1", "T2", "T3", "T4", "T5", "T6"}
 
 	want := strings.ToUpper(*exp)
-	found := false
+	if want != "ALL" {
+		if _, ok := gens[want]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want T1..T6 or all)\n", *exp)
+			os.Exit(2)
+		}
+	}
+
+	// One fleet session for the whole invocation: the tables share the
+	// dialed connections (one handshake per host for all of T1–T6)
+	// instead of assembling and tearing down a fleet per table. An
+	// unreachable fleet degrades to in-process execution, which
+	// determinism makes invisible in the tables.
+	if b.Dist.Enabled() {
+		if f, derr := dist.Dial(b.Dist); derr != nil {
+			fmt.Fprintln(os.Stderr, "rvtable: fleet unavailable (running in-process):", derr)
+		} else {
+			b.Fleet = f
+			defer f.Close()
+		}
+	}
+
 	for _, id := range order {
 		if want != "ALL" && want != id {
 			continue
 		}
-		found = true
 		t := gens[id]()
 		if *csv {
 			fmt.Print(t.CSV())
 		} else {
 			fmt.Println(t.String())
 		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want T1..T5 or all)\n", *exp)
-		os.Exit(2)
 	}
 }

@@ -34,9 +34,10 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "", "TCP address to serve workers on (empty: serve stdin/stdout)")
-		list   = flag.Bool("list", false, "print the registered algorithm names and exit")
-		pool   = flag.Int("pool", 0, "in-worker execution pool per connection (0 = honor the jobs' forwarded Parallelism; <0 = serial)")
+		listen  = flag.String("listen", "", "TCP address to serve workers on (empty: serve stdin/stdout)")
+		list    = flag.Bool("list", false, "print the registered algorithm names and exit")
+		pool    = flag.Int("pool", 0, "in-worker execution pool per connection (0 = honor the stream's pool hint or the jobs' forwarded Parallelism; <0 = serial)")
+		verbose = flag.Bool("v", false, "log one line per served stream (peer and job count) to stderr")
 	)
 	flag.Parse()
 
@@ -47,10 +48,14 @@ func main() {
 		return
 	}
 	opts := dist.ServeOptions{Pool: *pool}
+	if *verbose {
+		opts.Verbose = os.Stderr
+	}
 	var err error
 	if *listen != "" {
 		err = dist.ListenAndServeWith(*listen, opts)
 	} else {
+		opts.Name = "stdio"
 		err = dist.ServeWith(os.Stdin, os.Stdout, opts)
 	}
 	if err != nil {

@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The adaptive window controller is pure arithmetic over observed
+// durations, so it is unit-tested directly with synthetic samples —
+// no sleeping, no network. The behavioral end (an adaptive connection
+// beating window=1 through real latency) is asserted by
+// TestWindowHidesLatency in latency_test.go.
+
+func TestNewAdaptiveWindowModes(t *testing.T) {
+	for _, tc := range []struct {
+		cfg      Config
+		fixed    bool
+		cur, max int
+	}{
+		{Config{Window: 7}, true, 7, 7},                             // explicit window: fixed
+		{Config{Window: 1}, true, 1, 1},                             // synchronous stays synchronous
+		{Config{MaxWindow: -1}, true, DefaultWindow, DefaultWindow}, // adaptation disabled
+		{Config{}, false, DefaultWindow, DefaultMaxWindow},
+		{Config{MaxWindow: 64}, false, DefaultWindow, 64},
+		{Config{MaxWindow: 2}, false, 2, 2}, // cap below the start clamps the start
+	} {
+		w := newAdaptiveWindow(tc.cfg)
+		if w.fixed != tc.fixed || w.cur != tc.cur || w.max != tc.max {
+			t.Errorf("newAdaptiveWindow(%+v) = {fixed:%v cur:%d max:%d}, want {%v %d %d}",
+				tc.cfg, w.fixed, w.cur, w.max, tc.fixed, tc.cur, tc.max)
+		}
+	}
+}
+
+// TestAdaptiveWindowGrowsUnderLatency: with RTT far above the service
+// gap (a WAN link over a fast worker), the window must climb to the
+// bandwidth-delay product's neighborhood, bounded by max.
+func TestAdaptiveWindowGrowsUnderLatency(t *testing.T) {
+	w := newAdaptiveWindow(Config{MaxWindow: 16})
+	for i := 0; i < 100; i++ {
+		w.observe(25*time.Millisecond, time.Millisecond) // target ≈ 26, capped at 16
+	}
+	if w.cur != 16 {
+		t.Fatalf("window = %d after sustained latency, want the cap 16", w.cur)
+	}
+}
+
+// TestAdaptiveWindowShrinksWhenFast: on a link whose RTT is on the
+// order of the service gap (loopback), the window must fall back
+// toward ~2 — pipelining one extra request suffices, and a small
+// window strands fewer jobs on a worker death.
+func TestAdaptiveWindowShrinksWhenFast(t *testing.T) {
+	w := newAdaptiveWindow(Config{MaxWindow: 16})
+	for i := 0; i < 100; i++ {
+		w.observe(25*time.Millisecond, time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		w.observe(time.Millisecond, time.Millisecond) // target = 2
+	}
+	if w.cur != 2 {
+		t.Fatalf("window = %d after the link sped up, want 2", w.cur)
+	}
+}
+
+// TestAdaptiveWindowDoesNotChaseItsQueue is the self-reference
+// regression: on a service-bound connection every reply's RTT includes
+// the time it queued behind the window's predecessors — a signal that
+// grows with the window itself. Feeding the controller exactly that
+// (rtt = cur × service, gap = service) must NOT ratchet the window to
+// the cap; the min-RTT filter pins the target near where it started.
+func TestAdaptiveWindowDoesNotChaseItsQueue(t *testing.T) {
+	w := newAdaptiveWindow(Config{MaxWindow: 32})
+	const service = 10 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		w.observe(time.Duration(w.cur)*service, service)
+	}
+	if w.cur > DefaultWindow+1 {
+		t.Fatalf("window ratcheted to %d chasing its own queueing delay (started at %d, cap 32)",
+			w.cur, DefaultWindow)
+	}
+}
+
+// TestAdaptiveWindowNeverLeavesBounds fuzzes the controller with
+// pathological samples: the window must stay in [1, max] throughout.
+func TestAdaptiveWindowNeverLeavesBounds(t *testing.T) {
+	w := newAdaptiveWindow(Config{MaxWindow: 8})
+	samples := []struct{ rtt, gap time.Duration }{
+		{0, 0}, {time.Hour, time.Nanosecond}, {time.Nanosecond, time.Hour},
+		{-time.Second, time.Second}, {time.Second, -time.Second},
+	}
+	for i := 0; i < 50; i++ {
+		s := samples[i%len(samples)]
+		w.observe(s.rtt, s.gap)
+		if w.cur < 1 || w.cur > 8 {
+			t.Fatalf("window %d left [1, 8] on sample %d (%v)", w.cur, i, s)
+		}
+	}
+}
+
+func TestFixedWindowIgnoresObservations(t *testing.T) {
+	w := newAdaptiveWindow(Config{Window: 3})
+	for i := 0; i < 50; i++ {
+		w.observe(25*time.Millisecond, time.Millisecond)
+	}
+	if w.cur != 3 {
+		t.Fatalf("fixed window moved to %d", w.cur)
+	}
+}
+
+// readAllFrames drains every complete frame a batcher flushed.
+func readAllFrames(t *testing.T, buf *bytes.Buffer) []rawFrame {
+	t.Helper()
+	var frames []rawFrame
+	for buf.Len() > 0 {
+		typ, payload, err := wire.ReadFrame(buf)
+		if err != nil {
+			t.Fatalf("reading flushed frame: %v", err)
+		}
+		frames = append(frames, rawFrame{typ: typ, payload: payload})
+	}
+	return frames
+}
+
+// TestReplyBatcherCoalescesDrain: three replies finished while the
+// stream stays busy must travel as ONE FrameReplyBatch flush when the
+// last in-flight job drains — the syscall reduction the coalescing
+// exists for.
+func TestReplyBatcherCoalescesDrain(t *testing.T) {
+	var buf bytes.Buffer
+	// Huge age bound: this test pins the drain trigger alone, and must
+	// not flake if a loaded CI machine stalls between finish calls.
+	rb := &replyBatcher{bw: bufio.NewWriter(&buf), age: time.Hour}
+	for i := 0; i < 3; i++ {
+		rb.begin()
+	}
+	rb.finish(0, wire.FrameResult, []byte("r0"))
+	rb.finish(2, wire.FrameError, []byte("e2"))
+	if buf.Len() != 0 {
+		t.Fatal("batcher flushed before the window drained")
+	}
+	rb.finish(1, wire.FrameResult, []byte("r1"))
+	frames := readAllFrames(t, &buf)
+	if len(frames) != 1 || frames[0].typ != wire.FrameReplyBatch {
+		t.Fatalf("drain produced %d frames (first type %d), want one FrameReplyBatch", len(frames), frames[0].typ)
+	}
+	replies, err := wire.DecodeReplies(frames[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("batch carries %d replies, want 3", len(replies))
+	}
+	// Finish order preserved inside the frame; types per entry.
+	if replies[0].Seq != 0 || replies[1].Seq != 2 || replies[1].Typ != wire.FrameError || replies[2].Seq != 1 {
+		t.Fatalf("batch entries wrong: %+v", replies)
+	}
+}
+
+// TestReplyBatcherSingleReplyClassicFrame: a lone reply needs no batch
+// wrapper — it travels as the classic seq-prefixed single frame.
+func TestReplyBatcherSingleReplyClassicFrame(t *testing.T) {
+	var buf bytes.Buffer
+	rb := &replyBatcher{bw: bufio.NewWriter(&buf)}
+	rb.begin()
+	rb.finish(5, wire.FrameResult, []byte("only"))
+	frames := readAllFrames(t, &buf)
+	if len(frames) != 1 || frames[0].typ != wire.FrameResult {
+		t.Fatalf("lone reply produced %d frames (first type %d), want one FrameResult", len(frames), frames[0].typ)
+	}
+	seq, body, err := wire.SplitSeq(frames[0].payload)
+	if err != nil || seq != 5 || !bytes.Equal(body, []byte("only")) {
+		t.Fatalf("lone reply mangled: seq %d body %q err %v", seq, body, err)
+	}
+}
+
+// TestReplyBatcherSizeBound: pending bytes past coalesceBytes flush
+// even while executors are still in flight, bounding worker memory and
+// keeping the pipeline moving on trace-laden results.
+func TestReplyBatcherSizeBound(t *testing.T) {
+	var buf bytes.Buffer
+	rb := &replyBatcher{bw: bufio.NewWriter(&buf)}
+	rb.begin()
+	rb.begin()
+	big := make([]byte, coalesceBytes)
+	rb.finish(0, wire.FrameResult, big)
+	if buf.Len() == 0 {
+		t.Fatal("oversized pending batch did not flush while a job was still in flight")
+	}
+	rb.finish(1, wire.FrameResult, []byte("tail"))
+	frames := readAllFrames(t, &buf)
+	if len(frames) != 2 {
+		t.Fatalf("%d frames, want 2 (size-bound flush + drain flush)", len(frames))
+	}
+}
+
+// TestReplyBatcherAgeBound: a pending reply whose successors are slow
+// goes out on the next completion once it has waited past the age
+// bound, even with jobs still in flight — the guard against lockstep
+// window rounds on a saturated pipeline.
+func TestReplyBatcherAgeBound(t *testing.T) {
+	var buf bytes.Buffer
+	rb := &replyBatcher{bw: bufio.NewWriter(&buf), age: 2 * time.Millisecond}
+	for i := 0; i < 3; i++ {
+		rb.begin()
+	}
+	rb.finish(0, wire.FrameResult, []byte("r0"))
+	if buf.Len() != 0 {
+		t.Fatal("fresh reply flushed before its age bound")
+	}
+	time.Sleep(5 * time.Millisecond)
+	rb.finish(1, wire.FrameResult, []byte("r1")) // r0 is now over-age: flush both
+	if buf.Len() == 0 {
+		t.Fatal("over-age pending reply did not flush while a job was still in flight")
+	}
+	rb.finish(2, wire.FrameResult, []byte("r2"))
+	frames := readAllFrames(t, &buf)
+	if len(frames) != 2 {
+		t.Fatalf("%d frames, want 2 (age-bound flush + drain flush)", len(frames))
+	}
+}
+
+// TestReplyBatcherPost: read-loop replies (decode failures) flush
+// immediately when nothing is in flight.
+func TestReplyBatcherPost(t *testing.T) {
+	var buf bytes.Buffer
+	rb := &replyBatcher{bw: bufio.NewWriter(&buf)}
+	rb.post(9, wire.FrameError, []byte("bad job"))
+	frames := readAllFrames(t, &buf)
+	if len(frames) != 1 || frames[0].typ != wire.FrameError {
+		t.Fatalf("posted error did not flush as a single FrameError (%d frames)", len(frames))
+	}
+}

@@ -14,10 +14,16 @@
 //  3. the coordinator keeps internal/batch's discipline — memoization
 //     canon/uniq decided serially in input order before dispatch,
 //     results stored by input index, aggregates folded serially — so
-//     scheduling (which worker, which order, how many jobs a
-//     connection pipelines in its window, even a worker dying with a
-//     window full of jobs that are requeued to survivors or to its own
-//     respawned successor) changes wall-clock time and nothing else.
+//     scheduling (which worker, which order, how deep a connection's
+//     adaptive window runs, how many replies a worker coalesces into
+//     one frame, even a worker dying with a window full of jobs that
+//     are requeued to survivors or to its own respawned successor)
+//     changes wall-clock time and nothing else.
+//
+// The fleet is a session (Fleet, fleet.go): dial once, run any number
+// of batches and sweeps over the open connections, close once. The
+// package-level Run/RunStream/Sweep helpers remain as one-shot
+// wrappers that dial an ephemeral session around a single call.
 //
 // Jobs without a wire form (programs wired to observers, closure-built
 // per-instance algorithms) cannot cross a process boundary; the
@@ -27,18 +33,16 @@ package dist
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/batch"
-	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -48,16 +52,29 @@ import (
 // otherwise hang the batch forever.
 const helloTimeout = 10 * time.Second
 
+// Host is one TCP worker endpoint of the fleet, with an optional
+// per-host execution-pool hint for heterogeneous fleets: a host whose
+// Pool is positive is told (wire.FramePool, sent right after its
+// hello) to execute its stream's jobs on a pool of that size,
+// overriding the one Parallelism value the jobs forward. The -hosts
+// syntax is addr or addr*pool (see ParseHosts).
+type Host struct {
+	Addr string
+	Pool int
+}
+
 // Config selects the worker fleet of a distributed run and shapes its
 // dispatch (window depth, respawn policy).
 type Config struct {
 	// Hosts are TCP endpoints of already-running workers
-	// (cmd/rvworker -listen). Each contributes one pipelined worker
-	// connection (up to Window jobs in flight, executed by the worker's
-	// in-process pool).
-	Hosts []string
+	// (cmd/rvworker -listen), each with an optional in-worker pool
+	// hint. Each contributes one pipelined worker connection (up to a
+	// window of jobs in flight, executed by the worker's in-process
+	// pool).
+	Hosts []Host
 	// Procs is the number of local worker subprocesses to spawn for
-	// the run (stdio transport). They are torn down when the run ends.
+	// the session (stdio transport). They are torn down when the
+	// session closes.
 	Procs int
 	// Cmd is the command line used to spawn local workers. Empty
 	// selects the current executable re-executed in worker mode (the
@@ -66,15 +83,23 @@ type Config struct {
 	// Stderr receives the spawned workers' stderr; nil inherits the
 	// coordinator's.
 	Stderr io.Writer
-	// Window is the number of jobs kept in flight per worker
-	// connection. 0 selects DefaultWindow; 1 restores synchronous
-	// request/response dispatch. Deeper windows hide network latency
-	// and keep in-worker pools fed; they cannot change a result.
+	// Window fixes the number of jobs kept in flight per worker
+	// connection: 1 restores synchronous request/response dispatch.
+	// 0 selects adaptive windows — each connection starts at
+	// DefaultWindow and grows or shrinks with its observed reply RTT
+	// and service rate, bounded by MaxWindow. Deeper windows hide
+	// network latency and keep in-worker pools fed; they cannot change
+	// a result.
 	Window int
+	// MaxWindow bounds adaptive window growth (Window == 0). 0 selects
+	// DefaultMaxWindow; negative disables adaptation, pinning every
+	// connection at DefaultWindow. Ignored when Window is positive.
+	MaxWindow int
 	// MaxRespawns bounds how many times one fleet slot reconnects
 	// (re-dial a TCP host, respawn a stdio subprocess) after mid-run
-	// deaths. 0 selects DefaultMaxRespawns; negative disables
-	// respawning (a dead worker retires its slot, as before PR 4).
+	// deaths, across the whole session. 0 selects DefaultMaxRespawns;
+	// negative disables respawning (a dead worker retires its slot, as
+	// before PR 4).
 	MaxRespawns int
 	// RedialWait is the backoff before a slot's first reconnection
 	// attempt, doubling per consecutive attempt. 0 selects
@@ -87,160 +112,39 @@ func (c Config) Enabled() bool { return len(c.Hosts) > 0 || c.Procs > 0 }
 
 // ParseHosts splits a comma-separated endpoint list into Config.Hosts
 // form, trimming whitespace and dropping empty entries — the one
-// parser behind every -hosts flag and Settings.Hosts.
-func ParseHosts(s string) []string {
-	var hosts []string
-	for _, h := range strings.Split(s, ",") {
-		if h = strings.TrimSpace(h); h != "" {
-			hosts = append(hosts, h)
+// parser behind every -hosts flag and Settings.Hosts. Each entry is
+// addr or addr*pool, the pool hint naming the in-worker execution
+// pool that host should run (heterogeneous fleets: a 32-core host
+// takes host:9101*32 next to a 4-core host:9101*4). A malformed pool
+// hint — not a positive integer, more than one '*', an empty address
+// — is an error, not a silently ignored worker.
+func ParseHosts(s string) ([]Host, error) {
+	var hosts []Host
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
 		}
-	}
-	return hosts
-}
-
-// RunOrFallback is Run with the standard degradation policy: when the
-// config names no fleet, or the distributed run fails (no worker
-// reachable, every worker died, a job failed on a worker), the batch
-// completes in-process instead — byte-identical by the determinism
-// guarantee — after a warning on the config's stderr. A mid-run
-// failure keeps the delivered ordered prefix and recomputes only the
-// rest, so a single bad slot does not cost the whole batch twice.
-func RunOrFallback(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result, batch.Stats) {
-	if !cfg.Enabled() {
-		return batch.Run(jobs, localWorkers)
-	}
-	st, err := RunStream(jobs, localWorkers, cfg)
-	if err != nil {
-		fmt.Fprintf(stderrOf(cfg), "dist: distributed batch failed (%v); falling back to in-process\n", err)
-		return batch.Run(jobs, localWorkers)
-	}
-	results := make([]sim.Result, 0, len(jobs))
-	for r := range st.Results() {
-		results = append(results, r)
-	}
-	if err := st.Err(); err == nil {
-		return results, st.Stats()
-	} else {
-		fmt.Fprintf(stderrOf(cfg), "dist: distributed batch failed after %d results (%v); finishing in-process\n", len(results), err)
-	}
-	suffix, _ := batch.Run(jobs[len(results):], localWorkers)
-	results = append(results, suffix...)
-	// Accounting on the splice path: report the canonical execution set
-	// (what a clean run of this batch executes); the suffix re-dedups
-	// independently, so the actual execution count may have been higher.
-	_, uniq := batch.Dedup(len(jobs), func(i int) any { return jobs[i].Key })
-	return results, batch.FoldStats(results, len(uniq), batch.Workers(localWorkers, len(jobs)))
-}
-
-// StreamOrFallback is RunStream with the same degradation policy as
-// RunOrFallback, flattened to a plain ordered channel: every result is
-// delivered in input order exactly once — distributed while the fleet
-// holds, spliced with an in-process run of the undelivered suffix if it
-// fails (determinism makes the splice exact). This is the one home of
-// the streaming fallback discipline; the public SimulateBatchStream is
-// a thin wrapper.
-func StreamOrFallback(jobs []batch.Job, localWorkers int, cfg Config) <-chan sim.Result {
-	out := make(chan sim.Result, len(jobs))
-	go func() {
-		defer close(out)
-		delivered := 0
-		if cfg.Enabled() {
-			st, err := RunStream(jobs, localWorkers, cfg)
-			if err == nil {
-				for r := range st.Results() {
-					out <- r
-					delivered++
-				}
-				if err = st.Err(); err == nil {
-					return
-				}
+		h := Host{Addr: entry}
+		if i := strings.IndexByte(entry, '*'); i >= 0 {
+			pool, err := strconv.Atoi(strings.TrimSpace(entry[i+1:]))
+			if err != nil || pool < 1 {
+				return nil, fmt.Errorf("dist: host %q: pool hint %q is not a positive integer", entry, entry[i+1:])
 			}
-			fmt.Fprintf(stderrOf(cfg), "dist: distributed batch failed after %d results (%v); finishing in-process\n", delivered, err)
+			// Enforce the wire codec's bound here, where the user sees it:
+			// an oversized hint the worker's DecodePoolHint would reject
+			// must fail the parse, not kill every stream at the handshake.
+			if pool > 1<<20 {
+				return nil, fmt.Errorf("dist: host %q: pool hint %d exceeds the limit (%d)", entry, pool, 1<<20)
+			}
+			h = Host{Addr: strings.TrimSpace(entry[:i]), Pool: pool}
 		}
-		for r := range batch.RunStream(jobs[delivered:], localWorkers).Results() {
-			out <- r
+		if h.Addr == "" || strings.ContainsRune(h.Addr, '*') {
+			return nil, fmt.Errorf("dist: malformed host entry %q (want addr or addr*pool)", entry)
 		}
-	}()
-	return out
-}
-
-// Run executes the jobs across the configured worker fleet and returns
-// results in input order plus aggregate accounting, byte-identical to
-// batch.Run on the same jobs. localWorkers sizes the in-process pool
-// for jobs without a wire form (≤ 0 selects GOMAXPROCS). The error is
-// non-nil only when results are incomplete — no worker could be
-// started, every worker died, or a job failed deterministically on a
-// worker; the caller can then fall back to in-process execution, which
-// purity guarantees produces the same output.
-func Run(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result, batch.Stats, error) {
-	st, err := RunStream(jobs, localWorkers, cfg)
-	if err != nil {
-		return nil, batch.Stats{}, err
+		hosts = append(hosts, h)
 	}
-	results := make([]sim.Result, 0, len(jobs))
-	for r := range st.Results() {
-		results = append(results, r)
-	}
-	if err := st.Err(); err != nil {
-		return nil, batch.Stats{}, err
-	}
-	return results, st.Stats(), nil
-}
-
-// RunStream is Run with ordered streaming delivery: the returned
-// Stream releases results in input order as the completed prefix
-// grows, so consumers act on early results while workers are still
-// grinding through the rest. A non-nil error means the run could not
-// start (no worker reachable) and nothing was delivered; failures
-// after startup surface through Stream.Err after the channel closes,
-// with the delivered prefix still byte-exact.
-func RunStream(jobs []batch.Job, localWorkers int, cfg Config) (*batch.Stream, error) {
-	canon, uniq := batch.Dedup(len(jobs), func(i int) any { return jobs[i].Key })
-
-	// Partition the executing set: wire-formed jobs can ship to worker
-	// processes, the rest run here. The partition is pure bookkeeping —
-	// results land by input index either way.
-	var remote, local []int
-	for _, i := range uniq {
-		if jobs[i].Wire != nil {
-			remote = append(remote, i)
-		} else {
-			local = append(local, i)
-		}
-	}
-
-	var slots []*slot
-	if len(remote) > 0 {
-		// Cap the fleet at the remote-job count. Feeders are no longer
-		// synchronous — each connection pipelines a whole window — so the
-		// old "one in-flight job each" reading of this cap is gone, but
-		// the pigeonhole bound that mattered survives it: a fleet larger
-		// than the job count guarantees workers that never claim a job
-		// yet still pay spawn and handshake cost. What the window does
-		// change is the other side of the formula: dispatch clamps each
-		// connection's window to ceil(jobs/fleet), the largest share a
-		// connection could hold if the batch spread evenly, so a small
-		// batch on a wide fleet doesn't reserve in-flight slots no
-		// schedule could fill.
-		if cfg.Procs > len(remote) {
-			cfg.Procs = len(remote)
-		}
-		if len(cfg.Hosts) > len(remote) {
-			cfg.Hosts = cfg.Hosts[:len(remote)]
-		}
-		var errs []error
-		slots, errs = assemble(cfg)
-		if len(slots) == 0 {
-			return nil, fmt.Errorf("dist: no worker reachable: %w", errors.Join(errs...))
-		}
-		for _, e := range errs {
-			fmt.Fprintln(stderrOf(cfg), "dist: worker unavailable:", e)
-		}
-	}
-
-	s, p := batch.NewStream(len(jobs))
-	go run(jobs, canon, uniq, remote, local, slots, localWorkers, cfg, p)
-	return s, nil
+	return hosts, nil
 }
 
 // stderrMu serializes every write the distribution subsystem makes to
@@ -266,80 +170,79 @@ func stderrOf(cfg Config) io.Writer {
 	return lockedWriter{w: os.Stderr}
 }
 
-// run is the coordinator engine: the windowed dispatch engine
-// (engine.go) pipelines remote jobs over the fleet, an in-process pool
-// runs the local jobs concurrently, and every completion releases the
-// job's result (and its memoized duplicates) into the stream.
-func run(jobs []batch.Job, canon, uniq, remote, local []int, slots []*slot, localWorkers int, cfg Config, p *batch.Producer) {
-	dups := batch.DupsOf(canon)
-	deliver := func(i int, r sim.Result) {
-		p.Put(i, r)
-		for _, j := range dups[i] {
-			p.Put(j, r.CloneTraces())
-		}
-	}
-
-	var wg sync.WaitGroup
-	localPool := 0
-	if len(local) > 0 {
-		localPool = batch.Workers(localWorkers, len(local))
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			batch.Do(len(local), localPool, func(k int) {
-				i := local[k]
-				deliver(i, sim.Run(jobs[i].A, jobs[i].B, jobs[i].Settings))
-			})
-		}()
-	}
-
-	var distErr error
-	if len(remote) > 0 {
-		tasks := make([]task, len(remote))
-		for k, i := range remote {
-			i := i
-			tasks[k] = task{
-				id:      i,
-				payload: wire.EncodeJob(*jobs[i].Wire),
-				deliver: func(body []byte) error {
-					res, err := wire.DecodeResult(body)
-					if err != nil {
-						return err
-					}
-					deliver(i, res)
-					return nil
-				},
-			}
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			distErr = dispatch(slots, tasks, wire.FrameJob, wire.FrameResult, cfg)
-		}()
-	}
-
-	wg.Wait()
-	p.Close(len(uniq), len(slots)+localPool, distErr)
-}
-
 // jobError marks a deterministic per-job failure reported by a worker
 // (FrameError): retrying elsewhere would fail the same way.
 type jobError struct{ msg string }
 
 func (e *jobError) Error() string { return e.msg }
 
+// rawFrame is one frame as the persistent reader pulled it off the
+// connection, type still uninterpreted.
+type rawFrame struct {
+	typ     byte
+	payload []byte
+}
+
 // workerConn is one worker connection (spawned subprocess or TCP). The
-// read and write halves are independent: drive's sender goroutine owns
-// bw, its reader goroutine owns br.
+// write half is owned by whichever dispatch is driving the connection;
+// the read half is owned by a persistent reader goroutine that
+// outlives individual dispatches — it feeds frames, and the session
+// keeps the connection (reader included) warm between batches.
 type workerConn struct {
 	name      string
 	br        *bufio.Reader
 	bw        *bufio.Writer
 	closeOnce sync.Once
 	closeFn   func()
+
+	// frames delivers every frame the persistent reader pulls off the
+	// connection; it is closed when the transport dies, with the error
+	// left in readErr (the channel close is the publication barrier).
+	frames  chan rawFrame
+	readErr error
+
+	// win is the connection's (possibly adaptive) send window, owned
+	// by the dispatch currently driving the connection; dispatches are
+	// serialized per fleet.
+	win adaptiveWindow
 }
 
-func (wc *workerConn) close() { wc.closeOnce.Do(wc.closeFn) }
+func (wc *workerConn) close() {
+	wc.closeOnce.Do(func() {
+		if wc.frames != nil {
+			// The persistent reader may be blocked delivering frames no
+			// consumer will take (a matcher that died mid-protocol, or
+			// none attached): drain until its transport error closes the
+			// channel, so the reader goroutine is always reaped. Racing
+			// a still-attached matcher for a final frame is harmless —
+			// a frame the drain swallows simply leaves its task in
+			// flight, and a failing connection requeues those.
+			go func() {
+				for range wc.frames {
+				}
+			}()
+		}
+		wc.closeFn()
+	})
+}
+
+// startReader launches the connection's persistent frame reader. It
+// runs until the transport dies — naturally, or because close()
+// unblocked its pending read.
+func (wc *workerConn) startReader() {
+	wc.frames = make(chan rawFrame, 4)
+	go func() {
+		defer close(wc.frames)
+		for {
+			typ, payload, err := wire.ReadFrame(wc.br)
+			if err != nil {
+				wc.readErr = err
+				return
+			}
+			wc.frames <- rawFrame{typ: typ, payload: payload}
+		}
+	}()
+}
 
 // send writes one seq-prefixed request frame and flushes it onto the
 // wire, so a job is visible to the worker the moment send returns.
@@ -355,7 +258,7 @@ func (wc *workerConn) send(seq uint64, typ byte, payload []byte) error {
 // dead host costs one dial timeout, not a serial sum of them. Each
 // slot carries its reconnection recipe, which is what lets the engine
 // re-dial a lost host or respawn a dead subprocess mid-run. Individual
-// failures are collected, not fatal — the run proceeds on whatever
+// failures are collected, not fatal — the session proceeds on whatever
 // subset came up (and only fails outright when that subset is empty).
 func assemble(cfg Config) ([]*slot, []error) {
 	n := len(cfg.Hosts) + cfg.Procs
@@ -363,14 +266,15 @@ func assemble(cfg Config) ([]*slot, []error) {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
-	for k, addr := range cfg.Hosts {
-		go func(k int, addr string) {
+	for k, h := range cfg.Hosts {
+		go func(k int, h Host) {
 			defer wg.Done()
-			s := &slot{name: "tcp:" + addr, dial: func() (*workerConn, error) { return dialWorker(addr) }}
+			s := &slot{name: "tcp:" + h.Addr, dial: func() (*workerConn, error) { return dialWorker(h) }}
 			if s.wc, errs[k] = s.dial(); errs[k] == nil {
+				s.wc.win = newAdaptiveWindow(cfg)
 				slots[k] = s
 			}
-		}(k, addr)
+		}(k, h)
 	}
 	for k := 0; k < cfg.Procs; k++ {
 		go func(k int) {
@@ -380,6 +284,7 @@ func assemble(cfg Config) ([]*slot, []error) {
 				dial: func() (*workerConn, error) { return spawnWorker(cfg.Cmd, stderrOf(cfg), k) },
 			}
 			if s.wc, errs[len(cfg.Hosts)+k] = s.dial(); errs[len(cfg.Hosts)+k] == nil {
+				s.wc.win = newAdaptiveWindow(cfg)
 				slots[len(cfg.Hosts)+k] = s
 			}
 		}(k)
@@ -430,21 +335,34 @@ func awaitHello(name string, br *bufio.Reader, cancel func()) error {
 	}
 }
 
+// sendPoolHint forwards a host's per-stream pool hint right after the
+// hello, before any job, so the worker sizes its execution pool from
+// it (see Serve).
+func sendPoolHint(wc *workerConn, pool int) error {
+	if pool <= 0 {
+		return nil
+	}
+	if err := wire.WriteFrame(wc.bw, wire.FramePool, wire.EncodePoolHint(pool)); err != nil {
+		return err
+	}
+	return wc.bw.Flush()
+}
+
 // dialWorker connects to a TCP worker endpoint. Keepalives are enabled
 // so a silent network partition mid-job surfaces as a transport error
 // (and hence a requeue) instead of wedging the batch on a read that
 // never returns.
-func dialWorker(addr string) (*workerConn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+func dialWorker(h Host) (*workerConn, error) {
+	conn, err := net.DialTimeout("tcp", h.Addr, 5*time.Second)
 	if err != nil {
-		return nil, fmt.Errorf("dist: dialing %s: %w", addr, err)
+		return nil, fmt.Errorf("dist: dialing %s: %w", h.Addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetKeepAlive(true)
 		tc.SetKeepAlivePeriod(30 * time.Second)
 	}
 	wc := &workerConn{
-		name:    "tcp:" + addr,
+		name:    "tcp:" + h.Addr,
 		br:      bufio.NewReader(conn),
 		bw:      bufio.NewWriter(conn),
 		closeFn: func() { conn.Close() },
@@ -453,6 +371,11 @@ func dialWorker(addr string) (*workerConn, error) {
 		wc.close()
 		return nil, err
 	}
+	if err := sendPoolHint(wc, h.Pool); err != nil {
+		wc.close()
+		return nil, fmt.Errorf("dist: %s: sending pool hint: %w", wc.name, err)
+	}
+	wc.startReader()
 	return wc, nil
 }
 
@@ -504,5 +427,6 @@ func spawnWorker(cmdline []string, stderr io.Writer, ordinal int) (*workerConn, 
 		wc.close()
 		return nil, err
 	}
+	wc.startReader()
 	return wc, nil
 }

@@ -65,6 +65,15 @@ func drawInstances(n int) []inst.Instance {
 	return ins
 }
 
+// tcpHosts wraps plain addresses in Config.Hosts form (no pool hints).
+func tcpHosts(addrs ...string) []Host {
+	hosts := make([]Host, len(addrs))
+	for i, a := range addrs {
+		hosts[i] = Host{Addr: a}
+	}
+	return hosts
+}
+
 func encodeAll(res []sim.Result) []byte {
 	var b bytes.Buffer
 	for _, r := range res {
@@ -111,7 +120,7 @@ func TestTCPTransport(t *testing.T) {
 	ins := drawInstances(2)
 	set := testSettings()
 	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
-	got, _, err := Run(aurvJobs(t, ins, set), 1, Config{Hosts: []string{l.Addr().String()}})
+	got, _, err := Run(aurvJobs(t, ins, set), 1, Config{Hosts: tcpHosts(l.Addr().String())})
 	if err != nil {
 		t.Fatalf("TCP run failed: %v", err)
 	}
@@ -208,7 +217,7 @@ func TestWorkerDeathRequeues(t *testing.T) {
 	set := testSettings()
 	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
 	got, _, err := Run(aurvJobs(t, ins, set), 1,
-		Config{Hosts: []string{l.Addr().String()}, Procs: 1})
+		Config{Hosts: tcpHosts(l.Addr().String()), Procs: 1})
 	if err != nil {
 		t.Fatalf("run with one dying worker failed: %v", err)
 	}
@@ -232,7 +241,7 @@ func TestAllWorkersDead(t *testing.T) {
 
 	ins := drawInstances(2)
 	_, _, err = Run(aurvJobs(t, ins, testSettings()), 1,
-		Config{Hosts: []string{l.Addr().String()}, MaxRespawns: -1})
+		Config{Hosts: tcpHosts(l.Addr().String()), MaxRespawns: -1})
 	if err == nil {
 		t.Fatal("run with only a dying worker reported success")
 	}

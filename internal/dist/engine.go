@@ -3,6 +3,8 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,57 +19,67 @@ import (
 // answers, and in what order, is invisible to the caller). Both remote
 // workloads — simulation jobs (FrameJob/FrameResult) and Monte-Carlo
 // sweep chunks (FrameSweepJob/FrameSweepResult) — run through this one
-// engine.
+// engine, and since PR 5 the engine runs over a persistent Fleet
+// session (fleet.go): connections survive from one dispatch to the
+// next, so a session pays one dial and one handshake per host no
+// matter how many batches it runs.
 //
 // Throughput comes from three mechanisms layered on the claim channel:
 //
-//   - Pipelined windows. Each connection keeps up to `window` requests
-//     in flight (a sender goroutine claims and writes, a reader
-//     goroutine matches replies by sequence number), so a round trip
-//     of latency stalls nothing: the next job is already on the wire
-//     while the previous one computes. Replies may arrive out of order
-//     — workers run in-process pools — which the in-flight map makes
-//     irrelevant.
+//   - Pipelined adaptive windows. Each connection keeps up to its
+//     window of requests in flight (the sender claims and writes, the
+//     connection's persistent reader feeds a matcher goroutine that
+//     settles replies by sequence number). The window is adaptive by
+//     default: it grows toward the connection's bandwidth-delay
+//     product (observed reply RTT ÷ observed service gap) and shrinks
+//     back when the link is fast, bounded by Config.MaxWindow. Replies
+//     may arrive out of order — workers run in-process pools — which
+//     the in-flight map makes irrelevant, and may arrive many to a
+//     frame (wire.FrameReplyBatch) — workers coalesce small results
+//     into one flush per drain.
 //   - In-worker pools. The worker side (Serve) executes the jobs of
 //     one connection concurrently, so a deep window saturates a whole
-//     host through a single connection.
+//     host through a single connection; heterogeneous hosts get
+//     per-stream pool hints (Host.Pool, the host:port*pool syntax).
 //   - Slot supervision. A connection belongs to a slot that knows how
 //     to re-establish it (re-dial the TCP endpoint, respawn the stdio
 //     subprocess). When a worker dies mid-run its in-flight tasks are
 //     requeued for the survivors and the slot reconnects with
-//     exponential backoff, so a transient death costs a retry, not a
-//     permanently smaller fleet.
+//     exponential backoff; the reconnection budget spans the whole
+//     session, so a slot that keeps dying retires for good.
 //
 // Determinism: a task is claimed, executed remotely as a pure function
 // of its encoded payload, and settled exactly once — requeue on death
 // re-executes the same pure computation. The engine never aggregates;
 // callers deliver results by index and fold serially, exactly as
-// internal/batch prescribes.
+// internal/batch prescribes. Window sizes, pool sizes, frame
+// coalescing, and connection reuse are all pure scheduling: they move
+// wall-clock time, never a byte of output.
 
 // Fleet-shape defaults, overridable per Config.
 const (
-	// DefaultWindow is the per-connection in-flight window when
-	// Config.Window (or Settings.Window) is zero. Four hides a few
+	// DefaultWindow is the per-connection in-flight window a connection
+	// starts at when Config.Window (or Settings.Window) is zero, and
+	// the fixed window when adaptation is disabled. Four hides a few
 	// round trips of latency and keeps a small in-worker pool fed
 	// without stockpiling half the batch on one worker.
 	DefaultWindow = 4
+	// DefaultMaxWindow bounds adaptive window growth when
+	// Config.MaxWindow is zero. Thirty-two covers a ~30-job
+	// bandwidth-delay product — a WAN round trip over a well-fed
+	// in-worker pool — without letting one slow host hoard the batch.
+	DefaultMaxWindow = 32
 	// DefaultMaxRespawns bounds how many times one slot reconnects
-	// after mid-run deaths before retiring. The budget never resets:
-	// a worker that keeps dying retires after this many attempts, so
-	// a run with stranded jobs always terminates (with the error the
-	// caller's fallback path expects).
+	// after mid-run deaths before retiring. The budget never resets —
+	// it spans every dispatch of a fleet session — so a worker that
+	// keeps dying retires after this many attempts and a run with
+	// stranded jobs always terminates (with the error the caller's
+	// fallback path expects).
 	DefaultMaxRespawns = 3
 	// DefaultRedialWait is the backoff before the first reconnection
 	// attempt; it doubles per consecutive attempt on the same slot.
 	DefaultRedialWait = 250 * time.Millisecond
 )
-
-func (c Config) window() int {
-	if c.Window > 0 {
-		return c.Window
-	}
-	return DefaultWindow
-}
 
 func (c Config) maxRespawns() int {
 	switch {
@@ -87,6 +99,86 @@ func (c Config) redialWait() time.Duration {
 	return DefaultRedialWait
 }
 
+// adaptiveWindow sizes one connection's in-flight window. A fixed
+// window (Config.Window > 0, or adaptation disabled) never moves; an
+// adaptive one steps the window one unit per observation toward
+// target = round(minRTT/gap) + 1 — the number of requests that must
+// be in flight for the pipe to never idle, plus one of slack. minRTT
+// is the minimum reply round-trip observed on the connection, and gap
+// an EWMA of the inter-reply arrival spacing (the service rate).
+//
+// The minimum matters: a raw or averaged RTT sample includes the time
+// a request queued behind the window's predecessors at the worker,
+// which grows with the window itself — a controller fed that signal
+// chases its own tail and ratchets to the cap on every service-bound
+// link. The minimum over samples approximates the uncontended round
+// trip (network latency + one service time), which is the quantity
+// the bandwidth-delay product actually wants.
+//
+// Window size is pure scheduling, so the controller needs no
+// precision, only direction: too small and the worker starves behind
+// the latency, too large and one connection hoards work a survivor
+// could have claimed on its death.
+type adaptiveWindow struct {
+	fixed     bool
+	cur, max  int
+	minRTT    float64 // smallest observed reply round trip, seconds
+	gap       float64 // EWMA inter-reply arrival gap, seconds
+	lastReply time.Time
+}
+
+// newAdaptiveWindow builds the window state a fresh connection starts
+// with (reconnections start over: a re-dialed link may have new
+// characteristics).
+func newAdaptiveWindow(cfg Config) adaptiveWindow {
+	if cfg.Window > 0 {
+		return adaptiveWindow{fixed: true, cur: cfg.Window, max: cfg.Window}
+	}
+	if cfg.MaxWindow < 0 {
+		return adaptiveWindow{fixed: true, cur: DefaultWindow, max: DefaultWindow}
+	}
+	max := cfg.MaxWindow
+	if max == 0 {
+		max = DefaultMaxWindow
+	}
+	return adaptiveWindow{cur: min(DefaultWindow, max), max: max}
+}
+
+// observe feeds one reply's round-trip time and the service gap it
+// represents (the inter-reply arrival spacing, spread evenly over a
+// coalesced batch) into the controller and steps the window.
+func (w *adaptiveWindow) observe(rtt, gap time.Duration) {
+	if w.fixed {
+		return
+	}
+	// Floor both estimates at clock-resolution scale so a loopback
+	// burst cannot divide by ~zero.
+	const (
+		alpha = 0.3
+		floor = 20e-6
+	)
+	r := math.Max(rtt.Seconds(), floor)
+	g := math.Max(gap.Seconds(), floor)
+	if w.minRTT == 0 || r < w.minRTT {
+		w.minRTT = r
+	}
+	if w.gap == 0 {
+		w.gap = g
+	} else {
+		w.gap += alpha * (g - w.gap)
+	}
+	// Round, not ceil: the gap EWMA never fully sheds an old sample, so
+	// a ratio that converged to 1 still sits at 1±ε — ceiling it would
+	// pin the target one unit above the true bandwidth-delay product.
+	target := int(math.Round(w.minRTT/w.gap)) + 1
+	switch {
+	case target > w.cur && w.cur < w.max:
+		w.cur++
+	case target < w.cur && w.cur > 1:
+		w.cur--
+	}
+}
+
 // task is one unit of remote work: an encoded request body and the
 // continuation that decodes and delivers its reply. id is the caller's
 // index for the task (job index, chunk index) — used in error text.
@@ -99,12 +191,26 @@ type task struct {
 	deliver func(body []byte) error
 }
 
-// slot is one position in the worker fleet: a live connection plus the
-// recipe for re-establishing it after a mid-run death.
+// slot is one position in the worker fleet: a (possibly live)
+// connection plus the recipe for re-establishing it after a death.
+// Between dispatches the session parks the live connection in wc; the
+// reconnection budget (attempts) spans the slot's whole life, and a
+// slot whose budget is spent retires for good. All fields are owned by
+// the single supervise goroutine a dispatch runs per slot; dispatches
+// over one fleet are serialized by the fleet mutex.
 type slot struct {
-	name string
-	dial func() (*workerConn, error)
-	wc   *workerConn // the initial connection (consumed by supervise)
+	name     string
+	dial     func() (*workerConn, error)
+	wc       *workerConn
+	attempts int
+	retired  bool
+}
+
+// inflightJob is one request awaiting its reply: the task index and
+// the send timestamp the adaptive controller derives RTT from.
+type inflightJob struct {
+	k    int
+	sent time.Time
 }
 
 // engine carries the shared state of one dispatch: the claim channel,
@@ -115,7 +221,11 @@ type engine struct {
 	tasks    []task
 	reqFrame byte
 	resFrame byte
-	window   int
+	// clamp caps every connection's window at ⌈tasks/fleet⌉ for this
+	// dispatch: the largest share a connection could hold if the batch
+	// spread evenly, so a small batch on a wide fleet doesn't reserve
+	// in-flight slots no schedule could fill.
+	clamp int
 
 	// work is the claim channel. Its buffer holds every task, and an
 	// unsettled task is never in more than one place (queued, or in
@@ -150,35 +260,54 @@ func (e *engine) noteDeath(err error) {
 	e.errMu.Unlock()
 }
 
-// dispatch runs every task to completion across the fleet and returns
-// the overall verdict: nil when every task settled by delivery, the
-// joined job errors when workers reported deterministic failures, and
-// the joined death log when tasks were stranded by total fleet loss.
-func dispatch(slots []*slot, tasks []task, reqFrame, resFrame byte, cfg Config) error {
+// dispatch runs every task to completion across the session's live
+// slots and returns the overall verdict: nil when every task settled
+// by delivery, the joined job errors when workers reported
+// deterministic failures, and the joined death log when tasks were
+// stranded by total fleet loss. Dispatches over one fleet are
+// serialized; connections left healthy at the end stay open for the
+// next call.
+func (f *Fleet) dispatch(tasks []task, reqFrame, resFrame byte) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("dist: fleet is closed")
+	}
+	var active []*slot
+	for _, s := range f.slots {
+		if !s.retired {
+			active = append(active, s)
+		}
+	}
+	if len(active) == 0 {
+		return errors.New("dist: every fleet slot has retired")
+	}
+	// More connections than tasks buys nothing (pigeonhole: some could
+	// never claim one); the surplus slots simply sit this dispatch out.
+	if len(active) > len(tasks) {
+		active = active[:len(tasks)]
+	}
 	e := &engine{
 		tasks:    tasks,
 		reqFrame: reqFrame,
 		resFrame: resFrame,
-		window:   cfg.window(),
+		clamp:    (len(tasks) + len(active) - 1) / len(active),
 		work:     make(chan int, len(tasks)),
 		done:     make(chan struct{}),
-	}
-	// Clamp the window to the share of the batch a connection could
-	// actually hold if tasks spread evenly: reserving more in-flight
-	// slots than that buys nothing on a batch this small.
-	if need := (len(tasks) + len(slots) - 1) / len(slots); e.window > need {
-		e.window = need
 	}
 	e.remaining.Store(int64(len(tasks)))
 	for i := range tasks {
 		e.work <- i
 	}
 	var wg sync.WaitGroup
-	for _, s := range slots {
+	for _, s := range active {
 		wg.Add(1)
 		go func(s *slot) {
 			defer wg.Done()
-			e.supervise(s, cfg)
+			e.supervise(s, f.cfg)
 		}(s)
 	}
 	wg.Wait()
@@ -193,20 +322,30 @@ func dispatch(slots []*slot, tasks []task, reqFrame, resFrame byte, cfg Config) 
 }
 
 // supervise drives one slot until the work drains or the slot's
-// respawn budget is exhausted: drive the live connection, and on a
-// transport death reconnect with exponential backoff. The budget never
-// resets, so a slot that keeps dying retires and dispatch terminates.
+// lifetime respawn budget is exhausted: drive the live connection, and
+// on a transport death reconnect with exponential backoff. A drained
+// dispatch parks the still-healthy connection back in the slot for the
+// session's next dispatch; the budget never resets, so a slot that
+// keeps dying retires and dispatch terminates.
 func (e *engine) supervise(s *slot, cfg Config) {
 	wc := s.wc
 	s.wc = nil
-	attempts := 0
 	backoff := cfg.redialWait()
 	for {
 		if wc == nil {
-			if attempts >= cfg.maxRespawns() {
+			// A dispatch that completed while (or because) this slot's
+			// connection died needs no reconnection — and must not spend
+			// an attempt of the slot's session-lifetime budget on one.
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if s.attempts >= cfg.maxRespawns() {
+				s.retired = true
 				return
 			}
-			attempts++
+			s.attempts++
 			select {
 			case <-e.done:
 				return
@@ -218,20 +357,22 @@ func (e *engine) supervise(s *slot, cfg Config) {
 				if errors.Is(err, errDispatchDone) {
 					return
 				}
-				e.noteDeath(fmt.Errorf("dist: %s: reconnect attempt %d: %w", s.name, attempts, err))
+				e.noteDeath(fmt.Errorf("dist: %s: reconnect attempt %d: %w", s.name, s.attempts, err))
 				wc = nil
 				continue
 			}
-			fmt.Fprintf(stderrOf(cfg), "dist: %s: reconnected (attempt %d)\n", s.name, attempts)
+			wc.win = newAdaptiveWindow(cfg)
+			fmt.Fprintf(stderrOf(cfg), "dist: %s: reconnected (attempt %d)\n", s.name, s.attempts)
 		}
 		err := e.drive(wc)
+		if err == nil {
+			s.wc = wc // work drained: the session keeps the live connection
+			return
+		}
 		wc.close()
 		wc = nil
-		if err == nil {
-			return // work drained
-		}
 		e.noteDeath(fmt.Errorf("dist: worker %s: %w", s.name, err))
-		if attempts < cfg.maxRespawns() {
+		if s.attempts < cfg.maxRespawns() {
 			fmt.Fprintf(stderrOf(cfg), "dist: worker %s died (%v); reconnecting\n", s.name, err)
 		}
 	}
@@ -268,104 +409,180 @@ func (e *engine) redial(s *slot) (*workerConn, error) {
 }
 
 // drive runs the windowed pipeline on one live connection: the calling
-// goroutine claims tasks and writes request frames while an in-flight
-// window slot is free; a reader goroutine matches replies by sequence
-// number and settles them. It returns nil when the work channel closed
-// (every task settled — necessarily including this connection's, so
-// the in-flight map is empty), or the transport error after requeueing
-// every task still in flight, exactly once each: a task leaves the
-// in-flight map either by being answered (reader, before settling) or
-// by this requeue (after the reader has provably exited), never both.
+// goroutine claims tasks and writes request frames while the adaptive
+// window has a free slot; a matcher goroutine consumes the
+// connection's persistent frame reader, settles replies by sequence
+// number (coalesced batches entry by entry), and feeds the window
+// controller. It returns nil when the work channel closed (every task
+// settled — necessarily including this connection's, so the in-flight
+// map is empty and the connection is still healthy for the session to
+// keep), or the transport error after requeueing every task still in
+// flight, exactly once each: a task leaves the in-flight map either by
+// being answered (matcher, before settling) or by the final requeue
+// (after the matcher has provably exited), never both.
 func (e *engine) drive(wc *workerConn) error {
 	var (
 		mu       sync.Mutex
-		inflight = make(map[uint64]int, e.window)
+		cond     = sync.NewCond(&mu)
+		inflight = make(map[uint64]inflightJob)
+		dead     bool
 	)
-	window := make(chan struct{}, e.window)
-	readErr := make(chan error, 1)
-	readerDone := make(chan struct{})
+	matchErr := make(chan error, 1)    // the matcher's verdict (capacity: it reports once)
+	matcherDone := make(chan struct{}) // closed when the matcher exits
+	stop := make(chan struct{})        // drained dispatch: release the matcher, keep the conn
 
-	go func() { // reader: match replies, settle tasks, free window slots
-		defer close(readerDone)
-		for {
-			typ, payload, err := wire.ReadFrame(wc.br)
-			if err != nil {
-				readErr <- err
-				return
-			}
-			seq, body, err := wire.SplitSeq(payload)
-			if err != nil {
-				readErr <- err
-				return
-			}
+	// Idle time between dispatches is not service time: reset the
+	// controller's reply clock (its RTT/gap estimates survive — the
+	// link didn't change, the workload pause did).
+	wc.win.lastReply = time.Time{}
+
+	go func() { // matcher
+		defer close(matcherDone)
+		die := func(err error) {
+			matchErr <- err
 			mu.Lock()
-			k, ok := inflight[seq]
-			if ok {
-				delete(inflight, seq)
-			}
+			dead = true
+			cond.Broadcast()
 			mu.Unlock()
-			if !ok {
-				readErr <- fmt.Errorf("answer for sequence %d that is not in flight", seq)
+		}
+		for {
+			select {
+			case <-stop:
 				return
-			}
-			switch typ {
-			case e.resFrame:
-				if derr := e.tasks[k].deliver(body); derr != nil {
-					// Corrupt reply: requeue the task (it already left the
-					// in-flight map) and retire the connection.
-					e.work <- k
-					readErr <- fmt.Errorf("reply for job %d: %w", e.tasks[k].id, derr)
+			case f, ok := <-wc.frames:
+				if !ok {
+					err := wc.readErr
+					if err == nil {
+						err = io.ErrUnexpectedEOF
+					}
+					die(err)
 					return
 				}
-				e.settle()
-			case wire.FrameError:
-				// Deterministic job failure: requeueing would fail
-				// identically on every worker. Count it settled so the run
-				// drains; the overall error reports it.
-				e.failJob(fmt.Errorf("dist: job %d on %s: %w", e.tasks[k].id, wc.name, &jobError{msg: string(body)}))
-				e.settle()
-			default:
-				e.work <- k
-				readErr <- fmt.Errorf("unexpected frame type %d", typ)
-				return
+				var replies []wire.Reply
+				switch f.typ {
+				case wire.FrameReplyBatch:
+					var err error
+					if replies, err = wire.DecodeReplies(f.payload); err != nil {
+						die(err)
+						return
+					}
+				case e.resFrame, wire.FrameError:
+					seq, body, err := wire.SplitSeq(f.payload)
+					if err != nil {
+						die(err)
+						return
+					}
+					replies = []wire.Reply{{Seq: seq, Typ: f.typ, Body: body}}
+				default:
+					die(fmt.Errorf("unexpected frame type %d", f.typ))
+					return
+				}
+				// A coalesced batch is k replies that arrived at once:
+				// spread the observed arrival gap over them so the
+				// controller sees the true per-reply service rate.
+				now := time.Now()
+				var gap time.Duration
+				if !wc.win.lastReply.IsZero() {
+					gap = now.Sub(wc.win.lastReply) / time.Duration(len(replies))
+				}
+				wc.win.lastReply = now
+				for _, r := range replies {
+					mu.Lock()
+					fj, ok := inflight[r.Seq]
+					if ok {
+						delete(inflight, r.Seq)
+					}
+					mu.Unlock()
+					if !ok {
+						die(fmt.Errorf("answer for sequence %d that is not in flight", r.Seq))
+						return
+					}
+					switch r.Typ {
+					case e.resFrame:
+						if derr := e.tasks[fj.k].deliver(r.Body); derr != nil {
+							// Corrupt reply: requeue the task (it already left
+							// the in-flight map) and retire the connection.
+							e.work <- fj.k
+							die(fmt.Errorf("reply for job %d: %w", e.tasks[fj.k].id, derr))
+							return
+						}
+						e.settle()
+					case wire.FrameError:
+						// Deterministic job failure: requeueing would fail
+						// identically on every worker. Count it settled so the
+						// run drains; the overall error reports it.
+						e.failJob(fmt.Errorf("dist: job %d on %s: %w", e.tasks[fj.k].id, wc.name, &jobError{msg: string(r.Body)}))
+						e.settle()
+					default:
+						e.work <- fj.k
+						die(fmt.Errorf("unexpected reply type %d for sequence %d", r.Typ, r.Seq))
+						return
+					}
+					mu.Lock()
+					if gap > 0 {
+						wc.win.observe(now.Sub(fj.sent), gap)
+					}
+					cond.Broadcast()
+					mu.Unlock()
+				}
 			}
-			<-window
 		}
 	}()
 
-	// fail retires the connection: unblock and join the reader, then
-	// requeue everything still in flight (the reader being gone is what
-	// makes "still in flight" unambiguous).
+	// fail retires the connection: unblock and join the matcher, then
+	// requeue everything still in flight (the matcher being gone is
+	// what makes "still in flight" unambiguous).
 	fail := func(err error) error {
 		wc.close()
-		<-readerDone
+		<-matcherDone
 		mu.Lock()
-		for _, k := range inflight {
-			e.work <- k
+		for _, fj := range inflight {
+			e.work <- fj.k
 		}
 		inflight = nil
 		mu.Unlock()
 		return err
 	}
 
-	for { // sender: claim a window slot, claim a task, ship it
-		select {
-		case err := <-readErr:
-			return fail(err)
-		case window <- struct{}{}:
+	for { // sender: wait for a window slot, claim a task, ship it
+		mu.Lock()
+		for !dead && len(inflight) >= min(wc.win.cur, e.clamp) {
+			cond.Wait()
+		}
+		d := dead
+		mu.Unlock()
+		if d {
+			return fail(<-matchErr)
 		}
 		var k int
 		var ok bool
 		select {
-		case err := <-readErr:
+		case err := <-matchErr:
 			return fail(err)
 		case k, ok = <-e.work:
 			if !ok {
+				// Drained. The matcher has settled every reply (the close
+				// implies no task anywhere is unanswered), so the stream
+				// is quiet; release the matcher and keep the connection —
+				// unless the transport died in the same instant the batch
+				// drained (the select can pick the closed work channel
+				// over a pending matchErr): a dead connection must not be
+				// parked as healthy, or the session's next dispatch burns
+				// a respawn attempt discovering it. Nothing is in flight
+				// either way, so the fail path requeues nothing.
+				close(stop)
+				<-matcherDone
+				mu.Lock()
+				d := dead
+				mu.Unlock()
+				if d {
+					return fail(<-matchErr)
+				}
 				return nil
 			}
 		}
 		mu.Lock()
-		inflight[uint64(k)] = k
+		inflight[uint64(k)] = inflightJob{k: k, sent: time.Now()}
 		mu.Unlock()
 		if err := wc.send(uint64(k), e.reqFrame, e.tasks[k].payload); err != nil {
 			return fail(err)

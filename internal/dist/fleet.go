@@ -1,0 +1,363 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/batch"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Fleet is a persistent worker session: the fleet is assembled (hosts
+// dialed, subprocesses spawned, hellos exchanged, pool hints sent)
+// exactly once, any number of batches and sweeps then run over the
+// open connections, and Close tears everything down — so a run that
+// executes many batches (rvtable regenerating T1–T6, a sweep per
+// parameter, a service handling request after request) pays one dial
+// and one handshake per host instead of one per batch.
+//
+// Dispatches over one fleet are serialized (concurrent Run calls
+// queue); the in-process halves of a batch still run concurrently
+// with the remote dispatch. A connection that dies is re-dialed or
+// respawned under the slot's session-lifetime respawn budget
+// (Config.MaxRespawns — it never resets, so a host that keeps dying
+// retires for good); adaptive window state lives on the connection
+// and survives from one batch to the next, so a later batch starts
+// with the window the earlier batches learned.
+//
+// Every determinism property of the one-shot path carries over
+// verbatim: session reuse is pure scheduling, so any sequence of
+// batches over any fleet produces byte-identical results to the same
+// calls run in-process serially.
+type Fleet struct {
+	cfg    Config
+	mu     sync.Mutex // serializes dispatches and Close
+	slots  []*slot
+	closed bool
+}
+
+// Dial assembles the worker fleet the config names and returns the
+// open session. Individual workers that cannot be reached are reported
+// on the config's stderr and skipped; Dial fails only when no worker
+// at all came up (or the config names none).
+func Dial(cfg Config) (*Fleet, error) {
+	if !cfg.Enabled() {
+		return nil, errors.New("dist: config names no workers")
+	}
+	slots, errs := assemble(cfg)
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("dist: no worker reachable: %w", errors.Join(errs...))
+	}
+	for _, e := range errs {
+		fmt.Fprintln(stderrOf(cfg), "dist: worker unavailable:", e)
+	}
+	return &Fleet{cfg: cfg, slots: slots}, nil
+}
+
+// Size reports the number of fleet slots that have not retired. It is
+// the worker count Stats reports for distributed batches.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, s := range f.slots {
+		if !s.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// Close ends the session: every live connection is closed (stdio
+// workers exit on the EOF, TCP workers see the stream end) and later
+// dispatches fail. Closing an already-closed fleet is a no-op.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	for _, s := range f.slots {
+		if s.wc != nil {
+			s.wc.close()
+			s.wc = nil
+		}
+	}
+	return nil
+}
+
+// Run executes the jobs across the session's fleet and returns results
+// in input order plus aggregate accounting, byte-identical to
+// batch.Run on the same jobs. localWorkers sizes the in-process pool
+// for jobs without a wire form (≤ 0 selects GOMAXPROCS). The error is
+// non-nil only when results are incomplete — every worker retired, or
+// a job failed deterministically on a worker; the caller can then fall
+// back to in-process execution, which purity guarantees produces the
+// same output.
+func (f *Fleet) Run(jobs []batch.Job, localWorkers int) ([]sim.Result, batch.Stats, error) {
+	return collect(f.RunStream(jobs, localWorkers))
+}
+
+// RunStream is Run with ordered streaming delivery: the returned
+// Stream releases results in input order as the completed prefix
+// grows. Failures surface through Stream.Err after the channel closes,
+// with the delivered prefix still byte-exact.
+func (f *Fleet) RunStream(jobs []batch.Job, localWorkers int) (*batch.Stream, error) {
+	return streamJobs(f, jobs, localWorkers, false)
+}
+
+// RunOrFallback is Run with the standard degradation policy: when the
+// distributed run fails (every worker retired, a job failed on a
+// worker), the batch completes in-process instead — byte-identical by
+// the determinism guarantee — after a warning on the config's stderr.
+// A mid-run failure keeps the delivered ordered prefix and recomputes
+// only the rest, so a single bad slot does not cost the whole batch
+// twice.
+func (f *Fleet) RunOrFallback(jobs []batch.Job, localWorkers int) ([]sim.Result, batch.Stats) {
+	return runOrFallback(jobs, localWorkers, stderrOf(f.cfg), func() (*batch.Stream, error) {
+		return f.RunStream(jobs, localWorkers)
+	})
+}
+
+// StreamOrFallback is RunStream with the same degradation policy,
+// flattened to a plain ordered channel: every result is delivered in
+// input order exactly once — distributed while the fleet holds,
+// spliced with an in-process run of the undelivered suffix if it fails
+// (determinism makes the splice exact).
+func (f *Fleet) StreamOrFallback(jobs []batch.Job, localWorkers int) <-chan sim.Result {
+	return streamOrFallback(jobs, localWorkers, true, stderrOf(f.cfg), func() (*batch.Stream, error) {
+		return f.RunStream(jobs, localWorkers)
+	})
+}
+
+// ---- one-shot wrappers (ephemeral session per call) ----
+
+// RunOrFallback is Fleet.RunOrFallback over an ephemeral session: when
+// the config names no fleet, or no worker can be reached, the batch
+// completes in-process — byte-identical — after a warning on the
+// config's stderr.
+func RunOrFallback(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result, batch.Stats) {
+	if !cfg.Enabled() {
+		return batch.Run(jobs, localWorkers)
+	}
+	return runOrFallback(jobs, localWorkers, stderrOf(cfg), func() (*batch.Stream, error) {
+		return RunStream(jobs, localWorkers, cfg)
+	})
+}
+
+// StreamOrFallback is Fleet.StreamOrFallback over an ephemeral
+// session (no fleet configured, unreachable, or lost mid-run all
+// degrade to in-process execution, splice-exact).
+func StreamOrFallback(jobs []batch.Job, localWorkers int, cfg Config) <-chan sim.Result {
+	return streamOrFallback(jobs, localWorkers, cfg.Enabled(), stderrOf(cfg), func() (*batch.Stream, error) {
+		return RunStream(jobs, localWorkers, cfg)
+	})
+}
+
+// Run executes the jobs over an ephemeral session (dial, run, close)
+// and returns results in input order plus aggregate accounting.
+func Run(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result, batch.Stats, error) {
+	return collect(RunStream(jobs, localWorkers, cfg))
+}
+
+// RunStream runs the jobs over an ephemeral session with ordered
+// streaming delivery; the session is torn down when the stream
+// completes. A non-nil error means the run could not start (no worker
+// reachable) and nothing was delivered.
+func RunStream(jobs []batch.Job, localWorkers int, cfg Config) (*batch.Stream, error) {
+	// Cap the fleet at the wire-formed unique-job count: a fleet larger
+	// than the batch guarantees workers that never claim a job yet
+	// still pay spawn and handshake cost. (A persistent Fleet is dialed
+	// at full strength instead — its later batches may need the width.)
+	_, uniq := batch.Dedup(len(jobs), func(i int) any { return jobs[i].Key })
+	remote := 0
+	for _, i := range uniq {
+		if jobs[i].Wire != nil {
+			remote++
+		}
+	}
+	var f *Fleet
+	if remote > 0 {
+		if cfg.Procs > remote {
+			cfg.Procs = remote
+		}
+		if len(cfg.Hosts) > remote {
+			cfg.Hosts = cfg.Hosts[:remote]
+		}
+		var err error
+		if f, err = Dial(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return streamJobs(f, jobs, localWorkers, true)
+}
+
+// collect drains a stream into the slice API shape.
+func collect(st *batch.Stream, err error) ([]sim.Result, batch.Stats, error) {
+	if err != nil {
+		return nil, batch.Stats{}, err
+	}
+	results := make([]sim.Result, 0, 16)
+	for r := range st.Results() {
+		results = append(results, r)
+	}
+	if err := st.Err(); err != nil {
+		return nil, batch.Stats{}, err
+	}
+	return results, st.Stats(), nil
+}
+
+// runOrFallback implements the slice-shaped degradation policy over
+// any stream starter (session-backed or ephemeral).
+func runOrFallback(jobs []batch.Job, localWorkers int, errw io.Writer, start func() (*batch.Stream, error)) ([]sim.Result, batch.Stats) {
+	st, err := start()
+	if err != nil {
+		fmt.Fprintf(errw, "dist: distributed batch failed (%v); falling back to in-process\n", err)
+		return batch.Run(jobs, localWorkers)
+	}
+	results := make([]sim.Result, 0, len(jobs))
+	for r := range st.Results() {
+		results = append(results, r)
+	}
+	if err := st.Err(); err == nil {
+		return results, st.Stats()
+	} else {
+		fmt.Fprintf(errw, "dist: distributed batch failed after %d results (%v); finishing in-process\n", len(results), err)
+	}
+	suffix, _ := batch.Run(jobs[len(results):], localWorkers)
+	results = append(results, suffix...)
+	// Accounting on the splice path: report the canonical execution set
+	// (what a clean run of this batch executes); the suffix re-dedups
+	// independently, so the actual execution count may have been higher.
+	_, uniq := batch.Dedup(len(jobs), func(i int) any { return jobs[i].Key })
+	return results, batch.FoldStats(results, len(uniq), batch.Workers(localWorkers, len(jobs)))
+}
+
+// streamOrFallback implements the channel-shaped degradation policy
+// over any stream starter. enabled=false skips the distributed attempt
+// entirely (the ephemeral path with no configured fleet).
+func streamOrFallback(jobs []batch.Job, localWorkers int, enabled bool, errw io.Writer, start func() (*batch.Stream, error)) <-chan sim.Result {
+	out := make(chan sim.Result, len(jobs))
+	go func() {
+		defer close(out)
+		delivered := 0
+		if enabled {
+			st, err := start()
+			if err == nil {
+				for r := range st.Results() {
+					out <- r
+					delivered++
+				}
+				if err = st.Err(); err == nil {
+					return
+				}
+			}
+			fmt.Fprintf(errw, "dist: distributed batch failed after %d results (%v); finishing in-process\n", delivered, err)
+		}
+		for r := range batch.RunStream(jobs[delivered:], localWorkers).Results() {
+			out <- r
+		}
+	}()
+	return out
+}
+
+// streamJobs is the shared core of every batch entry point: partition
+// the executing set, start the ordered stream, and run the coordinator
+// over the given session (nil when the batch has no wire-formed jobs —
+// then everything runs in-process). closeFleet tears the session down
+// once the stream settles (the ephemeral wrappers).
+func streamJobs(f *Fleet, jobs []batch.Job, localWorkers int, closeFleet bool) (*batch.Stream, error) {
+	canon, uniq := batch.Dedup(len(jobs), func(i int) any { return jobs[i].Key })
+
+	// Partition the executing set: wire-formed jobs can ship to worker
+	// processes, the rest run here. The partition is pure bookkeeping —
+	// results land by input index either way.
+	var remote, local []int
+	for _, i := range uniq {
+		if jobs[i].Wire != nil {
+			if f != nil {
+				remote = append(remote, i)
+			} else {
+				local = append(local, i)
+			}
+		} else {
+			local = append(local, i)
+		}
+	}
+
+	s, p := batch.NewStream(len(jobs))
+	go func() {
+		run(f, jobs, canon, uniq, remote, local, localWorkers, p)
+		if closeFleet && f != nil {
+			f.Close()
+		}
+	}()
+	return s, nil
+}
+
+// run is the coordinator engine: the windowed dispatch engine
+// (engine.go) pipelines remote jobs over the session's fleet, an
+// in-process pool runs the local jobs concurrently, and every
+// completion releases the job's result (and its memoized duplicates)
+// into the stream.
+func run(f *Fleet, jobs []batch.Job, canon, uniq, remote, local []int, localWorkers int, p *batch.Producer) {
+	dups := batch.DupsOf(canon)
+	deliver := func(i int, r sim.Result) {
+		p.Put(i, r)
+		for _, j := range dups[i] {
+			p.Put(j, r.CloneTraces())
+		}
+	}
+
+	var wg sync.WaitGroup
+	localPool := 0
+	if len(local) > 0 {
+		localPool = batch.Workers(localWorkers, len(local))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch.Do(len(local), localPool, func(k int) {
+				i := local[k]
+				deliver(i, sim.Run(jobs[i].A, jobs[i].B, jobs[i].Settings))
+			})
+		}()
+	}
+
+	var distErr error
+	fleetSize := 0
+	if len(remote) > 0 {
+		// Stats report the connections this batch could actually use:
+		// dispatch truncates the active set to the task count, so a wide
+		// session fleet running a narrow batch counts only the slots that
+		// could have claimed a job.
+		fleetSize = min(f.Size(), len(remote))
+		tasks := make([]task, len(remote))
+		for k, i := range remote {
+			i := i
+			tasks[k] = task{
+				id:      i,
+				payload: wire.EncodeJob(*jobs[i].Wire),
+				deliver: func(body []byte) error {
+					res, err := wire.DecodeResult(body)
+					if err != nil {
+						return err
+					}
+					deliver(i, res)
+					return nil
+				},
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			distErr = f.dispatch(tasks, wire.FrameJob, wire.FrameResult)
+		}()
+	}
+
+	wg.Wait()
+	p.Close(len(uniq), fleetSize+localPool, distErr)
+}

@@ -97,23 +97,32 @@ func TestWindowHidesLatency(t *testing.T) {
 	set := testSettings()
 	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
 
-	timed := func(window int) time.Duration {
+	timed := func(label string, cfg Config) time.Duration {
+		cfg.Hosts = tcpHosts(addr)
+		cfg.MaxRespawns = -1
 		start := time.Now()
-		got, _, err := Run(aurvJobs(t, ins, set), 1,
-			Config{Hosts: []string{addr}, Window: window, MaxRespawns: -1})
+		got, _, err := Run(aurvJobs(t, ins, set), 1, cfg)
 		if err != nil {
-			t.Fatalf("window=%d run failed: %v", window, err)
+			t.Fatalf("%s run failed: %v", label, err)
 		}
 		if !bytes.Equal(encodeAll(got), encodeAll(want)) {
-			t.Fatalf("window=%d results differ from in-process serial", window)
+			t.Fatalf("%s results differ from in-process serial", label)
 		}
 		return time.Since(start)
 	}
 
-	sync := timed(1)
-	pipe := timed(4)
-	t.Logf("window=1: %v, window=4: %v (%.1fx)", sync, pipe, float64(sync)/float64(pipe))
+	sync := timed("window=1", Config{Window: 1})
+	pipe := timed("window=4", Config{Window: 4})
+	// Adaptive (Window=0): starts at the default window and may grow
+	// from observed RTT/service samples — through real latency it must
+	// beat synchronous dispatch just like a fixed deep window does.
+	adaptive := timed("adaptive", Config{MaxWindow: 8})
+	t.Logf("window=1: %v, window=4: %v (%.1fx), adaptive: %v (%.1fx)",
+		sync, pipe, float64(sync)/float64(pipe), adaptive, float64(sync)/float64(adaptive))
 	if pipe*2 > sync {
 		t.Fatalf("windowed dispatch did not hide latency: window=1 took %v, window=4 took %v (want ≥2x)", sync, pipe)
+	}
+	if adaptive*2 > sync {
+		t.Fatalf("adaptive dispatch did not hide latency: window=1 took %v, adaptive took %v (want ≥2x)", sync, adaptive)
 	}
 }

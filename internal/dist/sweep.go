@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/measure"
@@ -17,50 +16,50 @@ import (
 // worker computed them, and the merge is the same serial
 // measure.MergeChunks the in-process pool uses. The result is
 // byte-identical to measure.SweepParallel for every fleet shape,
-// window depth, and in-worker pool size.
+// window depth, and in-worker pool size — and a sweep can share a
+// Fleet session with the simulation batches around it (exps.T5 runs
+// over the same dialed fleet as T1–T4).
 
-// Sweep runs the n-sample Monte-Carlo sweep across the configured
-// worker fleet and returns the merged Stats, identical to
+// Sweep runs the n-sample Monte-Carlo sweep across the session's
+// fleet and returns the merged Stats, identical to
 // measure.SweepParallel(n, epsilons, box, seed, workers). workers is
-// forwarded to the fleet as the in-worker pool hint. The error is
-// non-nil when the fleet could not be reached or lost chunks; the
-// caller can then fall back to the in-process sweep, which determinism
-// makes exact.
-func Sweep(n int, epsilons []float64, box measure.Box, seed int64, workers int, cfg Config) (measure.Stats, error) {
-	chunks, err := sweepChunks(n, epsilons, box, seed, workers, cfg)
+// forwarded to the fleet as the in-worker pool hint (per-host Pool
+// hints override it). The error is non-nil when the fleet lost
+// chunks; the caller can then fall back to the in-process sweep,
+// which determinism makes exact.
+func (f *Fleet) Sweep(n int, epsilons []float64, box measure.Box, seed int64, workers int) (measure.Stats, error) {
+	chunks, err := f.sweepChunks(n, epsilons, box, seed, workers)
 	if err != nil {
 		return measure.Stats{}, err
 	}
 	return measure.MergeChunks(chunks, n), nil
 }
 
-// sweepChunks dispatches the sweep's chunks to the fleet and returns
-// the per-chunk Stats slice, populated as far as the fleet got: on an
-// error, delivered chunks keep their (complete, pure) counts and
-// undelivered chunks are zero — distinguishable by Samples == 0, since
-// every real chunk draws at least one sample. The fallback path uses
-// that to recompute only the holes.
-func sweepChunks(n int, epsilons []float64, box measure.Box, seed int64, workers int, cfg Config) ([]measure.Stats, error) {
+// SweepOrFallback is Sweep with the standard degradation policy: a
+// mid-run fleet loss completes in-process — byte-identical by the
+// determinism guarantee — after a warning on the config's stderr. A
+// failure keeps every chunk the fleet did deliver and recomputes only
+// the holes, so a fleet dying late costs a remainder, not the whole
+// sweep twice.
+func (f *Fleet) SweepOrFallback(n int, epsilons []float64, box measure.Box, seed int64, workers int) measure.Stats {
+	chunks, err := f.sweepChunks(n, epsilons, box, seed, workers)
+	if err != nil {
+		spliceSweepHoles(chunks, n, epsilons, box, seed, workers, err, f.cfg)
+	}
+	return measure.MergeChunks(chunks, n)
+}
+
+// sweepChunks dispatches the sweep's chunks to the session's fleet and
+// returns the per-chunk Stats slice, populated as far as the fleet
+// got: on an error, delivered chunks keep their (complete, pure)
+// counts and undelivered chunks are zero — distinguishable by
+// Samples == 0, since every real chunk draws at least one sample. The
+// fallback path uses that to recompute only the holes.
+func (f *Fleet) sweepChunks(n int, epsilons []float64, box measure.Box, seed int64, workers int) ([]measure.Stats, error) {
 	nChunks := measure.NumChunks(n)
 	if nChunks == 0 {
 		return nil, nil
 	}
-	// Same fleet cap as the batch coordinator, with chunks as the job
-	// unit (see RunStream).
-	if cfg.Procs > nChunks {
-		cfg.Procs = nChunks
-	}
-	if len(cfg.Hosts) > nChunks {
-		cfg.Hosts = cfg.Hosts[:nChunks]
-	}
-	slots, errs := assemble(cfg)
-	if len(slots) == 0 {
-		return make([]measure.Stats, nChunks), fmt.Errorf("dist: no worker reachable: %w", errors.Join(errs...))
-	}
-	for _, e := range errs {
-		fmt.Fprintln(stderrOf(cfg), "dist: worker unavailable:", e)
-	}
-
 	chunks := make([]measure.Stats, nChunks)
 	tasks := make([]task, nChunks)
 	for k := range tasks {
@@ -84,35 +83,75 @@ func sweepChunks(n int, epsilons []float64, box measure.Box, seed int64, workers
 			},
 		}
 	}
-	err := dispatch(slots, tasks, wire.FrameSweepJob, wire.FrameSweepResult, cfg)
+	err := f.dispatch(tasks, wire.FrameSweepJob, wire.FrameSweepResult)
 	return chunks, err
 }
 
-// SweepOrFallback is Sweep with the standard degradation policy: no
-// configured fleet, an unreachable fleet, or a mid-run fleet loss all
-// complete in-process — byte-identical by the determinism guarantee —
-// after a warning on the config's stderr. As with the batch splice in
-// RunOrFallback, a mid-run failure keeps every chunk the fleet did
-// deliver and recomputes only the holes, so a fleet dying late costs a
-// remainder, not the whole sweep twice.
+// spliceSweepHoles recomputes the undelivered chunks of a failed
+// distributed sweep on the in-process pool, after the warning.
+func spliceSweepHoles(chunks []measure.Stats, n int, epsilons []float64, box measure.Box, seed int64, workers int, err error, cfg Config) {
+	var missing []int
+	for i, c := range chunks {
+		if c.Samples == 0 { // never delivered (real chunks draw ≥ 1 sample)
+			missing = append(missing, i)
+		}
+	}
+	fmt.Fprintf(stderrOf(cfg), "dist: distributed sweep failed (%v); falling back in-process for %d/%d chunks\n",
+		err, len(missing), len(chunks))
+	pool.Do(len(missing), pool.Workers(workers, len(missing)), func(k int) {
+		i := missing[k]
+		chunks[i] = measure.Sweep(measure.ChunkSamples(n, i), epsilons, box, measure.ChunkSeed(seed, i))
+	})
+}
+
+// Sweep runs the sweep over an ephemeral session (dial, sweep, close),
+// identical to measure.SweepParallel for every fleet shape. The error
+// is non-nil when the fleet could not be reached or lost chunks.
+func Sweep(n int, epsilons []float64, box measure.Box, seed int64, workers int, cfg Config) (measure.Stats, error) {
+	f, err := dialForChunks(n, cfg)
+	if err != nil {
+		return measure.Stats{}, err
+	}
+	if f == nil {
+		return measure.SweepParallel(n, epsilons, box, seed, workers), nil
+	}
+	defer f.Close()
+	return f.Sweep(n, epsilons, box, seed, workers)
+}
+
+// SweepOrFallback is Sweep over an ephemeral session with the standard
+// degradation policy: no configured fleet, an unreachable fleet, or a
+// mid-run fleet loss all complete in-process, byte-identically.
 func SweepOrFallback(n int, epsilons []float64, box measure.Box, seed int64, workers int, cfg Config) measure.Stats {
 	if !cfg.Enabled() {
 		return measure.SweepParallel(n, epsilons, box, seed, workers)
 	}
-	chunks, err := sweepChunks(n, epsilons, box, seed, workers, cfg)
+	f, err := dialForChunks(n, cfg)
 	if err != nil {
-		var missing []int
-		for i, c := range chunks {
-			if c.Samples == 0 { // never delivered (real chunks draw ≥ 1 sample)
-				missing = append(missing, i)
-			}
-		}
 		fmt.Fprintf(stderrOf(cfg), "dist: distributed sweep failed (%v); falling back in-process for %d/%d chunks\n",
-			err, len(missing), len(chunks))
-		pool.Do(len(missing), pool.Workers(workers, len(missing)), func(k int) {
-			i := missing[k]
-			chunks[i] = measure.Sweep(measure.ChunkSamples(n, i), epsilons, box, measure.ChunkSeed(seed, i))
-		})
+			err, measure.NumChunks(n), measure.NumChunks(n))
+		return measure.SweepParallel(n, epsilons, box, seed, workers)
 	}
-	return measure.MergeChunks(chunks, n)
+	if f == nil {
+		return measure.SweepParallel(n, epsilons, box, seed, workers)
+	}
+	defer f.Close()
+	return f.SweepOrFallback(n, epsilons, box, seed, workers)
+}
+
+// dialForChunks dials an ephemeral session capped at the sweep's chunk
+// count (as RunStream caps at the remote-job count); nil with no error
+// means the sweep is empty and needs no fleet.
+func dialForChunks(n int, cfg Config) (*Fleet, error) {
+	nChunks := measure.NumChunks(n)
+	if nChunks == 0 {
+		return nil, nil
+	}
+	if cfg.Procs > nChunks {
+		cfg.Procs = nChunks
+	}
+	if len(cfg.Hosts) > nChunks {
+		cfg.Hosts = cfg.Hosts[:nChunks]
+	}
+	return Dial(cfg)
 }

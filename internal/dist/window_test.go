@@ -153,7 +153,7 @@ func TestWorkerDeathWindowRequeues(t *testing.T) {
 	want, wantStats := batch.Run(aurvJobs(t, ins, set), 1)
 
 	st, err := RunStream(jobs, 1, Config{
-		Hosts:       []string{l.Addr().String(), sl.Addr().String()},
+		Hosts:       tcpHosts(l.Addr().String(), sl.Addr().String()),
 		Window:      4,
 		MaxRespawns: -1, // the flaky fake never accepts again
 	})
@@ -228,7 +228,7 @@ func TestTCPRespawnMidRun(t *testing.T) {
 	set := testSettings()
 	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
 	got, _, err := Run(aurvJobs(t, ins, set), 1, Config{
-		Hosts:      []string{l.Addr().String()},
+		Hosts:      tcpHosts(l.Addr().String()),
 		Window:     2,
 		RedialWait: 10 * time.Millisecond,
 	})
@@ -294,7 +294,7 @@ func TestRespawnBudgetExhausted(t *testing.T) {
 
 	ins := drawInstances(2)
 	_, _, err = Run(aurvJobs(t, ins, testSettings()), 1, Config{
-		Hosts:       []string{l.Addr().String()},
+		Hosts:       tcpHosts(l.Addr().String()),
 		MaxRespawns: 2,
 		RedialWait:  5 * time.Millisecond,
 	})
@@ -385,7 +385,7 @@ func TestSweepFallbackSplicesDeliveredChunks(t *testing.T) {
 
 	var log bytes.Buffer
 	got := SweepOrFallback(n, eps, box, seed, 1, Config{
-		Hosts:       []string{l.Addr().String()},
+		Hosts:       tcpHosts(l.Addr().String()),
 		Window:      1,
 		MaxRespawns: -1,
 		Stderr:      &log,

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/measure"
@@ -23,11 +24,21 @@ const WorkerEnv = "RV_DIST_WORKER"
 // ServeOptions shape one worker stream's execution.
 type ServeOptions struct {
 	// Pool caps the in-worker execution pool. 0 sizes the pool from the
-	// first job's forwarded Settings.Parallelism (itself ≤ 0 meaning
-	// GOMAXPROCS); > 0 overrides the forwarded value (the rvworker
-	// -pool flag, for hosts that run several worker processes);
-	// negative forces strictly serial execution.
+	// stream's pool hint (wire.FramePool, the coordinator forwarding a
+	// host:port*pool flag) or, absent one, from the first job's
+	// forwarded Settings.Parallelism (itself ≤ 0 meaning GOMAXPROCS);
+	// > 0 overrides both (the rvworker -pool flag, for hosts that run
+	// several worker processes); negative forces strictly serial
+	// execution.
 	Pool int
+	// Verbose, when non-nil, receives one line per served stream —
+	// "<name>: served N jobs" — after the stream ends. The rvworker -v
+	// flag wires it to stderr; CI counts these lines to assert a
+	// shared-fleet run handshakes exactly once.
+	Verbose io.Writer
+	// Name labels the stream in Verbose output (e.g. the peer address);
+	// empty means "stream".
+	Name string
 }
 
 // materialize rebuilds the executable batch job a wire job describes,
@@ -46,14 +57,17 @@ func materialize(j wire.Job) (batch.Job, error) {
 	}, nil
 }
 
-// poolSize resolves the in-worker pool for a stream whose first job
-// forwarded parallelism `par`.
-func poolSize(par int, opts ServeOptions) int {
+// poolSize resolves the in-worker pool for a stream whose coordinator
+// sent pool hint `hint` (0: none) and whose first job forwarded
+// parallelism `par`.
+func poolSize(par, hint int, opts ServeOptions) int {
 	switch {
 	case opts.Pool > 0:
 		return opts.Pool
 	case opts.Pool < 0:
 		return 1
+	case hint > 0:
+		return hint
 	case par > 0:
 		return par
 	default:
@@ -61,17 +75,130 @@ func poolSize(par int, opts ServeOptions) int {
 	}
 }
 
+// coalesceBytes bounds how many reply bytes a stream buffers before
+// flushing even while executors are still busy: coalescing exists to
+// cut per-result flush syscalls on chunky workloads, not to hold a
+// window of finished results hostage to one slow job.
+const coalesceBytes = 64 << 10
+
+// coalesceAge bounds how long the oldest pending reply may wait for
+// company. Replies that finish within this of each other (a pool
+// draining a burst of small results — the syscall-heavy case) travel
+// as one frame; a reply whose successors are slower goes out on the
+// next completion instead of waiting for the full drain, so a
+// saturated pipeline keeps feeding the coordinator incrementally
+// rather than in lockstep window rounds. inflight > 0 guarantees a
+// future finish to perform the age check, so no timer is needed.
+const coalesceAge = time.Millisecond
+
+// replyBatcher coalesces one stream's outgoing replies: every finished
+// job appends its reply to the pending batch, and the batch flushes as
+// one frame (wire.FrameReplyBatch; a lone reply travels as its classic
+// single frame) when the last in-flight executor finishes (the window
+// drain), when the pending bytes pass coalesceBytes, or when the
+// oldest pending reply has waited coalesceAge — whichever comes first.
+// Batching changes syscall counts and flush timing, never a byte of
+// any result.
+type replyBatcher struct {
+	mu       sync.Mutex
+	bw       *bufio.Writer
+	age      time.Duration // max wait of the oldest pending reply; 0 = coalesceAge
+	err      error         // first write failure; sticks, suppressing the rest
+	inflight int
+	pending  []wire.Reply
+	bytes    int
+	oldest   time.Time // when the oldest pending reply was added
+}
+
+// begin reserves an in-flight slot for a job entering the executor
+// pool; its finish releases the slot and may trigger the drain flush.
+func (rb *replyBatcher) begin() {
+	rb.mu.Lock()
+	rb.inflight++
+	rb.mu.Unlock()
+}
+
+// post queues one reply produced directly on the read loop (decode
+// failures answered in order, without an executor).
+func (rb *replyBatcher) post(seq uint64, typ byte, body []byte) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.add(seq, typ, body)
+	rb.maybeFlush()
+}
+
+// finish queues one executor's reply and releases its in-flight slot.
+func (rb *replyBatcher) finish(seq uint64, typ byte, body []byte) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.inflight--
+	rb.add(seq, typ, body)
+	rb.maybeFlush()
+}
+
+func (rb *replyBatcher) add(seq uint64, typ byte, body []byte) {
+	if rb.err != nil {
+		return
+	}
+	if len(rb.pending) == 0 {
+		rb.oldest = time.Now()
+	}
+	rb.pending = append(rb.pending, wire.Reply{Seq: seq, Typ: typ, Body: body})
+	rb.bytes += 13 + len(body)
+}
+
+func (rb *replyBatcher) maybeFlush() {
+	age := rb.age
+	if age == 0 {
+		age = coalesceAge
+	}
+	if rb.inflight == 0 || rb.bytes >= coalesceBytes ||
+		(len(rb.pending) > 0 && time.Since(rb.oldest) >= age) {
+		rb.flush()
+	}
+}
+
+// flush writes the pending replies as one frame. Callers hold mu.
+func (rb *replyBatcher) flush() {
+	if rb.err != nil || len(rb.pending) == 0 {
+		return
+	}
+	var err error
+	if len(rb.pending) == 1 {
+		r := rb.pending[0]
+		err = wire.WriteFrame(rb.bw, r.Typ, wire.AppendSeq(r.Seq, r.Body))
+	} else {
+		err = wire.WriteFrame(rb.bw, wire.FrameReplyBatch, wire.EncodeReplies(rb.pending))
+	}
+	if err == nil {
+		err = rb.bw.Flush()
+	}
+	rb.err = err
+	rb.pending = rb.pending[:0]
+	rb.bytes = 0
+}
+
+func (rb *replyBatcher) dead() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.err != nil
+}
+
 // Serve runs the worker side of the protocol on one byte stream: send
 // hello, then answer job frames (simulation jobs and Monte-Carlo sweep
 // chunks) with result frames until the stream ends. Jobs execute on an
-// in-worker pool sized by the forwarded Settings.Parallelism of the
-// stream's first job (see ServeOptions.Pool), so a single worker
-// process saturates a whole host when the coordinator's send window
-// keeps its pool fed; replies go out as jobs finish, which with a pool
-// means out of coordinator order — the coordinator matches them by
-// sequence number. Purity makes the pool invisible in the results.
+// in-worker pool sized by the stream's pool hint or the forwarded
+// Settings.Parallelism of the stream's first job (see
+// ServeOptions.Pool), so a single worker process saturates a whole
+// host when the coordinator's send window keeps its pool fed; replies
+// go out as jobs finish — out of coordinator order when the pool
+// reorders them, and coalesced several to a frame when they finish
+// close together (replyBatcher) — and the coordinator matches them by
+// sequence number. Purity makes both invisible in the results.
 // A clean EOF between frames returns nil (after the in-flight jobs
-// drain); anything else is an error.
+// drain); anything else is an error. A session coordinator holds one
+// stream open across many batches, so returning means the session
+// ended, not just a batch.
 func Serve(r io.Reader, w io.Writer) error { return ServeWith(r, w, ServeOptions{}) }
 
 // ServeWith is Serve with explicit options.
@@ -85,40 +212,31 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		return err
 	}
 
-	// The reply side is shared by every executor goroutine; the first
-	// write failure sticks (the stream is dead — the read loop will see
-	// it too) and suppresses the rest.
+	rb := &replyBatcher{bw: bw}
 	var (
-		writeMu  sync.Mutex
-		writeErr error
-		wg       sync.WaitGroup
-		pool     chan struct{}
+		wg      sync.WaitGroup
+		pool    chan struct{}
+		poolCap int
+		hint    int
+		served  int
 	)
-	reply := func(seq uint64, typ byte, body []byte) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		if writeErr != nil {
-			return
-		}
-		if writeErr = wire.WriteFrame(bw, typ, wire.AppendSeq(seq, body)); writeErr != nil {
-			return
-		}
-		writeErr = bw.Flush()
-	}
 	finish := func(readErr error) error {
 		wg.Wait() // drain in-flight executors before reporting
+		rb.mu.Lock()
+		rb.flush() // safety net; the last finish() already drained
+		werr := rb.err
+		rb.mu.Unlock()
+		if opts.Verbose != nil {
+			name := opts.Name
+			if name == "" {
+				name = "stream"
+			}
+			fmt.Fprintf(opts.Verbose, "rvworker: %s: served %d jobs\n", name, served)
+		}
 		if readErr != nil {
 			return readErr
 		}
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		return writeErr
-	}
-
-	deadStream := func() bool {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		return writeErr != nil
+		return werr
 	}
 
 	for {
@@ -129,11 +247,24 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		if err != nil {
 			return finish(err)
 		}
-		if deadStream() {
+		if rb.dead() {
 			// A reply already failed to write: the coordinator is gone.
 			// Executing jobs still buffered on the read side would burn
 			// CPU on results nobody can receive.
 			return finish(nil)
+		}
+		if typ == wire.FramePool {
+			// Stream configuration, not a job: the per-host pool hint,
+			// sent before the first job (late hints cannot resize a pool
+			// already running and are ignored).
+			h, err := wire.DecodePoolHint(payload)
+			if err != nil {
+				return finish(err)
+			}
+			if pool == nil {
+				hint = h
+			}
+			continue
 		}
 		seq, body, err := wire.SplitSeq(payload)
 		if err != nil {
@@ -148,12 +279,12 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		case wire.FrameJob:
 			j, err := wire.DecodeJob(body)
 			if err != nil {
-				reply(seq, wire.FrameError, []byte(err.Error()))
+				rb.post(seq, wire.FrameError, []byte(err.Error()))
 				continue
 			}
 			bj, err := materialize(j)
 			if err != nil {
-				reply(seq, wire.FrameError, []byte(err.Error()))
+				rb.post(seq, wire.FrameError, []byte(err.Error()))
 				continue
 			}
 			par = j.Set.Parallelism
@@ -163,7 +294,7 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		case wire.FrameSweepJob:
 			sj, err := wire.DecodeSweepJob(body)
 			if err != nil {
-				reply(seq, wire.FrameError, []byte(err.Error()))
+				rb.post(seq, wire.FrameError, []byte(err.Error()))
 				continue
 			}
 			par = sj.Par
@@ -173,28 +304,35 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		default:
 			return finish(fmt.Errorf("dist: worker received unexpected frame type %d", typ))
 		}
+		served++
 
-		if pool == nil {
-			// The stream's first job fixes the pool size (jobs of one run
-			// share settings); the semaphore also backpressures the read
-			// loop, so a deep coordinator window cannot pile up more than
-			// a pool's worth of running jobs.
-			pool = make(chan struct{}, poolSize(par, opts))
+		// Size the pool from the job's resolved parallelism. Jobs of one
+		// batch share settings, but a session stream carries many batches
+		// whose settings may differ — when the resolved size changes,
+		// drain the in-flight executors (a batch boundary, so the drain
+		// is natural) and recreate the semaphore. The semaphore also
+		// backpressures the read loop, so a deep coordinator window
+		// cannot pile up more than a pool's worth of running jobs.
+		if want := poolSize(par, hint, opts); pool == nil || want != poolCap {
+			wg.Wait()
+			pool = make(chan struct{}, want)
+			poolCap = want
 		}
+		rb.begin()
 		pool <- struct{}{}
 		wg.Add(1)
-		go func() {
+		go func(seq uint64) {
 			defer wg.Done()
 			defer func() { <-pool }()
 			t, b := execute()
-			reply(seq, t, b)
-		}()
+			rb.finish(seq, t, b)
+		}(seq)
 	}
 }
 
 // ServeStdio serves the worker protocol on stdin/stdout — the transport
 // of coordinator-spawned subprocess workers.
-func ServeStdio() error { return ServeWith(os.Stdin, os.Stdout, ServeOptions{}) }
+func ServeStdio() error { return ServeWith(os.Stdin, os.Stdout, ServeOptions{Name: "stdio"}) }
 
 // MaybeServeStdio turns the current process into a stdio worker and
 // exits when the WorkerEnv marker is set, and returns immediately
@@ -221,7 +359,7 @@ func MaybeServeStdio() {
 func ServeListener(l net.Listener) error { return ServeListenerWith(l, ServeOptions{}) }
 
 // ServeListenerWith is ServeListener with explicit options (the
-// rvworker -pool flag).
+// rvworker -pool and -v flags).
 func ServeListenerWith(l net.Listener, opts ServeOptions) error {
 	for {
 		conn, err := l.Accept()
@@ -230,7 +368,9 @@ func ServeListenerWith(l net.Listener, opts ServeOptions) error {
 		}
 		go func() {
 			defer conn.Close()
-			if err := ServeWith(conn, conn, opts); err != nil {
+			co := opts
+			co.Name = conn.RemoteAddr().String()
+			if err := ServeWith(conn, conn, co); err != nil {
 				fmt.Fprintln(os.Stderr, "rvworker: connection:", err)
 			}
 		}()

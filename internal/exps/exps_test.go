@@ -1,8 +1,10 @@
 package exps
 
 import (
+	"net"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dist"
@@ -188,6 +190,74 @@ func TestT5DistributedMatchesInProcess(t *testing.T) {
 	// the chunks must actually have crossed the process boundary.
 	if log := distLog.String(); strings.Contains(log, "falling back") {
 		t.Errorf("distributed sweep silently fell back in-process:\n%s", log)
+	}
+}
+
+// TestSharedFleetAcrossTables is the session acceptance criterion at
+// the experiment-suite level: T2, T3, and T5 run over ONE dialed fleet
+// (Budgets.Fleet, the rvtable path) must render byte-identically to
+// the in-process tables AND cost exactly one worker connection, where
+// the per-table path (Budgets.Dist, a fleet per b.run/b.sweep call)
+// pays one per table.
+func TestSharedFleetAcrossTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dials TCP worker fleets")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer l.Close()
+	var conns atomic.Int64
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer conn.Close()
+				dist.Serve(conn, conn)
+			}()
+		}
+	}()
+
+	b := smallBudgets()
+	b.Workers = 2
+	run := func(bud Budgets) (string, string, string) {
+		return T2(2, 3, bud).String(), T3(3, 2, bud).String(), T5(200_000, 5, bud).String()
+	}
+	wantT2, wantT3, wantT5 := run(b)
+
+	cfg := dist.Config{Hosts: []dist.Host{{Addr: l.Addr().String()}}}
+	shared := b
+	f, err := dist.Dial(cfg)
+	if err != nil {
+		t.Fatalf("fleet dial failed: %v", err)
+	}
+	defer f.Close()
+	shared.Fleet = f
+	gotT2, gotT3, gotT5 := run(shared)
+	if gotT2 != wantT2 || gotT3 != wantT3 || gotT5 != wantT5 {
+		t.Fatal("shared-fleet tables differ from in-process tables")
+	}
+	if n := conns.Load(); n != 1 {
+		t.Fatalf("shared fleet used %d connections for 3 tables, want exactly 1", n)
+	}
+
+	// Per-table path: every table that reaches the fleet dials afresh.
+	// T2's jobs all carry Progress observers (no wire form), so only T3
+	// and T5 touch the fleet — still two dials where the session needed
+	// one, and the gap widens with every table and rerun.
+	perTable := b
+	perTable.Dist = cfg
+	gotT2, gotT3, gotT5 = run(perTable)
+	if gotT2 != wantT2 || gotT3 != wantT3 || gotT5 != wantT5 {
+		t.Fatal("per-table-fleet tables differ from in-process tables")
+	}
+	if n := conns.Load() - 1; n != 2 {
+		t.Fatalf("per-table path used %d connections, want 2 (T3 and T5 each dial)", n)
 	}
 }
 

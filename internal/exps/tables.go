@@ -41,13 +41,33 @@ type Budgets struct {
 	// wire form and stay in-process, so tables remain byte-identical
 	// with or without a fleet.
 	Dist dist.Config
+	// Fleet, when non-nil, is a dialed persistent worker session
+	// (dist.Dial) shared by every batch and sweep of the suite: one
+	// handshake per host for the whole T1–T6 run instead of one per
+	// table. It takes precedence over Dist for dispatch (the caller
+	// typically dialed it from Dist) and stays open — closing it is the
+	// caller's job.
+	Fleet *dist.Fleet
 }
 
-// run executes a job batch through the distributed coordinator when a
-// fleet is configured, and in-process otherwise; a fleet failure falls
-// back in-process (purity makes the fallback invisible in the tables).
+// run executes a job batch through the shared fleet session when one
+// is attached, through an ephemeral fleet when Dist names one, and
+// in-process otherwise; a fleet failure falls back in-process (purity
+// makes the fallback invisible in the tables).
 func (b Budgets) run(jobs []batch.Job) ([]sim.Result, batch.Stats) {
+	if b.Fleet != nil {
+		return b.Fleet.RunOrFallback(jobs, b.Workers)
+	}
 	return dist.RunOrFallback(jobs, b.Workers, b.Dist)
+}
+
+// sweep routes the T5 Monte-Carlo sweep the same way run routes
+// batches: shared session, ephemeral fleet, or in-process pool.
+func (b Budgets) sweep(n int, eps []float64, box measure.Box, seed int64) measure.Stats {
+	if b.Fleet != nil {
+		return b.Fleet.SweepOrFallback(n, eps, box, seed, b.Workers)
+	}
+	return dist.SweepOrFallback(n, eps, box, seed, b.Workers, b.Dist)
 }
 
 // DefaultBudgets returns budgets that finish the whole suite in minutes,
@@ -432,9 +452,10 @@ func T5(samples int, seed int64, b Budgets) *report.Table {
 		"quantity", "value", "theory")
 	eps := []float64{0.25, 0.35, 0.5}
 	// The Monte-Carlo chunks distribute over the same worker fleet as
-	// the simulation batches (b.Dist); without a fleet — or if the fleet
-	// fails — they run on the in-process pool, byte-identically.
-	s := dist.SweepOrFallback(samples, eps, measure.DefaultBox(), seed, b.Workers, b.Dist)
+	// the simulation batches (b.Fleet / b.Dist); without a fleet — or
+	// if the fleet fails — they run on the in-process pool,
+	// byte-identically.
+	s := b.sweep(samples, eps, measure.DefaultBox(), seed)
 	t.Add("samples", s.Samples, "-")
 	t.Add("feasible share", fmt.Sprintf("%.3f", s.FeasibleShare), "> 0 (fat set)")
 	t.Add("exact S1 hits", s.ExactS1, "0 (measure zero)")

@@ -100,11 +100,20 @@ type Settings struct {
 	// Window is the number of jobs a distributed coordinator keeps in
 	// flight per worker connection (pipelined dispatch — see
 	// internal/dist): deeper windows hide network latency and keep a
-	// worker's in-process pool fed. 0 selects the default (currently 4);
-	// 1 restores strictly synchronous request/response dispatch. Like
-	// every scheduling knob it cannot change a result, and both a single
-	// Run and an in-process batch ignore it.
+	// worker's in-process pool fed. A positive value fixes the window
+	// there; 1 restores strictly synchronous request/response dispatch.
+	// 0 selects adaptive windows: each connection starts at the default
+	// (currently 4) and grows or shrinks with its observed reply RTT
+	// and service rate, bounded by MaxWindow. Like every scheduling
+	// knob it cannot change a result, and both a single Run and an
+	// in-process batch ignore it.
 	Window int
+	// MaxWindow bounds how far an adaptive window (Window == 0) may
+	// grow per connection. 0 selects the default (currently 32);
+	// negative disables adaptation, pinning every connection at the
+	// default window. Ignored when Window is positive. Pure scheduling:
+	// no value can change a result.
+	MaxWindow int
 }
 
 // DefaultSettings returns permissive bounds suitable for tests:

@@ -44,8 +44,12 @@ import (
 // measure.Stats for the distributed Monte-Carlo sweep; replies on a
 // connection may arrive out of order now that workers run in-process
 // pools, so a v2 coordinator must not be paired with a v1 worker —
-// the hello version check enforces exactly that).
-const Version = 2
+// the hello version check enforces exactly that);
+// v3 — PR 5 (Settings.MaxWindow; FramePool per-stream pool hints;
+// FrameReplyBatch coalesced multi-result frames — a v3 worker may
+// answer several requests in one frame, which a v2 coordinator would
+// misparse, so mixed v2/v3 fleets are refused at hello).
+const Version = 3
 
 // maxSlice bounds decoded slice and string lengths, so a corrupt or
 // hostile stream cannot request an absurd allocation.
@@ -228,7 +232,8 @@ func appendSettings(b []byte, s sim.Settings) []byte {
 	b = appendStr(b, s.Hosts)
 	b = appendI64(b, int64(s.WorkerProcs))
 	b = appendStr(b, s.WorkerCmd)
-	return appendI64(b, int64(s.Window))
+	b = appendI64(b, int64(s.Window))
+	return appendI64(b, int64(s.MaxWindow))
 }
 
 func (d *dec) settings() sim.Settings {
@@ -244,6 +249,7 @@ func (d *dec) settings() sim.Settings {
 	s.WorkerProcs = int(d.i64())
 	s.WorkerCmd = d.str()
 	s.Window = int(d.i64())
+	s.MaxWindow = int(d.i64())
 	return s
 }
 

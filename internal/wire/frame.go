@@ -34,6 +34,19 @@ const (
 	// FrameSweepResult answers a FrameSweepJob: the u64 sequence number
 	// followed by EncodeMeasureStats.
 	FrameSweepResult byte = 6
+	// FrameReplyBatch carries several coalesced replies in one frame —
+	// EncodeReplies of (seq, reply type, body) entries, each entry
+	// exactly what would have traveled as its own FrameResult /
+	// FrameError / FrameSweepResult frame. Workers coalesce small
+	// results into one flush per window drain (see dist.Serve); the
+	// coordinator settles every entry before freeing window slots.
+	FrameReplyBatch byte = 7
+	// FramePool is sent by a coordinator right after validating a
+	// worker's hello: EncodePoolHint of the per-host execution-pool size
+	// this stream should use (the host:port*pool hint of -hosts). It is
+	// not seq-prefixed — it configures the stream, not a job — and must
+	// precede the first job frame.
+	FramePool byte = 8
 )
 
 // MaxFrame bounds a frame payload; traces are capped by TraceCap, so
@@ -107,6 +120,81 @@ func CheckHello(payload []byte) error {
 // AppendSeq prefixes a payload with the u64 job sequence number.
 func AppendSeq(seq uint64, payload []byte) []byte {
 	return append(appendU64(make([]byte, 0, 8+len(payload)), seq), payload...)
+}
+
+// EncodePoolHint builds the FramePool payload: the execution-pool size
+// a coordinator asks this stream's worker to use (a host:port*pool
+// hint, overriding the jobs' forwarded Parallelism — see dist.Serve).
+func EncodePoolHint(pool int) []byte {
+	return appendU32([]byte{Version}, uint32(pool))
+}
+
+// DecodePoolHint inverts EncodePoolHint.
+func DecodePoolHint(payload []byte) (int, error) {
+	d := &dec{b: payload}
+	d.version()
+	pool := d.u32()
+	if err := d.finish("pool hint"); err != nil {
+		return 0, err
+	}
+	if pool == 0 || pool > 1<<20 {
+		return 0, fmt.Errorf("wire: pool hint %d out of range", pool)
+	}
+	return int(pool), nil
+}
+
+// Reply is one coalesced reply inside a FrameReplyBatch frame: the
+// sequence number it answers, the frame type it would have traveled as
+// on its own (FrameResult, FrameError, FrameSweepResult), and that
+// frame's body.
+type Reply struct {
+	Seq  uint64
+	Typ  byte
+	Body []byte
+}
+
+// EncodeReplies builds a FrameReplyBatch payload from the coalesced
+// replies, in the order the worker finished them.
+func EncodeReplies(replies []Reply) []byte {
+	n := 4
+	for _, r := range replies {
+		n += 13 + len(r.Body)
+	}
+	b := appendU32(make([]byte, 0, n), uint32(len(replies)))
+	for _, r := range replies {
+		b = appendU64(b, r.Seq)
+		b = append(b, r.Typ)
+		b = appendU32(b, uint32(len(r.Body)))
+		b = append(b, r.Body...)
+	}
+	return b
+}
+
+// DecodeReplies inverts EncodeReplies. Entry bodies alias the payload
+// buffer; callers that keep them must copy.
+func DecodeReplies(payload []byte) ([]Reply, error) {
+	d := &dec{b: payload}
+	n := d.u32()
+	if n == 0 || uint64(n) > uint64(len(payload))/13 {
+		return nil, fmt.Errorf("wire: reply batch of %d entries in a %d-byte payload", n, len(payload))
+	}
+	replies := make([]Reply, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var r Reply
+		r.Seq = d.u64()
+		r.Typ = d.u8()
+		bn := d.u32()
+		if bn > maxSlice {
+			d.fail("reply body length %d exceeds limit", bn)
+			break
+		}
+		r.Body = d.take(int(bn))
+		replies = append(replies, r)
+	}
+	if err := d.finish("reply batch"); err != nil {
+		return nil, err
+	}
+	return replies, nil
 }
 
 // SplitSeq removes the u64 sequence prefix of a job/result/error

@@ -27,7 +27,7 @@ func TestCodecCoversAllFields(t *testing.T) {
 		want int
 	}{
 		{"inst.Instance", reflect.TypeOf(inst.Instance{}), 8},
-		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 11},
+		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 12},
 		{"sim.Result", reflect.TypeOf(sim.Result{}), 11},
 		{"sim.TracePoint", reflect.TypeOf(sim.TracePoint{}), 2},
 		{"wire.SweepJob", reflect.TypeOf(SweepJob{}), 5},
@@ -54,6 +54,7 @@ func testSettings() sim.Settings {
 	s.WorkerProcs = 2
 	s.WorkerCmd = "./rvworker -v"
 	s.Window = 4
+	s.MaxWindow = 16
 	return s
 }
 
@@ -186,6 +187,67 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	if _, _, err := ReadFrame(&buf); err != io.EOF {
 		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestPoolHintRoundTrip(t *testing.T) {
+	for _, pool := range []int{1, 4, 1 << 20} {
+		got, err := DecodePoolHint(EncodePoolHint(pool))
+		if err != nil {
+			t.Fatalf("pool %d: %v", pool, err)
+		}
+		if got != pool {
+			t.Fatalf("pool hint round trip changed %d to %d", pool, got)
+		}
+	}
+	if _, err := DecodePoolHint(EncodePoolHint(0)); err == nil {
+		t.Error("zero pool hint accepted")
+	}
+	if _, err := DecodePoolHint([]byte{Version, 0, 0}); err == nil {
+		t.Error("truncated pool hint accepted")
+	}
+	if _, err := DecodePoolHint(append(EncodePoolHint(2), 9)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestRepliesRoundTrip(t *testing.T) {
+	replies := []Reply{
+		{Seq: 7, Typ: FrameResult, Body: EncodeResult(testResult())},
+		{Seq: 2, Typ: FrameError, Body: []byte("boom")},
+		{Seq: 9, Typ: FrameSweepResult, Body: nil},
+	}
+	got, err := DecodeReplies(EncodeReplies(replies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(replies) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(replies))
+	}
+	for i, r := range got {
+		if r.Seq != replies[i].Seq || r.Typ != replies[i].Typ || !bytes.Equal(r.Body, replies[i].Body) {
+			t.Fatalf("entry %d changed: %+v vs %+v", i, r, replies[i])
+		}
+	}
+	if !bytes.Equal(EncodeReplies(got), EncodeReplies(replies)) {
+		t.Fatal("re-encoding differs: reply batch codec is not canonical")
+	}
+}
+
+func TestRepliesRejectBadInput(t *testing.T) {
+	good := EncodeReplies([]Reply{{Seq: 1, Typ: FrameResult, Body: []byte("x")}})
+	if _, err := DecodeReplies(good[:len(good)-1]); err == nil {
+		t.Error("truncated reply batch accepted")
+	}
+	if _, err := DecodeReplies(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := DecodeReplies([]byte{0, 0, 0, 0}); err == nil {
+		t.Error("empty reply batch accepted")
+	}
+	// An absurd count must be rejected before allocation.
+	if _, err := DecodeReplies([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("oversized reply count accepted")
 	}
 }
 

@@ -189,6 +189,76 @@ func TestSimulateBatchStreamOrder(t *testing.T) {
 	}
 }
 
+// TestFleetSessionMatchesOneShot exercises the public session API:
+// DialFleet once, several SimulateBatch and SimulateBatchStream calls
+// over it, Close once — every call byte-identical to the package-level
+// entry points (the determinism guarantee, session reuse included).
+func TestFleetSessionMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	ins := distInstances(t)
+	alg := rendezvous.AlmostUniversalRV()
+	set := distSettings()
+	want := rendezvous.SimulateBatch(ins, alg, set)
+
+	dset := distSettings()
+	dset.WorkerProcs = 2
+	f, err := rendezvous.DialFleet(dset)
+	if err != nil {
+		t.Fatalf("DialFleet failed: %v", err)
+	}
+	defer f.Close()
+	for k := 0; k < 2; k++ {
+		got := f.SimulateBatch(ins, alg, set)
+		if !bytes.Equal(encodeAll(t, got), encodeAll(t, want)) {
+			t.Fatalf("fleet batch %d differs from one-shot SimulateBatch", k)
+		}
+	}
+	var streamed []sim.Result
+	for r := range f.SimulateBatchStream(ins, alg, set) {
+		streamed = append(streamed, r)
+	}
+	if !bytes.Equal(encodeAll(t, streamed), encodeAll(t, want)) {
+		t.Fatal("fleet stream differs from one-shot SimulateBatch")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close failed: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close failed: %v", err)
+	}
+}
+
+// TestDialFleetRejectsBadSettings: no fleet named, or a malformed
+// host:port*pool hint, must error at dial time — not silently degrade.
+func TestDialFleetRejectsBadSettings(t *testing.T) {
+	if _, err := rendezvous.DialFleet(rendezvous.DefaultSettings()); err == nil {
+		t.Error("DialFleet with no fleet settings did not error")
+	}
+	bad := rendezvous.DefaultSettings()
+	bad.Hosts = "127.0.0.1:9101*zero"
+	if _, err := rendezvous.DialFleet(bad); err == nil {
+		t.Error("DialFleet with a malformed pool hint did not error")
+	}
+}
+
+// TestMalformedHostsFallsBackInProcess: the batch entry points degrade
+// a malformed Hosts string to an in-process run (with a warning),
+// byte-identically — the same policy as an unreachable fleet.
+func TestMalformedHostsFallsBackInProcess(t *testing.T) {
+	ins := distInstances(t)[:4]
+	alg := rendezvous.AlmostUniversalRV()
+
+	want := rendezvous.SimulateBatch(ins, alg, distSettings())
+	bad := distSettings()
+	bad.Hosts = "127.0.0.1:1*oops"
+	got := rendezvous.SimulateBatch(ins, alg, bad)
+	if !bytes.Equal(encodeAll(t, want), encodeAll(t, got)) {
+		t.Fatal("malformed-hosts fallback differs from in-process")
+	}
+}
+
 // TestDistFallback points the fleet at a port nobody listens on: the
 // batch must still complete in-process with identical output.
 func TestDistFallback(t *testing.T) {

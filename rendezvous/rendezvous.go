@@ -33,13 +33,21 @@
 // stream (SimulateBatchStream delivers results in input order as the
 // completed prefix grows) — in every case byte-identical to the
 // in-process serial run; see DESIGN.md §6. Distributed dispatch is
-// pipelined: each worker connection keeps Settings.Window jobs in
-// flight (hiding network latency) and each worker process runs its own
-// Settings.Parallelism-sized pool, so one worker saturates one host;
-// lost workers are re-dialed or respawned mid-run (DESIGN.md §7).
+// pipelined: each worker connection keeps a window of jobs in flight
+// (fixed at Settings.Window, or adaptive from observed latency up to
+// Settings.MaxWindow — hiding network latency either way) and each
+// worker process runs its own Settings.Parallelism-sized pool (or the
+// per-host pool a "host:port*pool" entry in Settings.Hosts hints), so
+// one worker saturates one host; lost workers are re-dialed or
+// respawned mid-run (DESIGN.md §7). Callers that run many batches
+// should hold the fleet open across them: DialFleet dials the session
+// once, Fleet.SimulateBatch reuses it per call (DESIGN.md §8).
 package rendezvous
 
 import (
+	"errors"
+	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/batch"
@@ -198,16 +206,34 @@ func batchJobs(ins []Instance, alg Algorithm, s Settings) []batch.Job {
 }
 
 // distConfig translates the distribution knobs of Settings into a
-// worker-fleet config; ok is false when the settings request none.
-func distConfig(s Settings) (dist.Config, bool) {
+// worker-fleet config; ok is false when the settings request none. A
+// malformed Hosts entry (a bad host:port*pool hint) is an error — the
+// batch entry points warn and run in-process, DialFleet propagates it.
+func distConfig(s Settings) (dist.Config, bool, error) {
 	if s.Hosts == "" && s.WorkerProcs <= 0 {
-		return dist.Config{}, false
+		return dist.Config{}, false, nil
 	}
-	cfg := dist.Config{Procs: s.WorkerProcs, Hosts: dist.ParseHosts(s.Hosts), Window: s.Window}
+	hosts, err := dist.ParseHosts(s.Hosts)
+	if err != nil {
+		return dist.Config{}, false, err
+	}
+	cfg := dist.Config{Procs: s.WorkerProcs, Hosts: hosts, Window: s.Window, MaxWindow: s.MaxWindow}
 	if s.WorkerCmd != "" {
 		cfg.Cmd = strings.Fields(s.WorkerCmd)
 	}
-	return cfg, cfg.Enabled()
+	return cfg, cfg.Enabled(), nil
+}
+
+// batchConfig is distConfig with the batch entry points' degradation
+// policy applied to parse errors: warn and run in-process (the same
+// policy an unreachable fleet gets).
+func batchConfig(s Settings) dist.Config {
+	cfg, _, err := distConfig(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rendezvous: %v; running in-process\n", err)
+		return dist.Config{}
+	}
+	return cfg
 }
 
 // SimulateBatch runs every instance under the algorithm on a pool of
@@ -233,9 +259,7 @@ func distConfig(s Settings) (dist.Config, bool) {
 // core.Progress per job) would see them fire only for the first
 // occurrence — set Settings.NoBatchMemoize to run every job.
 func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
-	jobs := batchJobs(ins, alg, s)
-	cfg, _ := distConfig(s)
-	res, _ := dist.RunOrFallback(jobs, s.Parallelism, cfg)
+	res, _ := dist.RunOrFallback(batchJobs(ins, alg, s), s.Parallelism, batchConfig(s))
 	return res
 }
 
@@ -252,9 +276,57 @@ func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
 // a mid-run fleet failure falls back to in-process execution for the
 // undelivered suffix, seamlessly — determinism makes the splice exact.
 func SimulateBatchStream(ins []Instance, alg Algorithm, s Settings) <-chan Result {
-	cfg, _ := distConfig(s)
-	return dist.StreamOrFallback(batchJobs(ins, alg, s), s.Parallelism, cfg)
+	return dist.StreamOrFallback(batchJobs(ins, alg, s), s.Parallelism, batchConfig(s))
 }
+
+// Fleet is a persistent worker session for batch simulation: dial the
+// fleet a Settings value names once (DialFleet), run any number of
+// SimulateBatch / SimulateBatchStream calls over the open connections,
+// and Close once — one dial and one protocol handshake per host for
+// the whole session instead of one per batch. Session reuse is pure
+// scheduling: every batch remains byte-identical to the in-process
+// serial run, exactly as for the one-shot entry points.
+type Fleet struct {
+	f *dist.Fleet
+}
+
+// DialFleet assembles the worker fleet the settings name (Hosts — with
+// optional host:port*pool hints — and/or WorkerProcs) and returns the
+// open session. It fails when the settings name no fleet, a Hosts
+// entry is malformed, or no worker is reachable.
+func DialFleet(s Settings) (*Fleet, error) {
+	cfg, ok, err := distConfig(s)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errors.New("rendezvous: settings name no worker fleet (set Hosts or WorkerProcs)")
+	}
+	df, err := dist.Dial(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{f: df}, nil
+}
+
+// SimulateBatch is the package-level SimulateBatch over the session's
+// fleet: identical results (the determinism guarantee), amortized
+// connection setup. The distribution knobs of s (Hosts, WorkerProcs,
+// Window, …) are ignored here — the session fixed them at dial time.
+func (f *Fleet) SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
+	res, _ := f.f.RunOrFallback(batchJobs(ins, alg, s), s.Parallelism)
+	return res
+}
+
+// SimulateBatchStream is the package-level SimulateBatchStream over
+// the session's fleet.
+func (f *Fleet) SimulateBatchStream(ins []Instance, alg Algorithm, s Settings) <-chan Result {
+	return f.f.StreamOrFallback(batchJobs(ins, alg, s), s.Parallelism)
+}
+
+// Close ends the session, closing every worker connection. Closing
+// twice is a no-op.
+func (f *Fleet) Close() error { return f.f.Close() }
 
 // SimulateRadii runs the Section 5 extension with distinct sight radii.
 func SimulateRadii(in Instance, alg Algorithm, rA, rB float64, s Settings) Result {

@@ -2,18 +2,19 @@
 # Regenerate the kernel-benchmark JSON record: the instruction-stream
 # engine (cursor vs iter.Pull), the batch pool, and the distributed
 # coordinator (local worker subprocesses; synchronous vs windowed
-# dispatch; distributed Monte-Carlo chunks).
+# dispatch; per-call fleets vs a reused session; distributed
+# Monte-Carlo chunks).
 #
 # Usage:  scripts/bench.sh [benchtime] [out.json]
-# e.g.    scripts/bench.sh                      # 2s -> BENCH_PR4.json
-#         scripts/bench.sh 1x                   # smoke run (CI uses this)
-#         scripts/bench.sh 2s BENCH_PR5.json    # next PR's record
+# e.g.    scripts/bench.sh                      # 2s -> BENCH_PR5.json
+#         scripts/bench.sh 1x BENCH_PR5.json    # smoke run (CI passes the name)
+#         scripts/bench.sh 2s BENCH_PR6.json    # next PR's record
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
-OUT="${2:-BENCH_PR4.json}"
-PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT5Chunks|BenchmarkPlanarWalkGen'
+OUT="${2:-BENCH_PR5.json}"
+PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT2Session|BenchmarkDistT5Chunks|BenchmarkPlanarWalkGen'
 
 # Write to a temp file and move into place only on success, so a
 # failed bench run never clobbers the committed perf record.
@@ -22,7 +23,7 @@ trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . |
   go run ./cmd/benchjson -note \
-    "PR4 pipelined dispatch: DistT2Window* run 2 worker subprocesses with a 2-wide in-worker pool at window=1 vs 4 (spawn cost included; on a 1-CPU container the pool and window cannot add cores, so loopback wins are bounded — the >=2x latency-hiding claim is asserted by TestWindowHidesLatency against a 25ms delay-line transport). DistT5Chunks ships Monte-Carlo chunks to 2 workers, byte-identity asserted in-loop. *Pull benchmarks force the iter.Pull coroutine path via prog.Opaque. benchtime=$BENCHTIME" \
+    "PR5 fleet sessions: DistT2Session runs the T2 batch over a 2-subprocess fleet dialed ONCE outside the loop — the per-iteration delta against DistT2Procs2 (fresh spawn+handshake per iteration) is the session's amortization; adaptive windows and coalesced reply frames are on by default in both. DistT2Window* pin explicit window=1 vs 4 (on a 1-CPU container the pool and window cannot add cores, so loopback wins are bounded — the >=2x latency-hiding claim is asserted by TestWindowHidesLatency against a 25ms delay-line transport, fixed and adaptive). DistT5Chunks ships Monte-Carlo chunks to 2 workers, byte-identity asserted in-loop. *Pull benchmarks force the iter.Pull coroutine path via prog.Opaque. benchtime=$BENCHTIME" \
     > "$TMP"
 
 mv "$TMP" "$OUT"
