@@ -1,0 +1,168 @@
+// Command benchcmp compares two benchmark records in the cmd/benchjson
+// schema and gates on time/op regressions: it is the teeth of the perf
+// methodology (DESIGN.md §9). Benchmarks are matched by name; each
+// matched pair's ns/op delta is classified against two thresholds — a
+// warn line for "worth a look" and a fail line for "the build is
+// broken". Benchmarks present in only one record are listed
+// informationally and never gate (records legitimately gain and lose
+// benchmarks across PRs).
+//
+// Usage:
+//
+//	go run ./cmd/benchcmp [-fail 0.25] [-warn 0.10] OLD.json NEW.json
+//
+// Exit codes:
+//
+//	0 — no matched benchmark regressed past the fail threshold
+//	    (warnings may be present; they are advisory)
+//	1 — at least one matched benchmark regressed past the fail threshold
+//	2 — usage error, unreadable file, or malformed JSON
+//
+// The thresholds are deliberately generous: the records are produced on
+// whatever machine ran the bench (often a noisy shared CI runner), and
+// the gate exists to catch the 2x rots that accumulate silently, not to
+// litigate 3% jitter. See DESIGN.md §9 for the calibration rationale.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// entry mirrors the cmd/benchjson Entry fields benchcmp reads.
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// doc mirrors the cmd/benchjson Doc envelope.
+type doc struct {
+	Note       string  `json:"note"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parses flags and the two records,
+// prints the comparison, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	failAt := fs.Float64("fail", 0.25, "fail when time/op regresses by more than this fraction")
+	warnAt := fs.Float64("warn", 0.10, "warn when time/op regresses by more than this fraction")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchcmp [-fail 0.25] [-warn 0.10] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	oldDoc, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+	newDoc, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+
+	oldBy := byName(oldDoc.Benchmarks)
+	newBy := byName(newDoc.Benchmarks)
+
+	// Deterministic report order: matched benchmarks sorted by name,
+	// then the unmatched stragglers of each side.
+	var matched, onlyOld, onlyNew []string
+	for name := range oldBy {
+		if _, ok := newBy[name]; ok {
+			matched = append(matched, name)
+		} else {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Strings(matched)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	fmt.Fprintf(stdout, "benchcmp %s -> %s (fail >%.0f%%, warn >%.0f%%)\n",
+		fs.Arg(0), fs.Arg(1), *failAt*100, *warnAt*100)
+
+	fails, warns := 0, 0
+	for _, name := range matched {
+		o, n := oldBy[name], newBy[name]
+		if o.NsPerOp <= 0 {
+			// A zero/negative baseline carries no time signal (hand-edited
+			// or truncated record); nothing sound to gate on.
+			fmt.Fprintf(stdout, "  SKIP  %-40s no usable baseline time\n", name)
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		verdict := "ok"
+		switch {
+		case delta > *failAt:
+			verdict = "FAIL"
+			fails++
+		case delta > *warnAt:
+			verdict = "WARN"
+			warns++
+		}
+		fmt.Fprintf(stdout, "  %-4s  %-40s %12.1f -> %12.1f ns/op  %+6.1f%%\n",
+			verdict, name, o.NsPerOp, n.NsPerOp, delta*100)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(stdout, "  only in %s: %s\n", fs.Arg(0), name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(stdout, "  only in %s: %s\n", fs.Arg(1), name)
+	}
+
+	fmt.Fprintf(stdout, "%d compared, %d failed, %d warned, %d unmatched\n",
+		len(matched), fails, warns, len(onlyOld)+len(onlyNew))
+	if fails > 0 {
+		return 1
+	}
+	return 0
+}
+
+func load(path string) (doc, error) {
+	var d doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// byName indexes a record's entries; a duplicated name keeps the first
+// occurrence, matching the "first wins" discipline the memoizing
+// engines use elsewhere.
+func byName(entries []entry) map[string]entry {
+	m := make(map[string]entry, len(entries))
+	for _, e := range entries {
+		if _, ok := m[e.Name]; !ok {
+			m[e.Name] = e
+		}
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestGolden pins the full report text and exit code for each gate
+// verdict: pass (within noise), warn (advisory, still exit 0), fail
+// (exit 1), and a benchmark-set mismatch (unmatched entries listed but
+// never gating). The report is consumed by humans reading CI logs, so
+// its exact shape is part of the contract. Regenerate with
+// `go test ./cmd/benchcmp -update` after an intentional format change.
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		new  string
+		exit int
+	}{
+		{"pass", "new_pass.json", 0},
+		{"warn", "new_warn.json", 0},
+		{"fail", "new_fail.json", 1},
+		{"mismatch", "new_mismatch.json", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(
+				[]string{filepath.Join("testdata", "old.json"), filepath.Join("testdata", tc.new)},
+				&stdout, &stderr,
+			)
+			if code != tc.exit {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.exit, stderr.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got := stdout.String(); got != string(want) {
+				t.Errorf("report differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestThresholdFlags pins that the gate lines are configurable: with a
+// loose enough -fail the regression record passes, with a tight one
+// even the pass record fails.
+func TestThresholdFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fail", "0.50", "testdata/old.json", "testdata/new_fail.json"}, &out, &errb); code != 0 {
+		t.Errorf("-fail 0.50 on a +40%% regression: exit %d, want 0\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-fail", "0.01", "testdata/old.json", "testdata/new_pass.json"}, &out, &errb); code != 1 {
+		t.Errorf("-fail 0.01 on a +2%% drift: exit %d, want 1\n%s", code, out.String())
+	}
+}
+
+// TestExitCode2 pins the third exit class: broken invocations and
+// broken inputs must be distinguishable from a failed gate (CI treats
+// 1 as "perf regressed" and 2 as "the comparison itself is broken").
+func TestExitCode2(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"malformed JSON", []string{"testdata/old.json", "testdata/malformed.json"}},
+		{"missing file", []string{"testdata/old.json", "testdata/no_such_file.json"}},
+		{"too few args", []string{"testdata/old.json"}},
+		{"too many args", []string{"a.json", "b.json", "c.json"}},
+		{"bad flag", []string{"-frail", "0.2", "a.json", "b.json"}},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, &out, &errb); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, errb.String())
+		}
+		if tc.name == "malformed JSON" && !strings.Contains(errb.String(), "malformed.json") {
+			t.Errorf("malformed-JSON error does not name the offending file: %s", errb.String())
+		}
+	}
+}

@@ -118,18 +118,28 @@ func Run(jobs []Job, workers int) ([]sim.Result, Stats) {
 func Dedup(n int, key func(i int) any) (canon []int, uniq []int) {
 	canon = make([]int, n)
 	uniq = make([]int, 0, n)
-	var firstByKey map[any]int
+	var firstByKey map[any]int // nil until a key could still be matched
 	for i := 0; i < n; i++ {
 		canon[i] = i
 		if k := key(i); k != nil {
-			if firstByKey == nil {
-				firstByKey = make(map[any]int)
-			}
-			if f, ok := firstByKey[k]; ok {
+			if f, ok := firstByKey[k]; ok { // lookup on a nil map is a miss
 				canon[i] = f
 				continue
 			}
-			firstByKey[k] = i
+			// Remember the key only if a later job could still match it:
+			// the final job canonicalizes nothing downstream, so it never
+			// inserts — and a batch whose only keyed job is its last (the
+			// single-job case in particular) never allocates the map at
+			// all. When the map is needed, size it for every job that
+			// remains so the hot all-distinct-keys path (auto-keyed
+			// sweeps with no duplicates) pays one allocation instead of
+			// log(n) rehash-and-grows.
+			if i < n-1 {
+				if firstByKey == nil {
+					firstByKey = make(map[any]int, n-i)
+				}
+				firstByKey[k] = i
+			}
 		}
 		uniq = append(uniq, i)
 	}

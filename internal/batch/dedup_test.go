@@ -1,0 +1,120 @@
+package batch
+
+import (
+	"testing"
+)
+
+// Dedup runs once per batch over every logical job, so its allocation
+// behavior is part of the batch-pool hot path: the common cases — no
+// keys at all (observer-wired jobs) and all-distinct auto-keys (sweep
+// batches with no duplicates) — must not pay per-job map traffic.
+// These tests pin both the structure (correctness at the edges the
+// optimization carved out) and the allocation counts.
+
+func dedupKeys(t *testing.T, keys []any) (canon, uniq []int) {
+	t.Helper()
+	return Dedup(len(keys), func(i int) any { return keys[i] })
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDedupEdgeCases pins the cases the allocation fix carved out of
+// the general path: the final job never inserts (but must still match
+// earlier keys), and a lone keyed job builds no map.
+func TestDedupEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		keys  []any
+		canon []int
+		uniq  []int
+	}{
+		{"empty", nil, []int{}, []int{}},
+		{"single keyed job", []any{"k"}, []int{0}, []int{0}},
+		{"all nil", []any{nil, nil, nil}, []int{0, 1, 2}, []int{0, 1, 2}},
+		{"all distinct", []any{"a", "b", "c"}, []int{0, 1, 2}, []int{0, 1, 2}},
+		{"last job duplicates first", []any{"a", "b", "a"}, []int{0, 1, 0}, []int{0, 1}},
+		{"last job distinct", []any{"a", "b", "c"}, []int{0, 1, 2}, []int{0, 1, 2}},
+		{"only last job keyed", []any{nil, nil, "a"}, []int{0, 1, 2}, []int{0, 1, 2}},
+		{"adjacent duplicates at tail", []any{"a", "b", "b"}, []int{0, 1, 1}, []int{0, 1}},
+		{"nil between duplicates", []any{"a", nil, "a"}, []int{0, 1, 0}, []int{0, 1}},
+	} {
+		canon, uniq := dedupKeys(t, tc.keys)
+		if !intsEqual(canon, tc.canon) || !intsEqual(uniq, tc.uniq) {
+			t.Errorf("%s: Dedup = (%v, %v), want (%v, %v)", tc.name, canon, uniq, tc.canon, tc.uniq)
+		}
+	}
+}
+
+// TestDedupAllocs pins the allocation budget of the two hot cases. The
+// all-nil path allocates exactly its two result slices; the
+// all-distinct path adds one presized map (header + buckets), never a
+// per-job rehash-and-grow.
+func TestDedupAllocs(t *testing.T) {
+	const n = 256
+	nilKeys := make([]any, n)
+	distinct := make([]any, n)
+	for i := range distinct {
+		distinct[i] = i // pre-boxed: the benchmark measures Dedup, not interface conversion
+	}
+
+	if got := testing.AllocsPerRun(20, func() {
+		Dedup(n, func(i int) any { return nilKeys[i] })
+	}); got > 2 {
+		t.Errorf("all-nil-Key Dedup: %.1f allocs per call, want ≤ 2 (canon + uniq)", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		Dedup(n, func(i int) any { return distinct[i] })
+	}); got > 6 {
+		// The presized map costs a constant handful of allocations
+		// (header + bucket arrays) independent of n — the bound guards
+		// against reintroducing per-job rehash-and-grow, which scales
+		// with log(n).
+		t.Errorf("all-distinct-Key Dedup: %.1f allocs per call, want ≤ 6 (slices + one presized map)", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		Dedup(1, func(i int) any { return "only" })
+	}); got > 2 {
+		t.Errorf("single-keyed-job Dedup: %.1f allocs per call, want ≤ 2 (no map for a job with no successors)", got)
+	}
+}
+
+// BenchmarkDedup measures the memoization pre-pass over the three key
+// populations a batch can present. Allocation counts are what this
+// benchmark guards (the time/op of a 256-entry loop is noise-level);
+// the assertions live in TestDedupAllocs so a regression fails tests,
+// not just the bench record.
+func BenchmarkDedup(b *testing.B) {
+	const n = 256
+	nilKeys := make([]any, n)
+	distinct := make([]any, n)
+	dupHeavy := make([]any, n)
+	for i := range distinct {
+		distinct[i] = i
+		dupHeavy[i] = i % 8 // 8 canonical jobs, 248 memoized duplicates
+	}
+	for _, tc := range []struct {
+		name string
+		keys []any
+	}{
+		{"NilKeys", nilKeys},
+		{"DistinctKeys", distinct},
+		{"DupHeavy", dupHeavy},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for b.Loop() {
+				Dedup(n, func(i int) any { return tc.keys[i] })
+			}
+		})
+	}
+}

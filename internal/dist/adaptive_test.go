@@ -101,6 +101,62 @@ func TestAdaptiveWindowNeverLeavesBounds(t *testing.T) {
 	}
 }
 
+// TestAdaptiveWindowAdaptsOnSameTickReplies is the dropped-observation
+// regression: on loopback links (or coarse clocks) whole reply batches
+// land on the same clock tick, so every inter-frame gap is zero. The
+// old settle path skipped observe for zero gaps, which starved the
+// EWMA on exactly the links that most need the window to shrink — the
+// controller sat at the initial DefaultWindow forever. settleGap must
+// report same-tick frames as observations (observe's internal floor
+// absorbs the zero), so a fast link walks the window down to 2.
+func TestAdaptiveWindowAdaptsOnSameTickReplies(t *testing.T) {
+	w := newAdaptiveWindow(Config{}) // adaptive, starts at DefaultWindow=4
+	now := time.Unix(1, 0)           // every frame arrives on this one tick
+
+	if gap, ok := w.settleGap(now, 1); ok {
+		t.Fatalf("first frame after idle reported an observation (gap %v)", gap)
+	}
+	for i := 0; i < 50; i++ {
+		gap, ok := w.settleGap(now, 3) // coalesced batch, zero spacing
+		if !ok {
+			t.Fatalf("same-tick frame %d dropped instead of observed", i)
+		}
+		for j := 0; j < 3; j++ {
+			w.observe(0, gap) // rtt also same-tick: both ride the floor
+		}
+	}
+	if w.cur != 2 {
+		t.Fatalf("window = %d after sustained same-tick replies, want 2 (EWMA starved?)", w.cur)
+	}
+}
+
+// TestSettleGapFixedWindowNoBookkeeping: a fixed window has no
+// controller to feed — settleGap must report nothing to observe and
+// leave lastReply untouched (the caller skips its clock reads
+// entirely on this path).
+func TestSettleGapFixedWindowNoBookkeeping(t *testing.T) {
+	w := newAdaptiveWindow(Config{Window: 3})
+	if _, ok := w.settleGap(time.Unix(1, 0), 1); ok {
+		t.Fatal("fixed window reported an observation")
+	}
+	if !w.lastReply.IsZero() {
+		t.Fatal("fixed window tracked a reply timestamp")
+	}
+}
+
+// TestSettleGapSpreadsCoalescedBatch: the inter-frame spacing must be
+// divided across the batch so the controller sees per-reply service
+// rate, not per-flush.
+func TestSettleGapSpreadsCoalescedBatch(t *testing.T) {
+	w := newAdaptiveWindow(Config{})
+	t0 := time.Unix(1, 0)
+	w.settleGap(t0, 1)
+	gap, ok := w.settleGap(t0.Add(40*time.Millisecond), 4)
+	if !ok || gap != 10*time.Millisecond {
+		t.Fatalf("settleGap = (%v, %v), want (10ms, true)", gap, ok)
+	}
+}
+
 func TestFixedWindowIgnoresObservations(t *testing.T) {
 	w := newAdaptiveWindow(Config{Window: 3})
 	for i := 0; i < 50; i++ {

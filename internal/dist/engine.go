@@ -179,6 +179,31 @@ func (w *adaptiveWindow) observe(rtt, gap time.Duration) {
 	}
 }
 
+// settleGap converts one reply frame's arrival into the per-reply
+// service gap observe expects, spreading the inter-frame spacing
+// evenly over a coalesced batch of n replies. ok is false when there
+// is nothing to observe: a fixed window (no bookkeeping at all — the
+// caller skips its time.Now() too) or the first frame after an idle
+// period (no predecessor to measure spacing against).
+//
+// A zero gap is NOT a skip case: coalesced same-tick frames (loopback
+// links, coarse clocks) are a genuine observation — the link is at
+// least as fast as the clock resolves — and observe clamps the sample
+// to its internal floor. Skipping them starved the EWMA on exactly the
+// links that most needed the window to shrink: the controller never
+// adapted because every observation arrived "too fast to count".
+func (w *adaptiveWindow) settleGap(now time.Time, n int) (gap time.Duration, ok bool) {
+	if w.fixed {
+		return 0, false
+	}
+	ok = !w.lastReply.IsZero()
+	if ok {
+		gap = now.Sub(w.lastReply) / time.Duration(n)
+	}
+	w.lastReply = now
+	return gap, ok
+}
+
 // task is one unit of remote work: an encoded request body and the
 // continuation that decodes and delivers its reply. id is the caller's
 // index for the task (job index, chunk index) — used in error text.
@@ -479,18 +504,29 @@ func (e *engine) drive(wc *workerConn) error {
 				}
 				// A coalesced batch is k replies that arrived at once:
 				// spread the observed arrival gap over them so the
-				// controller sees the true per-reply service rate.
-				now := time.Now()
-				var gap time.Duration
-				if !wc.win.lastReply.IsZero() {
-					gap = now.Sub(wc.win.lastReply) / time.Duration(len(replies))
+				// controller sees the true per-reply service rate. A
+				// fixed window observes nothing and pays for no clock
+				// reads at all — the in-process-adjacent loopback path
+				// is exactly where time.Now() per reply showed up in
+				// profiles.
+				var (
+					now time.Time
+					gap time.Duration
+					obs bool
+				)
+				if !wc.win.fixed {
+					now = time.Now()
+					gap, obs = wc.win.settleGap(now, len(replies))
 				}
-				wc.win.lastReply = now
 				for _, r := range replies {
 					mu.Lock()
 					fj, ok := inflight[r.Seq]
 					if ok {
 						delete(inflight, r.Seq)
+						if obs {
+							wc.win.observe(now.Sub(fj.sent), gap)
+						}
+						cond.Broadcast()
 					}
 					mu.Unlock()
 					if !ok {
@@ -518,12 +554,6 @@ func (e *engine) drive(wc *workerConn) error {
 						die(fmt.Errorf("unexpected reply type %d for sequence %d", r.Typ, r.Seq))
 						return
 					}
-					mu.Lock()
-					if gap > 0 {
-						wc.win.observe(now.Sub(fj.sent), gap)
-					}
-					cond.Broadcast()
-					mu.Unlock()
 				}
 			}
 		}
@@ -581,8 +611,14 @@ func (e *engine) drive(wc *workerConn) error {
 				return nil
 			}
 		}
+		fj := inflightJob{k: k}
+		if !wc.win.fixed {
+			// The send timestamp only feeds the adaptive controller's
+			// RTT estimate; a fixed window skips the clock read.
+			fj.sent = time.Now()
+		}
 		mu.Lock()
-		inflight[uint64(k)] = inflightJob{k: k, sent: time.Now()}
+		inflight[uint64(k)] = fj
 		mu.Unlock()
 		if err := wc.send(uint64(k), e.reqFrame, e.tasks[k].payload); err != nil {
 			return fail(err)

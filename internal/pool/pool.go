@@ -48,19 +48,29 @@ func Do(n, workers int, fn func(i int)) {
 		return
 	}
 	var next atomic.Int64
+	claim := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	// The calling goroutine is worker zero: spawning `workers` helpers
+	// and then blocking on the WaitGroup would leave one runnable
+	// goroutine doing nothing — on a machine where workers equals the
+	// core count that parks a core's worth of parallelism (and on one
+	// core it turns every "parallel" run into pure overhead: spawn,
+	// park, hand the whole batch to the helper).
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
+			claim()
 		}()
 	}
+	claim()
 	wg.Wait()
 }

@@ -23,11 +23,18 @@
 // closures share one code pointer (the function is noinline, so the
 // literal is never duplicated into callers), and the factory is
 // recovered by invoking the closure with a sentinel yield — a code path
-// that executes no program code. Factory recovery is lock-free: each
-// probe hands the factory over through its own sync.Map slot (keyed by
-// a unique id smuggled through the sentinel call's Instr), so
-// concurrent cursor creations — every parallel simulation probes its
-// programs — never serialize on a shared mutex.
+// that executes no program code. Factory recovery is lock-free AND
+// allocation-free: the closure parks its factory in a cell of a fixed
+// handoff array (claimed by compare-and-swap, so concurrent probes
+// never contend on a shared mutex) and smuggles the cell index through
+// the sentinel call's Instr; the sentinel yield — a pooled object, not
+// a per-probe closure — copies the factory out of the cell into its
+// probe's slot. The whole exchange is synchronous on the prober's own
+// goroutine, touches no map, and allocates nothing in steady state:
+// the probe machinery used to cost ~5 heap allocations per NewCursor
+// (a sync.Map entry, a fresh sentinel closure, an escaping result
+// slot), which doubled the simulator's per-segment allocations on
+// generator-built programs (see BENCH_PR3 → BENCH_PR5 rot).
 package prog
 
 import (
@@ -55,16 +62,26 @@ type Cursor interface {
 func CursorProgram(mk func() Cursor) Program {
 	return func(yield func(Instr) bool) {
 		if isProbe(yield) {
-			// Factory handoff (see probeRecv): park mk in the probe table
-			// under a fresh id, tell the probe yield the id through the
-			// one channel available — the Instr argument — and let it
-			// collect mk into its caller's slot. Each probe uses its own
-			// table entry, so concurrent probes never contend.
-			id := probeSeq.Add(1)
-			probeTable.Store(id, mk)
-			yield(Instr{Amount: float64(id)})
-			probeTable.Delete(id) // no-op normally; belt-and-braces on a bailed probe
-			return
+			// Factory handoff (see probe): claim a cell of the fixed
+			// handoff array, park mk there, and tell the probe yield the
+			// cell index through the one channel available — the Instr
+			// argument. The yield call is synchronous on this goroutine,
+			// so between the claim and the release only this goroutine
+			// touches the cell's factory; the CAS only fences off other
+			// goroutines' concurrent probes that hashed to the same cell
+			// (they step to the next cell instead of waiting).
+			for {
+				id := probeSeq.Add(1) % probeCells
+				c := &probeArray[id]
+				if !c.claimed.CompareAndSwap(0, 1) {
+					continue
+				}
+				c.mk = mk
+				yield(Instr{Amount: float64(id)})
+				c.mk = nil
+				c.claimed.Store(0)
+				return
+			}
 		}
 		c := mk()
 		defer c.Close()
@@ -80,47 +97,71 @@ func CursorProgram(mk func() Cursor) Program {
 	}
 }
 
-// probeRecv builds the sentinel yield of one factory-recovery call: its
-// code pointer marks the call as a probe (all its closures share the
-// noinline literal's single symbol), and its body collects the factory
-// that CursorProgram parked in the probe table under the id it passes
-// via Instr.Amount. The id is a small integer, exact in a float64 for
-// the first 2^53 probes — far beyond any process lifetime.
-//
+// probeCells sizes the factory-handoff array. A cell is held only for
+// the handful of instructions between a probe's CAS claim and its
+// release inside one CursorOf call, so the array bounds the number of
+// goroutines *simultaneously inside that window*, not the number of
+// programs or goroutines overall; 256 is far beyond any plausible
+// concurrency spike, and a full array only costs a step to the next
+// cell, never a stall.
+const probeCells = 256
+
+// probeCell is one cell of the handoff array: a CAS-claimed flag plus
+// the factory in transit. Copying a func value into the cell allocates
+// nothing — the funcval already lives on the heap.
+type probeCell struct {
+	claimed atomic.Uint32
+	mk      func() Cursor
+}
+
+// probe is the reusable receiving end of one factory recovery: yield is
+// the sentinel closure handed to the program (all instances share one
+// code pointer, which is what isProbe tests), and mk is where it drops
+// the factory it collects from the handoff cell named by the sentinel
+// call's Instr.Amount. Probes are pooled, so steady-state recovery
+// performs zero allocations.
+type probe struct {
+	mk    func() Cursor
+	yield func(Instr) bool
+}
+
 //go:noinline
-func probeRecv(slot *func() Cursor) func(Instr) bool {
-	return func(ins Instr) bool {
-		if mk, ok := probeTable.LoadAndDelete(uint64(ins.Amount)); ok {
-			*slot = mk.(func() Cursor)
-		}
+func newProbe() *probe {
+	pr := &probe{}
+	pr.yield = func(ins Instr) bool {
+		pr.mk = probeArray[uint64(ins.Amount)%probeCells].mk
 		return false
 	}
+	return pr
 }
 
 var (
-	probeRecvPtr = reflect.ValueOf(probeRecv(new(func() Cursor))).Pointer()
+	probeYieldPtr = reflect.ValueOf(newProbe().yield).Pointer()
 	// cursorProgPtr is the code pointer shared by every closure
 	// CursorProgram returns (the function is noinline, so the literal has
 	// exactly one symbol).
 	cursorProgPtr = reflect.ValueOf(CursorProgram(func() Cursor { return emptyCursor{} })).Pointer()
 
-	// The lock-free factory-handoff rendezvous: CursorProgram stores the
-	// factory under a unique id, the probe yield LoadAndDeletes it.
-	// Entries live only for the duration of one probe call; distinct
-	// probes touch distinct keys, so parallel cursor creation scales
-	// instead of serializing on a process-wide mutex (the contention
-	// point this replaced — see ROADMAP).
+	// The lock-free factory-handoff rendezvous: the CursorProgram
+	// closure CAS-claims a cell, parks its factory, and yields the cell
+	// index to the sentinel; the sentinel copies the factory into its
+	// probe. Cells are released before the probe call returns; distinct
+	// in-flight probes hold distinct cells, so parallel cursor creation
+	// scales instead of serializing on a process-wide mutex.
 	probeSeq   atomic.Uint64
-	probeTable sync.Map // uint64 → func() Cursor
+	probeArray [probeCells]probeCell
+
+	probePool = sync.Pool{New: func() any { return newProbe() }}
 )
 
 func isProbe(yield func(Instr) bool) bool {
-	return reflect.ValueOf(yield).Pointer() == probeRecvPtr
+	return reflect.ValueOf(yield).Pointer() == probeYieldPtr
 }
 
 // CursorOf reports whether the program is cursor-backed and, if so,
 // returns its cursor factory. The check never executes program code,
-// takes no locks, and is safe for unbounded concurrency.
+// takes no locks, allocates nothing in steady state, and is safe for
+// unbounded concurrency.
 func CursorOf(p Program) (func() Cursor, bool) {
 	if p == nil {
 		return nil, false
@@ -128,8 +169,12 @@ func CursorOf(p Program) (func() Cursor, bool) {
 	if reflect.ValueOf(p).Pointer() != cursorProgPtr {
 		return nil, false
 	}
-	var mk func() Cursor
-	p(probeRecv(&mk)) // the CursorProgram closure only hands over its factory
+	pr := probePool.Get().(*probe)
+	pr.mk = nil
+	p(pr.yield) // the CursorProgram closure only hands over its factory
+	mk := pr.mk
+	pr.mk = nil
+	probePool.Put(pr)
 	return mk, mk != nil
 }
 

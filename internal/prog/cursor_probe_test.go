@@ -9,8 +9,8 @@ import (
 // from many goroutines, each probing its own distinct CursorProgram,
 // and checks every probe gets exactly its own factory back — the
 // property the old global-mutex probe bought with serialization and
-// the sync.Map handoff must preserve without it. Run under -race this
-// also proves the handoff is data-race-free.
+// the CAS-claimed handoff cells must preserve without it. Run under
+// -race this also proves the handoff is data-race-free.
 func TestCursorOfConcurrent(t *testing.T) {
 	const goroutines = 32
 	const rounds = 200
@@ -59,5 +59,26 @@ func TestCursorOfNonCursorProgram(t *testing.T) {
 	}
 	if _, ok := CursorOf(nil); ok {
 		t.Fatal("nil program reported as cursor-backed")
+	}
+}
+
+// TestCursorOfAllocFree pins the steady-state allocation cost of
+// factory recovery at zero. The probe runs once per NewCursor — per
+// agent per simulation, and per round on generator-built programs — so
+// a per-probe allocation multiplies across every hot path at once: a
+// regression here doubled the engine's per-segment allocations between
+// BENCH_PR3 and BENCH_PR5.
+func TestCursorOfAllocFree(t *testing.T) {
+	p := Instrs(Wait(1))
+	if _, ok := CursorOf(p); !ok { // warm the probe pool outside the measured window
+		t.Fatal("CursorOf failed on a CursorProgram")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := CursorOf(p); !ok {
+			t.Fatal("CursorOf failed on a CursorProgram")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("CursorOf allocates %.1f objects per probe; want 0", allocs)
 	}
 }

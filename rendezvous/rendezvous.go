@@ -166,21 +166,16 @@ func Simulate(in Instance, alg Algorithm, s Settings) Result {
 	return sim.Run(a, b, s)
 }
 
-// simKey identifies one simulation's full input for batch memoization:
-// the instance tuple, the algorithm (by name — names are the identity
-// of Algorithm values in this API), and the settings bounding the run.
-type simKey struct {
-	in  Instance
-	alg string
-	set Settings
-}
-
-// Compile-time guard: simKey is a map key in internal/batch, so it must
-// stay comparable — adding a non-comparable field to sim.Settings (a
-// callback, a slice) would otherwise turn every SimulateBatch call into
-// a runtime "hash of unhashable type" panic; this line moves that
-// failure to build time.
-var _ = map[simKey]struct{}{}
+// Compile-time guards on memo-key comparability. The batch memo key is
+// the bare Instance (see batchJobs); wire.Job values (Instance +
+// algorithm name + Settings) are used as map keys by callers memoizing
+// across dispatches. Adding a non-comparable field (a callback, a
+// slice) to either struct would turn those uses into runtime "hash of
+// unhashable type" panics; these lines move that failure to build time.
+var (
+	_ = map[Instance]struct{}{}
+	_ = map[Settings]struct{}{}
+)
 
 // batchJobs builds the batch job list for a SimulateBatch-style call:
 // per-instance agent specs, the memoization key (unless disabled), and
@@ -196,7 +191,14 @@ func batchJobs(ins []Instance, alg Algorithm, s Settings) []batch.Job {
 			Settings: s,
 		}
 		if !s.NoBatchMemoize {
-			jobs[i].Key = simKey{in: in, alg: alg.Name, set: s}
+			// The algorithm and settings are constants of this call, and
+			// memo keys never outlive one batch run (Dedup's map is local
+			// to it), so the Instance alone fully identifies the
+			// simulation input. Keying on the bare Instance keeps the
+			// dedup map hashing a small scalar struct; the old composite
+			// key re-hashed the full Settings — Hosts and WorkerCmd
+			// strings included — for every job in the batch.
+			jobs[i].Key = in
 		}
 		if registered {
 			jobs[i].Wire = &wire.Job{In: in, Alg: alg.wireName, Set: s}

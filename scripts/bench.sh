@@ -1,30 +1,34 @@
 #!/usr/bin/env bash
-# Regenerate the kernel-benchmark JSON record: the instruction-stream
-# engine (cursor vs iter.Pull), the batch pool, and the distributed
-# coordinator (local worker subprocesses; synchronous vs windowed
-# dispatch; per-call fleets vs a reused session; distributed
-# Monte-Carlo chunks).
+# Regenerate a kernel-benchmark JSON record: the instruction-stream
+# engine (cursor vs iter.Pull), the batch pool, the memoization
+# pre-pass, and the distributed coordinator (local worker subprocesses;
+# synchronous vs windowed dispatch; per-call fleets vs a reused
+# session; distributed Monte-Carlo chunks).
 #
-# Usage:  scripts/bench.sh [benchtime] [out.json]
-# e.g.    scripts/bench.sh                      # 2s -> BENCH_PR5.json
-#         scripts/bench.sh 1x BENCH_PR5.json    # smoke run (CI passes the name)
-#         scripts/bench.sh 2s BENCH_PR6.json    # next PR's record
+# Usage:  scripts/bench.sh [benchtime] [out.json] [note]
+# e.g.    scripts/bench.sh                               # 2s -> BENCH_local.json
+#         scripts/bench.sh 100x BENCH_CI.json "CI run"   # CI passes name + note
+#         scripts/bench.sh 2s BENCH_PR7.json "PR7: ..."  # next PR's committed record
+#
+# The output name and note always come from the arguments (with
+# throwaway defaults), never from a hardcoded PR label: a stale default
+# silently mislabels every future run, which is how a perf record lies.
+# Committed BENCH_PR*.json records pass both explicitly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
-OUT="${2:-BENCH_PR5.json}"
-PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT2Session|BenchmarkDistT5Chunks|BenchmarkPlanarWalkGen'
+OUT="${2:-BENCH_local.json}"
+NOTE="${3:-Local benchmark run (benchtime=$BENCHTIME). Not a committed PR record: pass an output name and note to label one, see DESIGN.md §9.}"
+PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDedup|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT2Session|BenchmarkDistT5Chunks|BenchmarkPlanarWalkGen'
 
 # Write to a temp file and move into place only on success, so a
 # failed bench run never clobbers the committed perf record.
 TMP="$(mktemp "$OUT.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . |
-  go run ./cmd/benchjson -note \
-    "PR5 fleet sessions: DistT2Session runs the T2 batch over a 2-subprocess fleet dialed ONCE outside the loop — the per-iteration delta against DistT2Procs2 (fresh spawn+handshake per iteration) is the session's amortization; adaptive windows and coalesced reply frames are on by default in both. DistT2Window* pin explicit window=1 vs 4 (on a 1-CPU container the pool and window cannot add cores, so loopback wins are bounded — the >=2x latency-hiding claim is asserted by TestWindowHidesLatency against a 25ms delay-line transport, fixed and adaptive). DistT5Chunks ships Monte-Carlo chunks to 2 workers, byte-identity asserted in-loop. *Pull benchmarks force the iter.Pull coroutine path via prog.Opaque. benchtime=$BENCHTIME" \
-    > "$TMP"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" ./... |
+  go run ./cmd/benchjson -note "$NOTE" > "$TMP"
 
 mv "$TMP" "$OUT"
 trap - EXIT
