@@ -37,6 +37,8 @@ func main() {
 		hosts     = flag.String("hosts", "", "comma-separated rvworker -listen endpoints, each addr or addr*pool (distributed execution)")
 		window    = flag.Int("window", 0, "jobs in flight per worker connection (0 = adaptive; 1 = synchronous)")
 		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
+		stall     = flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
+		requeues  = flag.Int("max-requeues", 0, "distinct workers a job may kill or stall before it is quarantined as a poison job (0 = 2 default; <0 = disabled)")
 	)
 	flag.Parse()
 
@@ -59,5 +61,5 @@ func main() {
 	// Unbuffered stdout: Fprintf issues one Write per row, so each row
 	// is visible (even through a pipe) the moment its result prefix
 	// completes.
-	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window, *maxWindow))
+	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window, *maxWindow, *stall, *requeues))
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"time"
 
 	"repro/rendezvous"
 )
@@ -53,8 +54,11 @@ func Points(mode string, from, to float64, steps int) (pts []Point, skipped []er
 // segment budget, the in-process pool size (also forwarded to workers
 // as their in-process pool), and (optionally) the distributed worker
 // fleet with its per-connection send window (fixed when window > 0,
-// adaptive up to maxWindow when window == 0).
-func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWindow int) rendezvous.Settings {
+// adaptive up to maxWindow when window == 0) and failure model (stall
+// is the liveness deadline for hung workers, maxRequeues the distinct-
+// worker-kill count that quarantines a poison job; zero keeps the
+// defaults, negative disables).
+func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWindow int, stall time.Duration, maxRequeues int) rendezvous.Settings {
 	set := rendezvous.DefaultSettings()
 	set.MaxSegments = maxSeg
 	set.Parallelism = workers
@@ -62,6 +66,8 @@ func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWi
 	set.WorkerProcs = workerProcs
 	set.Window = window
 	set.MaxWindow = maxWindow
+	set.StallTimeout = stall
+	set.MaxJobRequeues = maxRequeues
 	return set
 }
 
@@ -71,7 +77,7 @@ func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWi
 // is byte-identical for every worker count.
 func SweepCSV(mode string, pts []Point, maxSeg, workers int) string {
 	var b strings.Builder
-	StreamCSV(&b, mode, pts, SweepSettings(maxSeg, workers, "", 0, 0, 0))
+	StreamCSV(&b, mode, pts, SweepSettings(maxSeg, workers, "", 0, 0, 0, 0, 0))
 	return b.String()
 }
 

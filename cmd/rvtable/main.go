@@ -31,6 +31,8 @@ func main() {
 		hosts     = flag.String("hosts", "", "comma-separated rvworker -listen endpoints, each addr or addr*pool (distributed execution)")
 		window    = flag.Int("window", 0, "jobs in flight per worker connection (0 = adaptive; 1 = synchronous)")
 		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
+		stall     = flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
+		requeues  = flag.Int("max-requeues", 0, "distinct workers a job may kill or stall before it is quarantined as a poison job (0 = 2 default; <0 = disabled)")
 	)
 	flag.Parse()
 
@@ -41,7 +43,11 @@ func main() {
 	}
 	b := exps.DefaultBudgets()
 	b.Workers = *workers
-	b.Dist = dist.Config{Procs: *procs, Hosts: hostList, Window: *window, MaxWindow: *maxWindow}
+	b.Dist = dist.Config{
+		Procs: *procs, Hosts: hostList,
+		Window: *window, MaxWindow: *maxWindow,
+		StallTimeout: *stall, MaxJobRequeues: *requeues,
+	}
 	gens := map[string]func() *report.Table{
 		"T1": func() *report.Table { return exps.T1(*seed, *n, b) },
 		"T2": func() *report.Table { return exps.T2(*seed+1, *n, b) },

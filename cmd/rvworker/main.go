@@ -21,12 +21,23 @@
 // have computed in-process — algorithms are rebuilt by registered name
 // from the same code, inputs and outputs cross the wire bit-for-bit —
 // so distributing a batch never changes a single reported number.
+//
+// Shutdown: SIGTERM or SIGINT drains gracefully — stop accepting new
+// streams, let in-flight executors finish, flush the reply batcher,
+// exit 0 — so a supervised worker (systemd stop, container rollout)
+// never dies mid-frame and its coordinators see a clean EOF, not a
+// torn frame.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/wire"
@@ -51,12 +62,44 @@ func main() {
 	if *verbose {
 		opts.Verbose = os.Stderr
 	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	var draining atomic.Bool
+
 	var err error
 	if *listen != "" {
-		err = dist.ListenAndServeWith(*listen, opts)
+		l, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "rvworker:", lerr)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "rvworker: listening on", l.Addr())
+		srv := dist.NewServer(opts)
+		go func() {
+			<-sigc
+			draining.Store(true)
+			fmt.Fprintln(os.Stderr, "rvworker: signal received; draining")
+			srv.Shutdown()
+		}()
+		err = srv.Serve(l)
 	} else {
+		go func() {
+			<-sigc
+			draining.Store(true)
+			fmt.Fprintln(os.Stderr, "rvworker: signal received; draining")
+			// Unblock the pending stdin read; ServeWith's finish path
+			// drains the executors and flushes before returning. Works
+			// on pipes and terminals on the platforms we serve from;
+			// where it doesn't, the fallback is the old behavior (the
+			// read stays blocked until the coordinator closes it).
+			os.Stdin.SetReadDeadline(time.Now())
+		}()
 		opts.Name = "stdio"
 		err = dist.ServeWith(os.Stdin, os.Stdout, opts)
+		if draining.Load() {
+			err = nil // the induced read-deadline error is the drain, not a fault
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvworker:", err)

@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Chaos rig: a deterministic fault-injecting transport for the
+// differential suites. A ChaosProxy sits between a coordinator and a
+// real TCP worker as a frame-aware man-in-the-middle — it reassembles
+// wire frames on each direction and forwards them one by one, so a
+// scripted fault strikes an exact frame index, reproducibly, instead
+// of whichever byte a timing race happens to land on. Every fault
+// models a real failure the dispatch engine claims to survive:
+//
+//	FaultDrop      worker crash / connection reset at a frame boundary
+//	FaultHang      silent blackhole: the conn stays open, frames vanish
+//	FaultTruncate  peer death mid-write: a torn frame
+//	FaultCorrupt   protocol corruption: a frame of an impossible type
+//	Delay          WAN latency, per frame, pipelining preserved
+//
+// FaultCorrupt flips the frame's type byte rather than a payload byte:
+// the codec deliberately delegates payload integrity to the transport
+// (TCP and pipe checksums — a flipped float payload decodes "validly"
+// to wrong bits, which no checksum-free codec can detect), so the
+// detectable corruption class is framing/protocol corruption, and that
+// is what the rig injects. The chaos differential suite asserts that
+// every scripted fault still yields results byte-identical to an
+// in-process serial run — fault recovery is pure scheduling.
+type FaultKind int
+
+const (
+	// FaultDrop closes both directions just before forwarding the
+	// indexed frame — the peer appears to crash at a frame boundary.
+	FaultDrop FaultKind = iota + 1
+	// FaultHang stops forwarding this direction's frames from the
+	// indexed frame on (they are read and discarded, so the sender
+	// never blocks); the connection stays open and silent. Only the
+	// coordinator's liveness deadline can recover from this one.
+	FaultHang
+	// FaultTruncate forwards roughly half of the indexed frame's
+	// bytes, then closes both directions — a peer dying mid-write.
+	FaultTruncate
+	// FaultCorrupt forwards the indexed frame with its type byte
+	// flipped to an impossible value; the receiver must detect the
+	// protocol violation and retire the connection.
+	FaultCorrupt
+)
+
+// Fault schedules one fault at a 0-based frame index of its direction.
+// The worker's hello is toCoord frame 0; a pool hint, when the host
+// has one, is toWorker frame 0.
+type Fault struct {
+	Kind  FaultKind
+	Frame int
+}
+
+// ConnScript is the fault schedule of one proxied connection.
+type ConnScript struct {
+	// Delay is a per-frame one-way forwarding delay applied to both
+	// directions. It is a delay line, not a stall: later frames are
+	// read while earlier ones wait, so pipelining survives and a
+	// window of W jobs costs one RTT, not W.
+	Delay time.Duration
+	// ToWorker faults strike coordinator→worker frames; ToCoord faults
+	// strike worker→coordinator frames.
+	ToWorker []Fault
+	ToCoord  []Fault
+}
+
+// ChaosPlan scripts a proxy: connection i (in accept order) runs
+// Scripts[i]; connections past the end run Default. The zero Default
+// is a clean pass-through, which is what lets a script kill a
+// connection and still let the coordinator's redial recover.
+type ChaosPlan struct {
+	Scripts []ConnScript
+	Default ConnScript
+}
+
+func (p ChaosPlan) script(i int) ConnScript {
+	if i < len(p.Scripts) {
+		return p.Scripts[i]
+	}
+	return p.Default
+}
+
+// ChaosProxy is the listening fault injector; point Config.Hosts at
+// Addr and every coordinator connection is scripted.
+type ChaosProxy struct {
+	l      net.Listener
+	target string
+	plan   ChaosPlan
+
+	mu       sync.Mutex
+	accepted int
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewChaosProxy starts a proxy on a loopback port forwarding to the
+// target worker address under the plan.
+func NewChaosProxy(target string, plan ChaosPlan) (*ChaosProxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{l: l, target: target, plan: plan, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address coordinators should dial.
+func (p *ChaosProxy) Addr() string { return p.l.Addr().String() }
+
+// Close stops accepting and severs every proxied connection.
+func (p *ChaosProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *ChaosProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *ChaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *ChaosProxy) acceptLoop() {
+	for {
+		in, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		n := p.accepted
+		p.accepted++
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			in.Close()
+			return
+		}
+		go p.serve(in, p.plan.script(n))
+	}
+}
+
+func (p *ChaosProxy) serve(in net.Conn, sc ConnScript) {
+	out, err := net.Dial("tcp", p.target)
+	if err != nil {
+		in.Close()
+		return
+	}
+	if !p.track(in) || !p.track(out) {
+		in.Close()
+		out.Close()
+		return
+	}
+	// Any fault or transport error severs both directions: half-open
+	// proxied connections model nothing the engine distinguishes, and
+	// closing both makes every scripted fault visible to both peers
+	// the way a real crash is.
+	var once sync.Once
+	closeBoth := func() {
+		once.Do(func() {
+			in.Close()
+			out.Close()
+			p.untrack(in)
+			p.untrack(out)
+		})
+	}
+	go pump(out, in, sc.ToWorker, sc.Delay, closeBoth)
+	go pump(in, out, sc.ToCoord, sc.Delay, closeBoth)
+}
+
+// chunk is one scheduled write of the delay line: raw bytes due at a
+// time, optionally followed by a close (truncate/drop faults).
+type chunk struct {
+	data  []byte
+	due   time.Time
+	close bool
+}
+
+// pump forwards frames src→dst, applying the direction's faults by
+// frame index and the script's delay. The reader half keeps consuming
+// src even while earlier frames wait in the delay line (pipelining)
+// and after a hang fault (so the sender never blocks on a full
+// buffer); the writer half performs the scheduled writes.
+func pump(dst, src net.Conn, faults []Fault, delay time.Duration, closeBoth func()) {
+	line := make(chan chunk, 64)
+	go func() { // writer: drain the delay line
+		defer closeBoth()
+		for c := range line {
+			if !c.due.IsZero() {
+				if d := time.Until(c.due); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			if len(c.data) > 0 {
+				if _, err := dst.Write(c.data); err != nil {
+					return
+				}
+			}
+			if c.close {
+				return
+			}
+		}
+	}()
+
+	defer close(line)
+	br := bufio.NewReader(src)
+	hung := false
+	for i := 0; ; i++ {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// Transport over: sever both sides (delay-line remnants are
+			// irrelevant — a real crash loses buffered bytes too).
+			closeBoth()
+			return
+		}
+		if hung {
+			continue // blackhole: consume and discard
+		}
+		var f *Fault
+		for j := range faults {
+			switch faults[j].Kind {
+			case FaultHang:
+				if i >= faults[j].Frame {
+					f = &faults[j]
+				}
+			default:
+				if i == faults[j].Frame {
+					f = &faults[j]
+				}
+			}
+			if f != nil {
+				break
+			}
+		}
+		buf := encodeRaw(typ, payload)
+		var due time.Time
+		if delay > 0 {
+			due = time.Now().Add(delay)
+		}
+		if f == nil {
+			line <- chunk{data: buf, due: due}
+			continue
+		}
+		switch f.Kind {
+		case FaultDrop:
+			line <- chunk{due: due, close: true}
+			return
+		case FaultHang:
+			hung = true
+		case FaultTruncate:
+			line <- chunk{data: buf[:5+len(payload)/2], due: due, close: true}
+			return
+		case FaultCorrupt:
+			buf[4] = 0xFF
+			line <- chunk{data: buf, due: due}
+		}
+	}
+}
+
+// encodeRaw rebuilds the frame bytes wire.WriteFrame would produce.
+func encodeRaw(typ byte, payload []byte) []byte {
+	buf := make([]byte, 0, 5+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)+1))
+	buf = append(buf, typ)
+	return append(buf, payload...)
+}
+
+// RandomScripts derives a reproducible fault plan from a seed: one
+// script per expected connection, drawn from a splitmix64 stream, so
+// the chaos soak sweeps seeds and any failing seed replays exactly.
+// Faults never strike frame 0 of a direction — the handshake — so a
+// scripted connection always assembles and dies mid-run, which is the
+// regime the requeue/redial machinery owns (handshake failures are
+// covered separately and synchronously by Dial's own error path).
+func RandomScripts(seed int64, conns int) []ConnScript {
+	x := uint64(seed)
+	next := func() uint64 {
+		// splitmix64: tiny, seedable, and good enough to scatter faults.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	scripts := make([]ConnScript, conns)
+	for i := range scripts {
+		frame := 1 + int(next()%4)
+		switch next() % 6 {
+		case 0:
+			// clean connection
+		case 1:
+			scripts[i].Delay = time.Duration(1+next()%8) * time.Millisecond
+		case 2:
+			scripts[i].ToCoord = []Fault{{Kind: FaultDrop, Frame: frame}}
+		case 3:
+			scripts[i].ToCoord = []Fault{{Kind: FaultHang, Frame: frame}}
+		case 4:
+			scripts[i].ToCoord = []Fault{{Kind: FaultTruncate, Frame: frame}}
+		case 5:
+			scripts[i].ToCoord = []Fault{{Kind: FaultCorrupt, Frame: frame}}
+		}
+	}
+	return scripts
+}

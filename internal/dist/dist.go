@@ -46,11 +46,18 @@ import (
 	"repro/internal/wire"
 )
 
-// helloTimeout bounds how long the coordinator waits for a freshly
-// spawned or dialed worker to identify itself; a peer that is not a
-// worker (wrong port, a main that forgot MaybeServeStdio) would
-// otherwise hang the batch forever.
-const helloTimeout = 10 * time.Second
+// Handshake defaults, overridable per Config (chaos tests and slow
+// WANs should not have to fight hard-coded constants).
+const (
+	// DefaultHelloTimeout bounds how long the coordinator waits for a
+	// freshly spawned or dialed worker to identify itself; a peer that
+	// is not a worker (wrong port, a main that forgot MaybeServeStdio)
+	// would otherwise hang the batch forever.
+	DefaultHelloTimeout = 10 * time.Second
+	// DefaultDialTimeout bounds each TCP connection attempt to a fleet
+	// host.
+	DefaultDialTimeout = 5 * time.Second
+)
 
 // Host is one TCP worker endpoint of the fleet, with an optional
 // per-host execution-pool hint for heterogeneous fleets: a host whose
@@ -105,6 +112,40 @@ type Config struct {
 	// attempt, doubling per consecutive attempt. 0 selects
 	// DefaultRedialWait.
 	RedialWait time.Duration
+	// StallTimeout is the liveness deadline for a connection with jobs
+	// in flight: no frame — result, reply batch, or heartbeat echo —
+	// within max(StallTimeout, a multiple of the connection's observed
+	// RTT) declares the slot hung; the connection is closed and its
+	// in-flight window requeued through the ordinary death path. The
+	// coordinator pings a connection that has been silent for half the
+	// deadline, so an idle-but-alive worker grinding a slow job is
+	// never falsely ejected. 0 selects DefaultStallTimeout; negative
+	// disables stall detection (and the pings).
+	StallTimeout time.Duration
+	// MaxJobRequeues quarantines poison jobs: a job whose requeues have
+	// been caused by the deaths or stalls of this many distinct fleet
+	// slots is surfaced as a deterministic per-job error instead of
+	// being requeued again — one poison job that crashes every worker
+	// it lands on must not exhaust the whole session's respawn budget.
+	// 0 selects DefaultMaxJobRequeues; negative disables quarantine.
+	MaxJobRequeues int
+	// HelloTimeout bounds the wait for a worker's hello frame after
+	// dial/spawn. 0 selects DefaultHelloTimeout.
+	HelloTimeout time.Duration
+	// DialTimeout bounds each TCP connection attempt to a fleet host.
+	// 0 selects DefaultDialTimeout.
+	DialTimeout time.Duration
+	// BreakerThreshold is the number of consecutive connection failures
+	// (dead drives, failed redials) that open a slot's circuit breaker:
+	// the slot sits out until a cooldown elapses, then a single probe
+	// dial decides whether it closes again. 0 selects
+	// DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the initial cooldown of a freshly opened
+	// breaker; it doubles each time the probe fails and the breaker
+	// re-opens, and resets when the slot completes a healthy
+	// connection. 0 selects DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // Enabled reports whether the config names any workers at all.
@@ -192,6 +233,7 @@ type workerConn struct {
 	name      string
 	br        *bufio.Reader
 	bw        *bufio.Writer
+	wmu       sync.Mutex // serializes writes: the dispatch sender vs. the matcher's liveness pings
 	closeOnce sync.Once
 	closeFn   func()
 
@@ -247,7 +289,21 @@ func (wc *workerConn) startReader() {
 // send writes one seq-prefixed request frame and flushes it onto the
 // wire, so a job is visible to the worker the moment send returns.
 func (wc *workerConn) send(seq uint64, typ byte, payload []byte) error {
+	wc.wmu.Lock()
+	defer wc.wmu.Unlock()
 	if err := wire.WriteFrame(wc.bw, typ, wire.AppendSeq(seq, payload)); err != nil {
+		return err
+	}
+	return wc.bw.Flush()
+}
+
+// ping writes one liveness probe. It is called by the matcher's stall
+// timer while the dispatch sender owns the write half, so the write
+// mutex is what keeps the two frame writes from interleaving.
+func (wc *workerConn) ping(nonce uint64) error {
+	wc.wmu.Lock()
+	defer wc.wmu.Unlock()
+	if err := wire.WriteFrame(wc.bw, wire.FramePing, wire.EncodePing(nonce)); err != nil {
 		return err
 	}
 	return wc.bw.Flush()
@@ -269,7 +325,7 @@ func assemble(cfg Config) ([]*slot, []error) {
 	for k, h := range cfg.Hosts {
 		go func(k int, h Host) {
 			defer wg.Done()
-			s := &slot{name: "tcp:" + h.Addr, dial: func() (*workerConn, error) { return dialWorker(h) }}
+			s := &slot{name: "tcp:" + h.Addr, dial: func() (*workerConn, error) { return dialWorker(h, cfg) }}
 			if s.wc, errs[k] = s.dial(); errs[k] == nil {
 				s.wc.win = newAdaptiveWindow(cfg)
 				slots[k] = s
@@ -281,7 +337,7 @@ func assemble(cfg Config) ([]*slot, []error) {
 			defer wg.Done()
 			s := &slot{
 				name: fmt.Sprintf("proc:%d", k),
-				dial: func() (*workerConn, error) { return spawnWorker(cfg.Cmd, stderrOf(cfg), k) },
+				dial: func() (*workerConn, error) { return spawnWorker(cfg, k) },
 			}
 			if s.wc, errs[len(cfg.Hosts)+k] = s.dial(); errs[len(cfg.Hosts)+k] == nil {
 				s.wc.win = newAdaptiveWindow(cfg)
@@ -303,9 +359,9 @@ func assemble(cfg Config) ([]*slot, []error) {
 }
 
 // awaitHello reads and validates the worker's hello frame, bounded by
-// helloTimeout; cancel must unblock the pending read (kill the process,
+// timeout; cancel must unblock the pending read (kill the process,
 // close the connection) so the reader goroutine is always reaped.
-func awaitHello(name string, br *bufio.Reader, cancel func()) error {
+func awaitHello(name string, br *bufio.Reader, cancel func(), timeout time.Duration) error {
 	type frame struct {
 		typ     byte
 		payload []byte
@@ -328,10 +384,10 @@ func awaitHello(name string, br *bufio.Reader, cancel func()) error {
 			return fmt.Errorf("dist: %s: %w", name, err)
 		}
 		return nil
-	case <-time.After(helloTimeout):
+	case <-time.After(timeout):
 		cancel()
 		<-ch
-		return fmt.Errorf("dist: %s: no hello within %v (is the peer a worker?)", name, helloTimeout)
+		return fmt.Errorf("dist: %s: no hello within %v (is the peer a worker?)", name, timeout)
 	}
 }
 
@@ -352,8 +408,8 @@ func sendPoolHint(wc *workerConn, pool int) error {
 // so a silent network partition mid-job surfaces as a transport error
 // (and hence a requeue) instead of wedging the batch on a read that
 // never returns.
-func dialWorker(h Host) (*workerConn, error) {
-	conn, err := net.DialTimeout("tcp", h.Addr, 5*time.Second)
+func dialWorker(h Host, cfg Config) (*workerConn, error) {
+	conn, err := net.DialTimeout("tcp", h.Addr, cfg.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("dist: dialing %s: %w", h.Addr, err)
 	}
@@ -367,7 +423,7 @@ func dialWorker(h Host) (*workerConn, error) {
 		bw:      bufio.NewWriter(conn),
 		closeFn: func() { conn.Close() },
 	}
-	if err := awaitHello(wc.name, wc.br, func() { conn.Close() }); err != nil {
+	if err := awaitHello(wc.name, wc.br, func() { conn.Close() }, cfg.helloTimeout()); err != nil {
 		wc.close()
 		return nil, err
 	}
@@ -381,7 +437,9 @@ func dialWorker(h Host) (*workerConn, error) {
 
 // spawnWorker starts one local subprocess worker on stdio pipes. With
 // no explicit command it re-executes the current binary in worker mode.
-func spawnWorker(cmdline []string, stderr io.Writer, ordinal int) (*workerConn, error) {
+func spawnWorker(cfg Config, ordinal int) (*workerConn, error) {
+	cmdline := cfg.Cmd
+	stderr := stderrOf(cfg)
 	if len(cmdline) == 0 {
 		exe, err := os.Executable()
 		if err != nil {
@@ -423,7 +481,7 @@ func spawnWorker(cmdline []string, stderr io.Writer, ordinal int) (*workerConn, 
 			}
 		},
 	}
-	if err := awaitHello(name, wc.br, kill); err != nil {
+	if err := awaitHello(name, wc.br, kill, cfg.helloTimeout()); err != nil {
 		wc.close()
 		return nil, err
 	}

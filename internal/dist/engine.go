@@ -79,7 +79,34 @@ const (
 	// DefaultRedialWait is the backoff before the first reconnection
 	// attempt; it doubles per consecutive attempt on the same slot.
 	DefaultRedialWait = 250 * time.Millisecond
+	// DefaultStallTimeout is the liveness deadline floor: a connection
+	// with jobs in flight that produces no frame for
+	// max(StallTimeout, stallRTTFactor·rttEWMA) is declared hung.
+	// Thirty seconds is far above any healthy link's silence — the
+	// coordinator pings at half the deadline and even a fully loaded
+	// worker echoes from its read loop — while still unwedging a
+	// blackholed WAN connection the same minute it hangs.
+	DefaultStallTimeout = 30 * time.Second
+	// DefaultMaxJobRequeues is the poison-job quarantine threshold: a
+	// job requeued by the failures of this many distinct slots is
+	// surfaced as a deterministic per-job error. Two means one slot
+	// death is always forgiven (workers do die for reasons unrelated
+	// to the job), but a job observed killing a second, different
+	// worker stops spreading.
+	DefaultMaxJobRequeues = 2
+	// DefaultBreakerThreshold is the consecutive-connection-failure
+	// count that opens a slot's circuit breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is the initial sit-out of an opened
+	// breaker; it doubles each time the half-open probe fails.
+	DefaultBreakerCooldown = 2 * time.Second
 )
+
+// stallRTTFactor scales the connection's observed RTT EWMA into the
+// adaptive half of the liveness deadline, so a deliberately slow WAN
+// config with a tight StallTimeout still never ejects a link that is
+// merely far away.
+const stallRTTFactor = 8
 
 func (c Config) maxRespawns() int {
 	switch {
@@ -97,6 +124,66 @@ func (c Config) redialWait() time.Duration {
 		return c.RedialWait
 	}
 	return DefaultRedialWait
+}
+
+// stallTimeout resolves the liveness deadline floor; 0 means stall
+// detection is disabled.
+func (c Config) stallTimeout() time.Duration {
+	switch {
+	case c.StallTimeout > 0:
+		return c.StallTimeout
+	case c.StallTimeout < 0:
+		return 0
+	default:
+		return DefaultStallTimeout
+	}
+}
+
+// maxJobRequeues resolves the quarantine threshold; 0 means quarantine
+// is disabled.
+func (c Config) maxJobRequeues() int {
+	switch {
+	case c.MaxJobRequeues > 0:
+		return c.MaxJobRequeues
+	case c.MaxJobRequeues < 0:
+		return 0
+	default:
+		return DefaultMaxJobRequeues
+	}
+}
+
+// breakerThreshold resolves the circuit-breaker trip count; 0 means the
+// breaker is disabled.
+func (c Config) breakerThreshold() int {
+	switch {
+	case c.BreakerThreshold > 0:
+		return c.BreakerThreshold
+	case c.BreakerThreshold < 0:
+		return 0
+	default:
+		return DefaultBreakerThreshold
+	}
+}
+
+func (c Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+func (c Config) helloTimeout() time.Duration {
+	if c.HelloTimeout > 0 {
+		return c.HelloTimeout
+	}
+	return DefaultHelloTimeout
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return DefaultDialTimeout
 }
 
 // adaptiveWindow sizes one connection's in-flight window. A fixed
@@ -124,6 +211,7 @@ type adaptiveWindow struct {
 	cur, max  int
 	minRTT    float64 // smallest observed reply round trip, seconds
 	gap       float64 // EWMA inter-reply arrival gap, seconds
+	rtt       float64 // EWMA reply round trip, seconds — feeds the stall deadline, not the window
 	lastReply time.Time
 }
 
@@ -161,6 +249,14 @@ func (w *adaptiveWindow) observe(rtt, gap time.Duration) {
 	g := math.Max(gap.Seconds(), floor)
 	if w.minRTT == 0 || r < w.minRTT {
 		w.minRTT = r
+	}
+	// The liveness deadline wants a typical round trip (minRTT would
+	// under-arm it on links whose service time dominates), hence its
+	// own EWMA.
+	if w.rtt == 0 {
+		w.rtt = r
+	} else {
+		w.rtt += alpha * (r - w.rtt)
 	}
 	if w.gap == 0 {
 		w.gap = g
@@ -229,6 +325,51 @@ type slot struct {
 	wc       *workerConn
 	attempts int
 	retired  bool
+
+	// Circuit breaker: consecutive connection failures (dead drives,
+	// failed redials) open the breaker — the slot sits dispatches out
+	// until openUntil passes, then runs half-open: the next dispatch's
+	// reconnection dial is the probe, one more failure re-opens the
+	// breaker with a doubled cooldown, and a connection that drains
+	// healthily closes it. Like every slot field, owned by the single
+	// supervise goroutine of the current dispatch (dispatches are
+	// serialized per fleet); dispatch start reads openUntil under the
+	// same fleet mutex.
+	fails     int           // consecutive connection failures
+	cooldown  time.Duration // current breaker cooldown; doubles per re-open
+	openUntil time.Time     // breaker open until then; zero = closed
+}
+
+// fail records one connection failure and reports whether it opened
+// (or re-opened) the slot's circuit breaker, in which case the
+// supervisor sits the rest of the dispatch out.
+func (s *slot) fail(cfg Config) bool {
+	th := cfg.breakerThreshold()
+	if th <= 0 {
+		return false
+	}
+	s.fails++
+	if s.fails < th {
+		return false
+	}
+	// Past the threshold every further failure re-opens immediately
+	// (the classic half-open probe: one failure, not a fresh budget)
+	// with a doubled cooldown.
+	if s.cooldown == 0 {
+		s.cooldown = cfg.breakerCooldown()
+	} else {
+		s.cooldown *= 2
+	}
+	s.openUntil = time.Now().Add(s.cooldown)
+	return true
+}
+
+// recover closes the breaker: the slot produced a healthy, productive
+// connection, so the failure streak and the cooldown escalation reset.
+func (s *slot) recover() {
+	s.fails = 0
+	s.cooldown = 0
+	s.openUntil = time.Time{}
 }
 
 // inflightJob is one request awaiting its reply: the task index and
@@ -261,6 +402,19 @@ type engine struct {
 	remaining atomic.Int64
 	done      chan struct{} // closed with work: aborts backoffs and dials
 
+	// stall is the resolved liveness deadline floor (0: detection
+	// disabled); maxKills the resolved quarantine threshold (0:
+	// disabled).
+	stall    time.Duration
+	maxKills int
+
+	// killers tracks, per task, the distinct slots whose death or
+	// stall requeued it — the poison-job evidence. Touched only on
+	// failure paths, so the map and its mutex cost nothing on a
+	// healthy run.
+	killMu  sync.Mutex
+	killers map[int]map[string]struct{}
+
 	errMu    sync.Mutex
 	jobErrs  []error
 	deadErrs []error
@@ -285,6 +439,45 @@ func (e *engine) noteDeath(err error) {
 	e.errMu.Unlock()
 }
 
+// requeue returns a task to the claim channel after the failure of the
+// named slot — unless the task has now been in flight on maxKills
+// distinct failing slots, in which case it is quarantined: settled as
+// a deterministic per-job error, so a poison job that crashes or hangs
+// every worker it lands on cannot exhaust the whole session's respawn
+// budget. Requeue-on-death is pure scheduling either way: a requeued
+// task recomputes the identical pure result, and a quarantined one
+// reports an error exactly where a clean run reports a result, leaving
+// every other task's bytes untouched.
+func (e *engine) requeue(k int, slotName string) {
+	if e.maxKills > 0 {
+		e.killMu.Lock()
+		m := e.killers[k]
+		if m == nil {
+			if e.killers == nil {
+				e.killers = make(map[int]map[string]struct{})
+			}
+			m = make(map[string]struct{})
+			e.killers[k] = m
+		}
+		m[slotName] = struct{}{}
+		n := len(m)
+		e.killMu.Unlock()
+		if n >= e.maxKills {
+			e.failJob(fmt.Errorf("dist: job %d quarantined after its dispatch killed or stalled %d distinct workers (poison job?)", e.tasks[k].id, n))
+			e.settle()
+			return
+		}
+	}
+	e.work <- k
+}
+
+// ErrAllBreakersOpen reports a dispatch that could not start because
+// every non-retired slot's circuit breaker is in its cooldown. Callers
+// with a fallback path (RunOrFallback, StreamOrFallback) degrade to
+// in-process execution — byte-identical by the determinism guarantee —
+// instead of hammering a fleet that just failed repeatedly.
+var ErrAllBreakersOpen = errors.New("dist: every fleet slot's circuit breaker is open")
+
 // dispatch runs every task to completion across the session's live
 // slots and returns the overall verdict: nil when every task settled
 // by delivery, the joined job errors when workers reported
@@ -301,13 +494,26 @@ func (f *Fleet) dispatch(tasks []task, reqFrame, resFrame byte) error {
 	if f.closed {
 		return errors.New("dist: fleet is closed")
 	}
+	now := time.Now()
 	var active []*slot
+	cooling := 0
 	for _, s := range f.slots {
-		if !s.retired {
-			active = append(active, s)
+		if s.retired {
+			continue
 		}
+		// An open breaker whose cooldown has not elapsed sits this
+		// dispatch out; one whose cooldown has passed joins half-open
+		// (its reconnection dial is the probe).
+		if !s.openUntil.IsZero() && now.Before(s.openUntil) {
+			cooling++
+			continue
+		}
+		active = append(active, s)
 	}
 	if len(active) == 0 {
+		if cooling > 0 {
+			return fmt.Errorf("%w (%d slots cooling down)", ErrAllBreakersOpen, cooling)
+		}
 		return errors.New("dist: every fleet slot has retired")
 	}
 	// More connections than tasks buys nothing (pigeonhole: some could
@@ -322,6 +528,8 @@ func (f *Fleet) dispatch(tasks []task, reqFrame, resFrame byte) error {
 		clamp:    (len(tasks) + len(active) - 1) / len(active),
 		work:     make(chan int, len(tasks)),
 		done:     make(chan struct{}),
+		stall:    f.cfg.stallTimeout(),
+		maxKills: f.cfg.maxJobRequeues(),
 	}
 	e.remaining.Store(int64(len(tasks)))
 	for i := range tasks {
@@ -346,12 +554,17 @@ func (f *Fleet) dispatch(tasks []task, reqFrame, resFrame byte) error {
 	return nil
 }
 
-// supervise drives one slot until the work drains or the slot's
-// lifetime respawn budget is exhausted: drive the live connection, and
-// on a transport death reconnect with exponential backoff. A drained
-// dispatch parks the still-healthy connection back in the slot for the
-// session's next dispatch; the budget never resets, so a slot that
-// keeps dying retires and dispatch terminates.
+// supervise drives one slot until the work drains, the slot's lifetime
+// respawn budget is exhausted, or its circuit breaker opens: drive the
+// live connection, and on a transport death reconnect with exponential
+// backoff. A drained dispatch parks the still-healthy connection back
+// in the slot for the session's next dispatch; the budget never
+// resets, so a slot that keeps dying retires and dispatch terminates.
+// Consecutive failures — dead drives that settled nothing, failed
+// redials — feed the breaker, and a tripped breaker makes the slot sit
+// out the rest of this dispatch (and every dispatch until its cooldown
+// elapses) without burning further respawn attempts on a host that is
+// clearly down.
 func (e *engine) supervise(s *slot, cfg Config) {
 	wc := s.wc
 	s.wc = nil
@@ -383,20 +596,35 @@ func (e *engine) supervise(s *slot, cfg Config) {
 					return
 				}
 				e.noteDeath(fmt.Errorf("dist: %s: reconnect attempt %d: %w", s.name, s.attempts, err))
+				if s.fail(cfg) {
+					fmt.Fprintf(stderrOf(cfg), "dist: %s: circuit breaker open after %d consecutive failures (cooldown %v)\n", s.name, s.fails, s.cooldown)
+					return
+				}
 				wc = nil
 				continue
 			}
 			wc.win = newAdaptiveWindow(cfg)
 			fmt.Fprintf(stderrOf(cfg), "dist: %s: reconnected (attempt %d)\n", s.name, s.attempts)
 		}
-		err := e.drive(wc)
+		settled, err := e.drive(wc, s.name)
 		if err == nil {
 			s.wc = wc // work drained: the session keeps the live connection
+			s.recover()
 			return
 		}
 		wc.close()
 		wc = nil
 		e.noteDeath(fmt.Errorf("dist: worker %s: %w", s.name, err))
+		// A connection that settled real work before dying broke a
+		// consecutive-failure streak: the host is reachable and
+		// executing, just unlucky or flaky — not breaker material.
+		if settled > 0 {
+			s.recover()
+		}
+		if s.fail(cfg) {
+			fmt.Fprintf(stderrOf(cfg), "dist: %s: circuit breaker open after %d consecutive failures (cooldown %v)\n", s.name, s.fails, s.cooldown)
+			return
+		}
 		if s.attempts < cfg.maxRespawns() {
 			fmt.Fprintf(stderrOf(cfg), "dist: worker %s died (%v); reconnecting\n", s.name, err)
 		}
@@ -438,19 +666,34 @@ func (e *engine) redial(s *slot) (*workerConn, error) {
 // window has a free slot; a matcher goroutine consumes the
 // connection's persistent frame reader, settles replies by sequence
 // number (coalesced batches entry by entry), and feeds the window
-// controller. It returns nil when the work channel closed (every task
-// settled — necessarily including this connection's, so the in-flight
-// map is empty and the connection is still healthy for the session to
-// keep), or the transport error after requeueing every task still in
-// flight, exactly once each: a task leaves the in-flight map either by
-// being answered (matcher, before settling) or by the final requeue
-// (after the matcher has provably exited), never both.
-func (e *engine) drive(wc *workerConn) error {
+// controller. It returns a nil error when the work channel closed
+// (every task settled — necessarily including this connection's, so
+// the in-flight map is empty and the connection is still healthy for
+// the session to keep), or the transport error after requeueing every
+// task still in flight, exactly once each: a task leaves the in-flight
+// map either by being answered (matcher, before settling) or by the
+// final requeue (after the matcher has provably exited), never both.
+// settled counts the replies this connection turned into settlements —
+// the supervisor's evidence that a later death was not part of a
+// consecutive-failure streak.
+//
+// Liveness: while jobs are in flight the matcher arms a stall detector
+// — no frame of any kind within max(e.stall, stallRTTFactor·rttEWMA)
+// declares the connection hung and retires it through the same path as
+// a death, requeueing its window. At half the deadline the matcher
+// pings the worker; a healthy worker echoes from its read loop even
+// while its executors grind, so only a dead process, a blackholed
+// link, or a truly wedged worker ever reaches the deadline. Stall
+// handling is pure scheduling: a requeued job recomputes the identical
+// pure result on a survivor.
+func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error) {
 	var (
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
 		inflight = make(map[uint64]inflightJob)
 		dead     bool
+		lastRecv time.Time // last frame arrival (any type)
+		armStart time.Time // when in-flight went 0→1: the stall clock floor
 	)
 	matchErr := make(chan error, 1)    // the matcher's verdict (capacity: it reports once)
 	matcherDone := make(chan struct{}) // closed when the matcher exits
@@ -470,10 +713,57 @@ func (e *engine) drive(wc *workerConn) error {
 			cond.Broadcast()
 			mu.Unlock()
 		}
+		// The stall deadline and its check interval, recomputed per
+		// fire because the RTT EWMA moves. The interval quarters the
+		// deadline so a stall is declared within ~1.25× the configured
+		// deadline in the worst phase alignment.
+		deadline := func() time.Duration {
+			d := e.stall
+			if r := time.Duration(wc.win.rtt * float64(time.Second) * stallRTTFactor); r > d {
+				d = r
+			}
+			return d
+		}
+		var stallC <-chan time.Time
+		var stallTimer *time.Timer
+		if e.stall > 0 {
+			iv := max(deadline()/4, time.Millisecond)
+			stallTimer = time.NewTimer(iv)
+			defer stallTimer.Stop()
+			stallC = stallTimer.C
+		}
+		var pingNonce uint64
 		for {
 			select {
 			case <-stop:
 				return
+			case now := <-stallC:
+				mu.Lock()
+				n := len(inflight)
+				clock := lastRecv
+				if armStart.After(clock) {
+					clock = armStart
+				}
+				mu.Unlock()
+				if n > 0 {
+					d := deadline()
+					idle := now.Sub(clock)
+					if idle >= d {
+						die(fmt.Errorf("no frame for %v with %d jobs in flight (liveness deadline %v): presumed hung", idle.Round(time.Millisecond), n, d))
+						return
+					}
+					if idle >= d/2 {
+						// Silent but not yet condemned: probe. Only a received
+						// frame resets the stall clock, so a worker that eats
+						// pings without echoing still hits the deadline.
+						if err := wc.ping(pingNonce); err != nil {
+							die(fmt.Errorf("liveness ping: %w", err))
+							return
+						}
+						pingNonce++
+					}
+				}
+				stallTimer.Reset(max(deadline()/4, time.Millisecond))
 			case f, ok := <-wc.frames:
 				if !ok {
 					err := wc.readErr
@@ -482,6 +772,11 @@ func (e *engine) drive(wc *workerConn) error {
 					}
 					die(err)
 					return
+				}
+				if stallC != nil {
+					mu.Lock()
+					lastRecv = time.Now()
+					mu.Unlock()
 				}
 				var replies []wire.Reply
 				switch f.typ {
@@ -498,6 +793,10 @@ func (e *engine) drive(wc *workerConn) error {
 						return
 					}
 					replies = []wire.Reply{{Seq: seq, Typ: f.typ, Body: body}}
+				case wire.FramePong:
+					// Liveness echo: its arrival already reset the stall
+					// clock, and that is its entire meaning.
+					continue
 				default:
 					die(fmt.Errorf("unexpected frame type %d", f.typ))
 					return
@@ -538,19 +837,21 @@ func (e *engine) drive(wc *workerConn) error {
 						if derr := e.tasks[fj.k].deliver(r.Body); derr != nil {
 							// Corrupt reply: requeue the task (it already left
 							// the in-flight map) and retire the connection.
-							e.work <- fj.k
+							e.requeue(fj.k, slotName)
 							die(fmt.Errorf("reply for job %d: %w", e.tasks[fj.k].id, derr))
 							return
 						}
+						settled++
 						e.settle()
 					case wire.FrameError:
 						// Deterministic job failure: requeueing would fail
 						// identically on every worker. Count it settled so the
 						// run drains; the overall error reports it.
 						e.failJob(fmt.Errorf("dist: job %d on %s: %w", e.tasks[fj.k].id, wc.name, &jobError{msg: string(r.Body)}))
+						settled++
 						e.settle()
 					default:
-						e.work <- fj.k
+						e.requeue(fj.k, slotName)
 						die(fmt.Errorf("unexpected reply type %d for sequence %d", r.Typ, r.Seq))
 						return
 					}
@@ -561,17 +862,20 @@ func (e *engine) drive(wc *workerConn) error {
 
 	// fail retires the connection: unblock and join the matcher, then
 	// requeue everything still in flight (the matcher being gone is
-	// what makes "still in flight" unambiguous).
-	fail := func(err error) error {
+	// what makes "still in flight" unambiguous; each requeue may
+	// quarantine its job instead, if this slot was the job's Kth
+	// distinct killer). settled is read after the join, so the
+	// matcher's writes are visible.
+	fail := func(err error) (int, error) {
 		wc.close()
 		<-matcherDone
 		mu.Lock()
 		for _, fj := range inflight {
-			e.work <- fj.k
+			e.requeue(fj.k, slotName)
 		}
 		inflight = nil
 		mu.Unlock()
-		return err
+		return settled, err
 	}
 
 	for { // sender: wait for a window slot, claim a task, ship it
@@ -608,7 +912,7 @@ func (e *engine) drive(wc *workerConn) error {
 				if d {
 					return fail(<-matchErr)
 				}
-				return nil
+				return settled, nil
 			}
 		}
 		fj := inflightJob{k: k}
@@ -618,6 +922,12 @@ func (e *engine) drive(wc *workerConn) error {
 			fj.sent = time.Now()
 		}
 		mu.Lock()
+		if e.stall > 0 && len(inflight) == 0 {
+			// In-flight going 0→1 re-arms the stall clock: lastRecv may
+			// be long stale after an idle stretch, and idleness is not a
+			// stall — only silence with work outstanding is.
+			armStart = time.Now()
+		}
 		inflight[uint64(k)] = fj
 		mu.Unlock()
 		if err := wc.send(uint64(k), e.reqFrame, e.tasks[k].payload); err != nil {

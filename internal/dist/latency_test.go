@@ -2,7 +2,6 @@ package dist
 
 import (
 	"bytes"
-	"io"
 	"net"
 	"testing"
 	"time"
@@ -10,65 +9,23 @@ import (
 	"repro/internal/batch"
 )
 
-// The latency rig: a TCP proxy that adds a fixed one-way delay in each
-// direction while preserving pipelining — bytes are delivered
-// delay-after-arrival (a delay line), not rate-limited — which is
-// exactly what WAN latency does to a byte stream. Windowed dispatch
-// exists to hide this; the test below measures that it does.
+// The latency rig is the chaos proxy's Delay script: a fixed one-way
+// delay in each direction that preserves pipelining — frames are
+// delivered delay-after-arrival (a delay line), not rate-limited —
+// which is exactly what WAN latency does to a byte stream. Windowed
+// dispatch exists to hide this; the test below measures that it does.
 
-func delayCopy(dst io.WriteCloser, src io.Reader, delay time.Duration) {
-	defer dst.Close()
-	type chunk struct {
-		data []byte
-		due  time.Time
-	}
-	ch := make(chan chunk, 4096)
-	go func() {
-		defer close(ch)
-		buf := make([]byte, 32<<10)
-		for {
-			n, err := src.Read(buf)
-			if n > 0 {
-				ch <- chunk{data: append([]byte(nil), buf[:n]...), due: time.Now().Add(delay)}
-			}
-			if err != nil {
-				return
-			}
-		}
-	}()
-	for c := range ch {
-		time.Sleep(time.Until(c.due))
-		if _, err := dst.Write(c.data); err != nil {
-			return
-		}
-	}
-}
-
-// latencyProxy listens on loopback and forwards every connection to
-// target with `delay` of one-way latency each direction.
+// latencyProxy wraps the chaos rig's delay line in the old helper
+// shape: a loopback address forwarding to target with `delay` of
+// one-way latency each direction.
 func latencyProxy(t *testing.T, target string, delay time.Duration) string {
 	t.Helper()
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	p, err := NewChaosProxy(target, ChaosPlan{Default: ConnScript{Delay: delay}})
 	if err != nil {
 		t.Skipf("loopback listen unavailable: %v", err)
 	}
-	t.Cleanup(func() { l.Close() })
-	go func() {
-		for {
-			c, err := l.Accept()
-			if err != nil {
-				return
-			}
-			s, err := net.Dial("tcp", target)
-			if err != nil {
-				c.Close()
-				continue
-			}
-			go delayCopy(s, c, delay)
-			go delayCopy(c, s, delay)
-		}
-	}()
-	return l.Addr().String()
+	t.Cleanup(p.Close)
+	return p.Addr()
 }
 
 // TestWindowHidesLatency is the PR's throughput acceptance criterion:

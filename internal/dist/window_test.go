@@ -183,52 +183,34 @@ func TestWorkerDeathWindowRequeues(t *testing.T) {
 	}
 }
 
-// dieOnceWorker serves a listener where the first connection dies
-// after swallowing one job and every later connection is a real
-// worker — the deterministic stand-in for a TCP host that drops and
-// comes back.
-func dieOnceWorker(t *testing.T, l net.Listener) {
-	first := true
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return
-		}
-		if !first {
-			go func() {
-				defer conn.Close()
-				Serve(conn, conn)
-			}()
-			continue
-		}
-		first = false
-		go func() {
-			defer conn.Close()
-			if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
-				return
-			}
-			wire.ReadFrame(conn) // swallow one job, then drop the connection
-		}()
-	}
-}
-
 // TestTCPRespawnMidRun pins the dynamic-fleet half of the tentpole: a
 // single-host fleet whose worker dies mid-run must re-dial the host
 // and finish the batch — byte-identically, with no run-level error —
-// instead of retiring the slot and stranding the jobs.
+// instead of retiring the slot and stranding the jobs. The death is
+// scripted through the chaos rig: the first connection's stream to the
+// coordinator is cut at its first reply frame (the hello is frame 0),
+// so the worker provably held a job when it "crashed"; the redial gets
+// the clean Default script and finishes the batch.
 func TestTCPRespawnMidRun(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Skipf("loopback listen unavailable: %v", err)
 	}
 	defer l.Close()
-	go dieOnceWorker(t, l)
+	go ServeListener(l)
+	p, err := NewChaosProxy(l.Addr().String(), ChaosPlan{
+		Scripts: []ConnScript{{ToCoord: []Fault{{Kind: FaultDrop, Frame: 1}}}},
+	})
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer p.Close()
 
 	ins := drawInstances(3)
 	set := testSettings()
 	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
 	got, _, err := Run(aurvJobs(t, ins, set), 1, Config{
-		Hosts:      tcpHosts(l.Addr().String()),
+		Hosts:      tcpHosts(p.Addr()),
 		Window:     2,
 		RedialWait: 10 * time.Millisecond,
 	})

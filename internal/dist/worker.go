@@ -184,6 +184,42 @@ func (rb *replyBatcher) dead() bool {
 	return rb.err != nil
 }
 
+// pong echoes a liveness probe immediately, bypassing reply
+// coalescing: the pong's entire job is to prove the process and the
+// link alive while slow executors keep the stream otherwise silent,
+// so it must not wait for reply company. Pending replies flush along
+// with it (the stream stays ordered enough — the coordinator matches
+// by sequence number, and a pong carries none).
+func (rb *replyBatcher) pong(payload []byte) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.err != nil {
+		return
+	}
+	if err := wire.WriteFrame(rb.bw, wire.FramePong, payload); err != nil {
+		rb.err = err
+		return
+	}
+	if err := rb.bw.Flush(); err != nil {
+		rb.err = err
+	}
+}
+
+// safeExecute runs one job's executor, converting a panic into the
+// deterministic per-job FrameError reply: a simulation is a pure
+// function of its job, so a panicking job would panic identically on
+// every worker it is requeued to — report it once as a job failure
+// instead of killing a worker process (and, requeue by requeue, the
+// fleet's whole respawn budget) per retry.
+func safeExecute(execute func() (byte, []byte)) (typ byte, body []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			typ, body = wire.FrameError, fmt.Appendf(nil, "job panicked on worker: %v", p)
+		}
+	}()
+	return execute()
+}
+
 // Serve runs the worker side of the protocol on one byte stream: send
 // hello, then answer job frames (simulation jobs and Monte-Carlo sweep
 // chunks) with result frames until the stream ends. Jobs execute on an
@@ -253,6 +289,12 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 			// CPU on results nobody can receive.
 			return finish(nil)
 		}
+		if typ == wire.FramePing {
+			// Liveness probe: echo the payload verbatim, from the read
+			// loop, so the answer never queues behind the executors.
+			rb.pong(payload)
+			continue
+		}
 		if typ == wire.FramePool {
 			// Stream configuration, not a job: the per-host pool hint,
 			// sent before the first job (late hints cannot resize a pool
@@ -310,23 +352,29 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		// batch share settings, but a session stream carries many batches
 		// whose settings may differ — when the resolved size changes,
 		// drain the in-flight executors (a batch boundary, so the drain
-		// is natural) and recreate the semaphore. The semaphore also
-		// backpressures the read loop, so a deep coordinator window
-		// cannot pile up more than a pool's worth of running jobs.
+		// is natural) and recreate the semaphore.
 		if want := poolSize(par, hint, opts); pool == nil || want != poolCap {
 			wg.Wait()
 			pool = make(chan struct{}, want)
 			poolCap = want
 		}
 		rb.begin()
-		pool <- struct{}{}
 		wg.Add(1)
-		go func(seq uint64) {
+		// The semaphore is claimed inside the goroutine, not on the read
+		// loop: a saturated pool must not block the loop, or liveness
+		// pings would queue behind executions and the coordinator would
+		// eject a merely busy worker as hung. The coordinator's window
+		// bounds how many of these goroutines can queue; the pool still
+		// bounds how many run. Each goroutine captures the semaphore it
+		// was enqueued under — a later resize happens only after
+		// wg.Wait has drained every holder of the old one.
+		go func(seq uint64, pool chan struct{}, execute func() (byte, []byte)) {
 			defer wg.Done()
+			pool <- struct{}{}
 			defer func() { <-pool }()
-			t, b := execute()
+			t, b := safeExecute(execute)
 			rb.finish(seq, t, b)
-		}(seq)
+		}(seq, pool, execute)
 	}
 }
 
@@ -361,20 +409,108 @@ func ServeListener(l net.Listener) error { return ServeListenerWith(l, ServeOpti
 // ServeListenerWith is ServeListener with explicit options (the
 // rvworker -pool and -v flags).
 func ServeListenerWith(l net.Listener, opts ServeOptions) error {
+	return NewServer(opts).Serve(l)
+}
+
+// Server is a TCP worker with graceful shutdown: Serve accepts
+// connections like ServeListener, and Shutdown drains — stop
+// accepting, unblock every connection's read loop, let the in-flight
+// executors finish and their replies flush, then wait for the
+// handlers. It is the SIGTERM/SIGINT path of cmd/rvworker: a drained
+// worker never dies mid-frame, so its coordinator sees a clean EOF
+// between frames instead of a torn one.
+type Server struct {
+	opts    ServeOptions
+	mu      sync.Mutex
+	l       net.Listener
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+}
+
+// NewServer builds an idle server; Serve runs it.
+func NewServer(opts ServeOptions) *Server {
+	return &Server{opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts worker connections on the listener until it fails or
+// Shutdown is called; a Shutdown-initiated stop returns nil after the
+// drain completes. Per-connection protocol errors are reported to
+// stderr and end only their connection.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.l = l
+	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			s.wg.Wait() // a failed accept loop still drains live streams
+			if closing {
+				return nil
+			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closing {
+			// Shutdown won the race after this Accept returned: the
+			// drain must not adopt a stream it will never unblock.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
+			defer s.wg.Done()
 			defer conn.Close()
-			co := opts
+			co := s.opts
 			co.Name = conn.RemoteAddr().String()
-			if err := ServeWith(conn, conn, co); err != nil {
+			err := ServeWith(conn, conn, co)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			closing := s.closing
+			s.mu.Unlock()
+			// A drain unblocks pending reads with an expired deadline;
+			// that induced error is the mechanism, not a fault.
+			if err != nil && !closing {
 				fmt.Fprintln(os.Stderr, "rvworker: connection:", err)
 			}
 		}()
 	}
+}
+
+// Shutdown drains the server: the listener closes (no new streams),
+// every live connection's pending read is unblocked via an expired
+// read deadline — ServeWith's finish path then waits for its in-flight
+// executors and flushes the reply batcher (the write half keeps no
+// deadline, so final replies always land) — and Shutdown returns when
+// every handler has exited. Safe to call at any time, including before
+// Serve and more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closing = true
+	l := s.l
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.wg.Wait()
 }
 
 // ListenAndServe listens on the TCP address and serves worker

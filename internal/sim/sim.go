@@ -30,6 +30,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dd"
 	"repro/internal/geom"
@@ -114,6 +115,24 @@ type Settings struct {
 	// default window. Ignored when Window is positive. Pure scheduling:
 	// no value can change a result.
 	MaxWindow int
+	// StallTimeout is the distributed coordinator's liveness deadline:
+	// a worker connection with jobs in flight that produces no frame —
+	// not even a heartbeat echo — for max(StallTimeout, a multiple of
+	// the observed RTT) is declared hung, its window requeued to the
+	// survivors. 0 selects the default (currently 30s); negative
+	// disables stall detection. Failure handling is pure scheduling: a
+	// requeued job recomputes the identical pure result elsewhere, so
+	// no value can change a byte of output. A single Run and an
+	// in-process batch ignore it.
+	StallTimeout time.Duration
+	// MaxJobRequeues is the distributed coordinator's poison-job
+	// quarantine threshold: a job whose dispatch has been requeued by
+	// the deaths or stalls of this many distinct fleet slots is
+	// quarantined — surfaced as a deterministic per-job error — instead
+	// of being retried into every remaining worker's respawn budget.
+	// 0 selects the default (currently 2); negative disables the
+	// quarantine. A single Run and an in-process batch ignore it.
+	MaxJobRequeues int
 }
 
 // DefaultSettings returns permissive bounds suitable for tests:

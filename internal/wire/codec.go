@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dd"
 	"repro/internal/geom"
@@ -48,8 +49,13 @@ import (
 // v3 — PR 5 (Settings.MaxWindow; FramePool per-stream pool hints;
 // FrameReplyBatch coalesced multi-result frames — a v3 worker may
 // answer several requests in one frame, which a v2 coordinator would
-// misparse, so mixed v2/v3 fleets are refused at hello).
-const Version = 3
+// misparse, so mixed v2/v3 fleets are refused at hello);
+// v4 — PR 7 (Settings.StallTimeout + Settings.MaxJobRequeues;
+// FramePing/FramePong liveness probes — a v4 coordinator pings a
+// silent connection and ejects it as hung if nothing comes back, and
+// a v3 worker would fatally reject the ping as an unknown frame type,
+// so mixed v3/v4 fleets are refused at hello).
+const Version = 4
 
 // maxSlice bounds decoded slice and string lengths, so a corrupt or
 // hostile stream cannot request an absurd allocation.
@@ -233,7 +239,9 @@ func appendSettings(b []byte, s sim.Settings) []byte {
 	b = appendI64(b, int64(s.WorkerProcs))
 	b = appendStr(b, s.WorkerCmd)
 	b = appendI64(b, int64(s.Window))
-	return appendI64(b, int64(s.MaxWindow))
+	b = appendI64(b, int64(s.MaxWindow))
+	b = appendI64(b, int64(s.StallTimeout))
+	return appendI64(b, int64(s.MaxJobRequeues))
 }
 
 func (d *dec) settings() sim.Settings {
@@ -250,6 +258,8 @@ func (d *dec) settings() sim.Settings {
 	s.WorkerCmd = d.str()
 	s.Window = int(d.i64())
 	s.MaxWindow = int(d.i64())
+	s.StallTimeout = time.Duration(d.i64())
+	s.MaxJobRequeues = int(d.i64())
 	return s
 }
 

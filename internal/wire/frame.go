@@ -47,6 +47,18 @@ const (
 	// not seq-prefixed — it configures the stream, not a job — and must
 	// precede the first job frame.
 	FramePool byte = 8
+	// FramePing is a coordinator liveness probe (EncodePing): the
+	// coordinator sends it when a connection with jobs in flight has
+	// been silent for half its stall deadline, and a worker whose
+	// executors are legitimately slow proves the process and the link
+	// alive by echoing the payload back as FramePong immediately —
+	// bypassing reply coalescing. Not seq-prefixed: it probes the
+	// stream, it is not a job.
+	FramePing byte = 9
+	// FramePong answers FramePing with the ping payload echoed
+	// verbatim. Its only effect on the coordinator is resetting the
+	// connection's stall clock.
+	FramePong byte = 10
 )
 
 // MaxFrame bounds a frame payload; traces are capped by TraceCap, so
@@ -72,24 +84,42 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
+// frameChunk bounds how much of a frame body ReadFrame commits to in
+// one allocation step. A truncation that corrupts the length prefix
+// (a peer dying mid-write of the 4-byte header) can declare a body up
+// to MaxFrame; reading in bounded chunks makes that fail with a clean
+// truncation error after at most one chunk instead of committing a
+// gigabyte-sized allocation to a stream that is about to end.
+const frameChunk = 1 << 20
+
 // ReadFrame reads one frame. io.EOF is returned untouched when the
 // stream ends cleanly between frames (the normal shutdown signal);
-// a stream ending mid-frame is an ErrUnexpectedEOF.
+// a stream ending mid-frame — inside the header or inside the body —
+// is always a wrapped ErrUnexpectedEOF, so a frame torn by a worker
+// dying mid-write surfaces as a decode error, never a misparse.
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n < 1 || n > MaxFrame {
 		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	body := make([]byte, 0, min(n, frameChunk))
+	for len(body) < n {
+		c := min(n-len(body), frameChunk)
+		off := len(body)
+		body = append(body, make([]byte, c)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
 		}
-		return 0, nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
 	}
 	return body[0], body[1:], nil
 }
@@ -127,6 +157,26 @@ func AppendSeq(seq uint64, payload []byte) []byte {
 // hint, overriding the jobs' forwarded Parallelism — see dist.Serve).
 func EncodePoolHint(pool int) []byte {
 	return appendU32([]byte{Version}, uint32(pool))
+}
+
+// EncodePing builds a FramePing payload: a version byte plus the
+// nonce identifying the probe. The worker echoes the payload verbatim
+// as FramePong; the coordinator only needs the echo's arrival (any
+// frame resets the stall clock), so the nonce exists for debugging,
+// not correlation.
+func EncodePing(nonce uint64) []byte {
+	return appendU64([]byte{Version}, nonce)
+}
+
+// DecodePing inverts EncodePing.
+func DecodePing(payload []byte) (uint64, error) {
+	d := &dec{b: payload}
+	d.version()
+	nonce := d.u64()
+	if err := d.finish("ping"); err != nil {
+		return 0, err
+	}
+	return nonce, nil
 }
 
 // DecodePoolHint inverts EncodePoolHint.

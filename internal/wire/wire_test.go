@@ -3,10 +3,12 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/dd"
 	"repro/internal/geom"
@@ -27,7 +29,7 @@ func TestCodecCoversAllFields(t *testing.T) {
 		want int
 	}{
 		{"inst.Instance", reflect.TypeOf(inst.Instance{}), 8},
-		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 12},
+		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 14},
 		{"sim.Result", reflect.TypeOf(sim.Result{}), 11},
 		{"sim.TracePoint", reflect.TypeOf(sim.TracePoint{}), 2},
 		{"wire.SweepJob", reflect.TypeOf(SweepJob{}), 5},
@@ -55,6 +57,8 @@ func testSettings() sim.Settings {
 	s.WorkerCmd = "./rvworker -v"
 	s.Window = 4
 	s.MaxWindow = 16
+	s.StallTimeout = 1500 * time.Millisecond
+	s.MaxJobRequeues = 3
 	return s
 }
 
@@ -273,6 +277,119 @@ func TestFrameRejectsCorruptLength(t *testing.T) {
 	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 5, 1, 2})); err == nil || err == io.EOF {
 		t.Errorf("mid-frame truncation returned %v", err)
 	}
+}
+
+// TestReadFrameTornFrames pins the decode error for every way a frame
+// can be torn: a peer dying after the length prefix, mid-header, or
+// mid-payload must surface as a clean wrapped ErrUnexpectedEOF — the
+// signal the dispatch engine's death path keys on — never as a clean
+// EOF (which would read as a graceful close) and never as a hang.
+func TestReadFrameTornFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResult, AppendSeq(3, EncodeResult(testResult()))); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{1, 3, 4, 5, len(whole) / 2, len(whole) - 1} {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if err == nil || err == io.EOF {
+			t.Errorf("frame cut at byte %d/%d returned %v, want a wrapped unexpected-EOF error", cut, len(whole), err)
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("frame cut at byte %d/%d returned %v, want errors.Is(..., io.ErrUnexpectedEOF)", cut, len(whole), err)
+		}
+	}
+	// A cut at byte 0 is the one graceful spot: nothing of the frame
+	// arrived, so it is a clean EOF (the peer closed between frames).
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream returned %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameLargePayload crosses the bounded-chunk boundary of
+// ReadFrame's allocation strategy: a payload larger than one internal
+// chunk must still arrive intact, and the same frame truncated
+// mid-chunk must fail cleanly instead of blocking or over-allocating.
+func TestReadFrameLargePayload(t *testing.T) {
+	payload := make([]byte, (1<<20)+12345) // one full chunk plus a partial
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResult, payload); err != nil {
+		t.Fatal(err)
+	}
+	whole := append([]byte(nil), buf.Bytes()...)
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != FrameResult {
+		t.Fatalf("typ %d err %v", typ, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("multi-chunk payload did not survive ReadFrame")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(whole[:1<<20])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-chunk truncation returned %v, want errors.Is(..., io.ErrUnexpectedEOF)", err)
+	}
+}
+
+// TestPingRoundTrip covers the liveness probe frames (wire v4): the
+// nonce survives the round trip and malformed pings are rejected.
+func TestPingRoundTrip(t *testing.T) {
+	for _, nonce := range []uint64{0, 1, 1<<64 - 1} {
+		got, err := DecodePing(EncodePing(nonce))
+		if err != nil {
+			t.Fatalf("nonce %d: %v", nonce, err)
+		}
+		if got != nonce {
+			t.Fatalf("ping round trip changed nonce %d to %d", nonce, got)
+		}
+	}
+	if _, err := DecodePing([]byte{Version, 1, 2}); err == nil {
+		t.Error("truncated ping accepted")
+	}
+	if _, err := DecodePing(append(EncodePing(7), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := DecodePing(nil); err == nil {
+		t.Error("empty ping accepted")
+	}
+}
+
+// FuzzReadFrame feeds arbitrary byte streams (seeded with valid,
+// truncated, and length-corrupted frames) to the frame reader: it must
+// either return a frame or an error — never panic, never misattribute
+// a torn frame to a clean EOF, and never let a corrupt length prefix
+// drive an absurd allocation (the bounded-chunk read turns those into
+// a clean unexpected-EOF error instead).
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	WriteFrame(&good, FrameJob, AppendSeq(1, EncodeJob(Job{In: testInstance(), Alg: "CGKK", Set: testSettings()})))
+	whole := good.Bytes()
+	f.Add(whole)                                        // a valid frame
+	f.Add(whole[:len(whole)-2])                         // torn mid-payload
+	f.Add(whole[:3])                                    // torn mid-header
+	f.Add([]byte{0, 0, 0, 0})                           // zero length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})      // absurd length
+	f.Add([]byte{0x40, 0, 0, 0, 9})                     // 1 GiB claim, 1 byte present
+	f.Add(append([]byte{0, 0, 0, 2, FramePong}, 0xAB))  // small valid frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if len(data) == 0 && err != io.EOF {
+				t.Fatalf("empty stream: %v, want io.EOF", err)
+			}
+			return
+		}
+		// A successful read must be exactly reproducible from its parts.
+		var re bytes.Buffer
+		if werr := WriteFrame(&re, typ, payload); werr != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", werr)
+		}
+		if !bytes.Equal(re.Bytes(), data[:re.Len()]) {
+			t.Fatal("frame decode/encode not canonical")
+		}
+	})
 }
 
 func TestRegistry(t *testing.T) {

@@ -39,7 +39,14 @@
 // worker process runs its own Settings.Parallelism-sized pool (or the
 // per-host pool a "host:port*pool" entry in Settings.Hosts hints), so
 // one worker saturates one host; lost workers are re-dialed or
-// respawned mid-run (DESIGN.md §7). Callers that run many batches
+// respawned mid-run (DESIGN.md §7). The dispatch engine carries a full
+// failure model (DESIGN.md §10): workers that hang without closing
+// their connection are detected by liveness pings and a stall deadline
+// (Settings.StallTimeout), jobs that repeatedly kill the workers they
+// land on are quarantined as per-job errors (Settings.MaxJobRequeues),
+// and when the whole fleet is lost the batch entry points degrade to
+// in-process execution — byte-identical by the same determinism
+// guarantee. Callers that run many batches
 // should hold the fleet open across them: DialFleet dials the session
 // once, Fleet.SimulateBatch reuses it per call (DESIGN.md §8).
 package rendezvous
@@ -219,7 +226,14 @@ func distConfig(s Settings) (dist.Config, bool, error) {
 	if err != nil {
 		return dist.Config{}, false, err
 	}
-	cfg := dist.Config{Procs: s.WorkerProcs, Hosts: hosts, Window: s.Window, MaxWindow: s.MaxWindow}
+	cfg := dist.Config{
+		Procs:          s.WorkerProcs,
+		Hosts:          hosts,
+		Window:         s.Window,
+		MaxWindow:      s.MaxWindow,
+		StallTimeout:   s.StallTimeout,
+		MaxJobRequeues: s.MaxJobRequeues,
+	}
 	if s.WorkerCmd != "" {
 		cfg.Cmd = strings.Fields(s.WorkerCmd)
 	}
