@@ -9,11 +9,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"repro/internal/dist"
 	"repro/internal/exps"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,7 +29,23 @@ func main() {
 	maxWindow := flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 	stall := flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
 	requeues := flag.Int("max-requeues", 0, "distinct workers a job may kill or stall before it is quarantined as a poison job (0 = 2 default; <0 = disabled)")
+	metrics := flag.String("metrics", "", "HTTP address to expose the flight recorder on (/metrics, /statusz; empty: off)")
+	pprofOn := flag.Bool("pprof", false, "also expose /debug/pprof/ on the -metrics address")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+
+	if lerr := obs.InitLogging(os.Stderr, *logLevel); lerr != nil {
+		fmt.Fprintln(os.Stderr, lerr)
+		os.Exit(2)
+	}
+	if *metrics != "" {
+		addr, merr := obs.Serve(*metrics, *pprofOn)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			os.Exit(1)
+		}
+		slog.Info("rvfigures: metrics listening", "addr", addr.String(), "pprof", *pprofOn)
+	}
 
 	hostList, err := dist.ParseHosts(*hosts)
 	if err != nil {
@@ -46,7 +64,7 @@ func main() {
 	// the connections, close at exit.
 	if b.Dist.Enabled() {
 		if f, derr := dist.Dial(b.Dist); derr != nil {
-			fmt.Fprintln(os.Stderr, "rvfigures: fleet unavailable (running in-process):", derr)
+			slog.Warn("rvfigures: fleet unavailable (running in-process)", "err", derr)
 		} else {
 			b.Fleet = f
 			defer f.Close()

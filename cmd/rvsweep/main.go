@@ -18,9 +18,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,8 +41,24 @@ func main() {
 		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 		stall     = flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
 		requeues  = flag.Int("max-requeues", 0, "distinct workers a job may kill or stall before it is quarantined as a poison job (0 = 2 default; <0 = disabled)")
+		metrics   = flag.String("metrics", "", "HTTP address to expose the flight recorder on (/metrics, /statusz; empty: off)")
+		pprofOn   = flag.Bool("pprof", false, "also expose /debug/pprof/ on the -metrics address")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *metrics != "" {
+		addr, merr := obs.Serve(*metrics, *pprofOn)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			os.Exit(1)
+		}
+		slog.Info("rvsweep: metrics listening", "addr", addr.String(), "pprof", *pprofOn)
+	}
 
 	// Validate -hosts upfront (the parse happens again inside the batch
 	// path): a malformed host:port*pool hint must exit 2 like rvtable

@@ -32,6 +32,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -40,17 +41,26 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "", "TCP address to serve workers on (empty: serve stdin/stdout)")
-		list    = flag.Bool("list", false, "print the registered algorithm names and exit")
-		pool    = flag.Int("pool", 0, "in-worker execution pool per connection (0 = honor the stream's pool hint or the jobs' forwarded Parallelism; <0 = serial)")
-		verbose = flag.Bool("v", false, "log one line per served stream (peer and job count) to stderr")
+		listen   = flag.String("listen", "", "TCP address to serve workers on (empty: serve stdin/stdout)")
+		list     = flag.Bool("list", false, "print the registered algorithm names and exit")
+		pool     = flag.Int("pool", 0, "in-worker execution pool per connection (0 = honor the stream's pool hint or the jobs' forwarded Parallelism; <0 = serial)")
+		verbose  = flag.Bool("v", false, "log one line per served stream (peer and job count) to stderr")
+		metrics  = flag.String("metrics", "", "HTTP address to expose the flight recorder on (/metrics, /statusz; empty: off)")
+		pprofOn  = flag.Bool("pprof", false, "also expose /debug/pprof/ on the -metrics address")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "rvworker:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, name := range wire.Algorithms() {
@@ -58,9 +68,17 @@ func main() {
 		}
 		return
 	}
+	if *metrics != "" {
+		addr, err := obs.Serve(*metrics, *pprofOn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rvworker:", err)
+			os.Exit(1)
+		}
+		slog.Info("rvworker: metrics listening", "addr", addr.String(), "pprof", *pprofOn)
+	}
 	opts := dist.ServeOptions{Pool: *pool}
 	if *verbose {
-		opts.Verbose = os.Stderr
+		opts.Log = slog.Default()
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -74,12 +92,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rvworker:", lerr)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "rvworker: listening on", l.Addr())
+		slog.Info("rvworker: listening", "addr", l.Addr().String())
 		srv := dist.NewServer(opts)
 		go func() {
 			<-sigc
 			draining.Store(true)
-			fmt.Fprintln(os.Stderr, "rvworker: signal received; draining")
+			slog.Info("rvworker: signal received; draining")
 			srv.Shutdown()
 		}()
 		err = srv.Serve(l)
@@ -87,7 +105,7 @@ func main() {
 		go func() {
 			<-sigc
 			draining.Store(true)
-			fmt.Fprintln(os.Stderr, "rvworker: signal received; draining")
+			slog.Info("rvworker: signal received; draining")
 			// Unblock the pending stdin read; ServeWith's finish path
 			// drains the executors and flushes before returning. Works
 			// on pipes and terminals on the platforms we serve from;

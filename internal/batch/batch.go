@@ -160,6 +160,15 @@ func FoldStats(results []sim.Result, executed, workers int) Stats {
 		st.Segments += int64(r.Segments)
 		st.SimTime += r.EndTime.Float64()
 	}
+	// Every batch engine funnels its accounting through this fold
+	// (Run, Producer.Close, the distributed coordinator), so it is the
+	// one place the flight recorder learns executed-vs-memoized counts.
+	mJobs.Add(uint64(st.Jobs))
+	mExecuted.Add(uint64(st.Executed))
+	if shared := st.Jobs - st.Executed; shared > 0 {
+		mMemoized.Add(uint64(shared))
+	}
+	mSegments.Add(uint64(max(st.Segments, 0)))
 	return st
 }
 

@@ -1,0 +1,19 @@
+// The batch layer's flight-recorder instruments (internal/obs):
+// logical-vs-executed accounting, recorded once per completed batch in
+// FoldStats — the single funnel every engine's stats pass through.
+// Observation only; the fold itself is untouched.
+
+package batch
+
+import "repro/internal/obs"
+
+var (
+	mJobs = obs.NewCounter("rv_batch_jobs_total",
+		"Logical jobs accounted across completed batches (memoized duplicates included).")
+	mExecuted = obs.NewCounter("rv_batch_executed_total",
+		"Simulations actually executed; the memoization pre-pass shares the rest.")
+	mMemoized = obs.NewCounter("rv_batch_memoized_total",
+		"Jobs settled by sharing a memoized duplicate's result instead of executing.")
+	mSegments = obs.NewCounter("rv_batch_segments_total",
+		"Trajectory segments simulated across completed batches.")
+)

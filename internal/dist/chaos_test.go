@@ -135,6 +135,83 @@ func TestChaosDifferential(t *testing.T) {
 	}
 }
 
+// TestChaosMetricsExactCounts turns the chaos rig on the flight
+// recorder itself: with one scripted fault per run and Window 1 (so
+// exactly one job is in flight when the fault strikes), the recorder
+// must account for each injected fault exactly — one worker death, one
+// requeue, no quarantine, no breaker trip. Counters that merely move
+// "roughly with" faults are worse than none; this pins them to the
+// injection schedule.
+func TestChaosMetricsExactCounts(t *testing.T) {
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer wl.Close()
+	go ServeListener(wl)
+
+	ins := drawInstances(2)
+	set := testSettings()
+	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
+
+	cases := []struct {
+		name string
+		plan ChaosPlan
+	}{
+		{"drop", ChaosPlan{Scripts: []ConnScript{{ToCoord: []Fault{{Kind: FaultDrop, Frame: 1}}}}}},
+		{"hang", ChaosPlan{Scripts: []ConnScript{{ToCoord: []Fault{{Kind: FaultHang, Frame: 1}}}}}},
+		{"corrupt", ChaosPlan{Scripts: []ConnScript{{ToCoord: []Fault{{Kind: FaultCorrupt, Frame: 1}}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewChaosProxy(wl.Addr().String(), tc.plan)
+			if err != nil {
+				t.Skipf("loopback listen unavailable: %v", err)
+			}
+			defer p.Close()
+
+			deaths0 := mDeaths.Total()
+			requeued0 := mRequeued.Total()
+			quarantined0 := mQuarantined.Value()
+			breakers0 := mBreakerOpens.Total()
+			pings0 := mPings.Value()
+
+			var log bytes.Buffer
+			got, _, err := Run(aurvJobs(t, ins, set), 1, Config{
+				Hosts:        tcpHosts(p.Addr()),
+				Window:       1, // exactly one job in flight when the fault strikes
+				RedialWait:   2 * time.Millisecond,
+				StallTimeout: 300 * time.Millisecond,
+				Stderr:       &log,
+			})
+			if err != nil {
+				t.Fatalf("run under %s fault failed: %v\ncoordinator log:\n%s", tc.name, err, log.String())
+			}
+			if !bytes.Equal(encodeAll(got), encodeAll(want)) {
+				t.Fatalf("results under %s fault differ from in-process serial", tc.name)
+			}
+
+			if d := mDeaths.Total() - deaths0; d != 1 {
+				t.Errorf("worker deaths = %d for one injected %s fault, want exactly 1", d, tc.name)
+			}
+			if d := mRequeued.Total() - requeued0; d != 1 {
+				t.Errorf("requeues = %d for one in-flight job at the %s fault, want exactly 1", d, tc.name)
+			}
+			if d := mQuarantined.Value() - quarantined0; d != 0 {
+				t.Errorf("quarantines = %d under the %s fault, want 0 (a transport fault is not a poison job)", d, tc.name)
+			}
+			if d := mBreakerOpens.Total() - breakers0; d != 0 {
+				t.Errorf("breaker opens = %d under one %s fault, want 0 (a single death is below every threshold)", d, tc.name)
+			}
+			if tc.name == "hang" {
+				if d := mPings.Value() - pings0; d < 1 {
+					t.Errorf("pings = %d under the hang fault, want >= 1 (the stall verdict rides on an unanswered ping)", d)
+				}
+			}
+		})
+	}
+}
+
 // TestChaosSoakSeeds sweeps seeded random fault plans (the replay
 // handle: a failing seed reproduces its exact fault schedule) through
 // RunOrFallback and asserts the one invariant that must survive any
@@ -257,6 +334,7 @@ func TestPingKeepsBusyWorkerAlive(t *testing.T) {
 	set := testSettings()
 	want, _ := batch.Run(algJobs(t, algSlow, ins, set), 1)
 
+	pongs0 := mPongs.Value()
 	var log bytes.Buffer
 	got, _, err := Run(algJobs(t, algSlow, ins, set), 1, Config{
 		Procs:        1,
@@ -271,6 +349,9 @@ func TestPingKeepsBusyWorkerAlive(t *testing.T) {
 	}
 	if s := log.String(); strings.Contains(s, "hung") {
 		t.Fatalf("busy worker was declared hung despite answering pings:\n%s", s)
+	}
+	if d := mPongs.Value() - pongs0; d < 1 {
+		t.Fatalf("pongs = %d across a run that stayed alive on pings alone, want >= 1", d)
 	}
 }
 
@@ -319,6 +400,9 @@ func TestPoisonJobQuarantined(t *testing.T) {
 	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
 	jobs := append(aurvJobs(t, ins, set), algJobs(t, algExit, drawInstances(1)[:1], set)...)
 
+	deaths0 := mDeaths.Total()
+	requeued0 := mRequeued.Total()
+	quarantined0 := mQuarantined.Value()
 	var log bytes.Buffer
 	st, err := RunStream(jobs, 1, Config{
 		Procs: 2,
@@ -342,6 +426,22 @@ func TestPoisonJobQuarantined(t *testing.T) {
 	}
 	if len(got) != len(good) || !bytes.Equal(encodeAll(got), encodeAll(want)) {
 		t.Fatalf("good results disturbed by the quarantined job: %d results, want %d", len(got), len(good))
+	}
+	// The recorder's account of the episode. How many workers the poison
+	// job chews through before its second *distinct* killer is weather
+	// (it may bounce on a respawn of the same slot), so the absolute
+	// death count is not pinned — but every death requeued exactly the
+	// one in-flight poison job except the last, which quarantined it.
+	if d := mQuarantined.Value() - quarantined0; d != 1 {
+		t.Errorf("quarantines = %d for one poison job, want exactly 1", d)
+	}
+	deaths := mDeaths.Total() - deaths0
+	if deaths < 2 {
+		t.Errorf("worker deaths = %d for a job quarantined on its second distinct killer, want >= 2", deaths)
+	}
+	if d := mRequeued.Total() - requeued0; d != deaths-1 {
+		t.Errorf("requeues = %d across %d deaths, want deaths-1 = %d (the last dispatch quarantines instead)",
+			d, deaths, deaths-1)
 	}
 }
 
@@ -375,6 +475,8 @@ func TestBreakerOpensThenDegrades(t *testing.T) {
 	set := testSettings()
 	want, _ := batch.Run(aurvJobs(t, ins, set), 1)
 
+	breakers0 := mBreakerOpens.Total()
+	fallbacks0 := mFallbacks.Value()
 	var log bytes.Buffer
 	f, err := Dial(Config{
 		Hosts:            tcpHosts(l.Addr().String()),
@@ -404,6 +506,12 @@ func TestBreakerOpensThenDegrades(t *testing.T) {
 	}
 	if s := log.String(); !strings.Contains(s, "in-process") {
 		t.Fatalf("degradation warning missing; coordinator log:\n%s", s)
+	}
+	if d := mBreakerOpens.Total() - breakers0; d != 1 {
+		t.Errorf("breaker opens = %d, want exactly 1 (one threshold crossing, cooldown outlasts the test)", d)
+	}
+	if d := mFallbacks.Value() - fallbacks0; d != 1 {
+		t.Errorf("fallbacks = %d, want exactly 1 (the one RunOrFallback degradation)", d)
 	}
 }
 

@@ -35,14 +35,17 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -211,6 +214,34 @@ func stderrOf(cfg Config) io.Writer {
 	return lockedWriter{w: os.Stderr}
 }
 
+// logOf returns the structured logger a run's warnings go to: the
+// process default when the config has no stderr override, otherwise a
+// text handler over the (locked) override so tests capture events the
+// same way they captured the old print lines. All handlers share
+// obs.LogLevel, so the -log-level flag gates them uniformly. These
+// are cold failure/recovery paths; building a handler per run costs
+// nothing that matters.
+func logOf(cfg Config) *slog.Logger {
+	if cfg.Stderr == nil {
+		return slog.Default()
+	}
+	return slog.New(slog.NewTextHandler(lockedWriter{w: cfg.Stderr}, &slog.HandlerOptions{Level: obs.LogLevel}))
+}
+
+// hostSummary renders the fleet recipe for log context: the dial
+// targets plus the local subprocess count, so a fallback event says
+// which fleet degraded without a second lookup.
+func hostSummary(cfg Config) string {
+	parts := make([]string, 0, len(cfg.Hosts)+1)
+	for _, h := range cfg.Hosts {
+		parts = append(parts, h.Addr)
+	}
+	if cfg.Procs > 0 {
+		parts = append(parts, fmt.Sprintf("%d local subprocess(es)", cfg.Procs))
+	}
+	return strings.Join(parts, ",")
+}
+
 // jobError marks a deterministic per-job failure reported by a worker
 // (FrameError): retrying elsewhere would fail the same way.
 type jobError struct{ msg string }
@@ -247,6 +278,12 @@ type workerConn struct {
 	// by the dispatch currently driving the connection; dispatches are
 	// serialized per fleet.
 	win adaptiveWindow
+
+	// stats caches the newest WorkerStats payload a pong carried
+	// (wire v5): written by the matcher of the dispatch driving the
+	// connection or by Fleet.Snapshot's parked-connection probe, read
+	// by Snapshot. Atomic because Snapshot may race a live matcher.
+	stats atomic.Pointer[wire.WorkerStats]
 }
 
 func (wc *workerConn) close() {
@@ -325,7 +362,8 @@ func assemble(cfg Config) ([]*slot, []error) {
 	for k, h := range cfg.Hosts {
 		go func(k int, h Host) {
 			defer wg.Done()
-			s := &slot{name: "tcp:" + h.Addr, dial: func() (*workerConn, error) { return dialWorker(h, cfg) }}
+			name := "tcp:" + h.Addr
+			s := &slot{name: name, met: newSlotMetrics(name), dial: func() (*workerConn, error) { return dialWorker(h, cfg) }}
 			if s.wc, errs[k] = s.dial(); errs[k] == nil {
 				s.wc.win = newAdaptiveWindow(cfg)
 				slots[k] = s
@@ -335,8 +373,10 @@ func assemble(cfg Config) ([]*slot, []error) {
 	for k := 0; k < cfg.Procs; k++ {
 		go func(k int) {
 			defer wg.Done()
+			name := fmt.Sprintf("proc:%d", k)
 			s := &slot{
-				name: fmt.Sprintf("proc:%d", k),
+				name: name,
+				met:  newSlotMetrics(name),
 				dial: func() (*workerConn, error) { return spawnWorker(cfg, k) },
 			}
 			if s.wc, errs[len(cfg.Hosts)+k] = s.dial(); errs[len(cfg.Hosts)+k] == nil {

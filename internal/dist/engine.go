@@ -325,6 +325,7 @@ type slot struct {
 	wc       *workerConn
 	attempts int
 	retired  bool
+	met      *slotMetrics // per-slot flight-recorder children, resolved at assembly
 
 	// Circuit breaker: consecutive connection failures (dead drives,
 	// failed redials) open the breaker — the slot sits dispatches out
@@ -361,6 +362,8 @@ func (s *slot) fail(cfg Config) bool {
 		s.cooldown *= 2
 	}
 	s.openUntil = time.Now().Add(s.cooldown)
+	s.met.breakerOpens.Inc()
+	s.met.breakerOpen.Set(1)
 	return true
 }
 
@@ -370,6 +373,7 @@ func (s *slot) recover() {
 	s.fails = 0
 	s.cooldown = 0
 	s.openUntil = time.Time{}
+	s.met.breakerOpen.Set(0)
 }
 
 // inflightJob is one request awaiting its reply: the task index and
@@ -448,7 +452,7 @@ func (e *engine) noteDeath(err error) {
 // task recomputes the identical pure result, and a quarantined one
 // reports an error exactly where a clean run reports a result, leaving
 // every other task's bytes untouched.
-func (e *engine) requeue(k int, slotName string) {
+func (e *engine) requeue(k int, s *slot) {
 	if e.maxKills > 0 {
 		e.killMu.Lock()
 		m := e.killers[k]
@@ -459,15 +463,17 @@ func (e *engine) requeue(k int, slotName string) {
 			m = make(map[string]struct{})
 			e.killers[k] = m
 		}
-		m[slotName] = struct{}{}
+		m[s.name] = struct{}{}
 		n := len(m)
 		e.killMu.Unlock()
 		if n >= e.maxKills {
+			mQuarantined.Inc()
 			e.failJob(fmt.Errorf("dist: job %d quarantined after its dispatch killed or stalled %d distinct workers (poison job?)", e.tasks[k].id, n))
 			e.settle()
 			return
 		}
 	}
+	s.met.requeued.Inc()
 	e.work <- k
 }
 
@@ -521,6 +527,7 @@ func (f *Fleet) dispatch(tasks []task, reqFrame, resFrame byte) error {
 	if len(active) > len(tasks) {
 		active = active[:len(tasks)]
 	}
+	mDispatches.Inc()
 	e := &engine{
 		tasks:    tasks,
 		reqFrame: reqFrame,
@@ -566,6 +573,7 @@ func (f *Fleet) dispatch(tasks []task, reqFrame, resFrame byte) error {
 // elapses) without burning further respawn attempts on a host that is
 // clearly down.
 func (e *engine) supervise(s *slot, cfg Config) {
+	lg := logOf(cfg)
 	wc := s.wc
 	s.wc = nil
 	backoff := cfg.redialWait()
@@ -595,18 +603,20 @@ func (e *engine) supervise(s *slot, cfg Config) {
 				if errors.Is(err, errDispatchDone) {
 					return
 				}
+				s.met.deaths.Inc()
 				e.noteDeath(fmt.Errorf("dist: %s: reconnect attempt %d: %w", s.name, s.attempts, err))
 				if s.fail(cfg) {
-					fmt.Fprintf(stderrOf(cfg), "dist: %s: circuit breaker open after %d consecutive failures (cooldown %v)\n", s.name, s.fails, s.cooldown)
+					lg.Warn("dist: circuit breaker open", "slot", s.name, "failures", s.fails, "cooldown", s.cooldown)
 					return
 				}
 				wc = nil
 				continue
 			}
 			wc.win = newAdaptiveWindow(cfg)
-			fmt.Fprintf(stderrOf(cfg), "dist: %s: reconnected (attempt %d)\n", s.name, s.attempts)
+			s.met.reconnects.Inc()
+			lg.Info("dist: worker reconnected", "slot", s.name, "attempt", s.attempts)
 		}
-		settled, err := e.drive(wc, s.name)
+		settled, err := e.drive(wc, s)
 		if err == nil {
 			s.wc = wc // work drained: the session keeps the live connection
 			s.recover()
@@ -614,6 +624,7 @@ func (e *engine) supervise(s *slot, cfg Config) {
 		}
 		wc.close()
 		wc = nil
+		s.met.deaths.Inc()
 		e.noteDeath(fmt.Errorf("dist: worker %s: %w", s.name, err))
 		// A connection that settled real work before dying broke a
 		// consecutive-failure streak: the host is reachable and
@@ -622,11 +633,11 @@ func (e *engine) supervise(s *slot, cfg Config) {
 			s.recover()
 		}
 		if s.fail(cfg) {
-			fmt.Fprintf(stderrOf(cfg), "dist: %s: circuit breaker open after %d consecutive failures (cooldown %v)\n", s.name, s.fails, s.cooldown)
+			lg.Warn("dist: circuit breaker open", "slot", s.name, "failures", s.fails, "cooldown", s.cooldown)
 			return
 		}
 		if s.attempts < cfg.maxRespawns() {
-			fmt.Fprintf(stderrOf(cfg), "dist: worker %s died (%v); reconnecting\n", s.name, err)
+			lg.Warn("dist: worker died; reconnecting", "slot", s.name, "err", err)
 		}
 	}
 }
@@ -686,7 +697,7 @@ func (e *engine) redial(s *slot) (*workerConn, error) {
 // link, or a truly wedged worker ever reaches the deadline. Stall
 // handling is pure scheduling: a requeued job recomputes the identical
 // pure result on a survivor.
-func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error) {
+func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 	var (
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
@@ -760,6 +771,7 @@ func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error)
 							die(fmt.Errorf("liveness ping: %w", err))
 							return
 						}
+						mPings.Inc()
 						pingNonce++
 					}
 				}
@@ -795,7 +807,15 @@ func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error)
 					replies = []wire.Reply{{Seq: seq, Typ: f.typ, Body: body}}
 				case wire.FramePong:
 					// Liveness echo: its arrival already reset the stall
-					// clock, and that is its entire meaning.
+					// clock, which is its load-bearing meaning. Since wire
+					// v5 it also carries the worker's per-stream stats;
+					// cache them for Fleet.Snapshot. A malformed payload is
+					// ignored rather than fatal — the probe did its job by
+					// arriving.
+					mPongs.Inc()
+					if _, ws, perr := wire.DecodePong(f.payload); perr == nil {
+						wc.stats.Store(&ws)
+					}
 					continue
 				default:
 					die(fmt.Errorf("unexpected frame type %d", f.typ))
@@ -809,22 +829,31 @@ func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error)
 				// is exactly where time.Now() per reply showed up in
 				// profiles.
 				var (
-					now time.Time
-					gap time.Duration
-					obs bool
+					now   time.Time
+					gap   time.Duration
+					adapt bool
 				)
 				if !wc.win.fixed {
 					now = time.Now()
-					gap, obs = wc.win.settleGap(now, len(replies))
+					gap, adapt = wc.win.settleGap(now, len(replies))
 				}
 				for _, r := range replies {
 					mu.Lock()
 					fj, ok := inflight[r.Seq]
 					if ok {
 						delete(inflight, r.Seq)
-						if obs {
-							wc.win.observe(now.Sub(fj.sent), gap)
+						if adapt {
+							rtt := now.Sub(fj.sent)
+							wc.win.observe(rtt, gap)
+							// The latency histogram piggybacks on the adaptive
+							// controller's timestamps; fixed windows skip every
+							// clock read (the PR6 hot path) and so observe
+							// nothing here either.
+							hJobLatency.Observe(rtt.Seconds())
+							s.met.window.Set(float64(wc.win.cur))
+							s.met.rtt.Set(wc.win.rtt)
 						}
+						s.met.inflight.Set(float64(len(inflight)))
 						cond.Broadcast()
 					}
 					mu.Unlock()
@@ -837,11 +866,12 @@ func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error)
 						if derr := e.tasks[fj.k].deliver(r.Body); derr != nil {
 							// Corrupt reply: requeue the task (it already left
 							// the in-flight map) and retire the connection.
-							e.requeue(fj.k, slotName)
+							e.requeue(fj.k, s)
 							die(fmt.Errorf("reply for job %d: %w", e.tasks[fj.k].id, derr))
 							return
 						}
 						settled++
+						s.met.settled.Inc()
 						e.settle()
 					case wire.FrameError:
 						// Deterministic job failure: requeueing would fail
@@ -849,9 +879,10 @@ func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error)
 						// run drains; the overall error reports it.
 						e.failJob(fmt.Errorf("dist: job %d on %s: %w", e.tasks[fj.k].id, wc.name, &jobError{msg: string(r.Body)}))
 						settled++
+						s.met.settled.Inc()
 						e.settle()
 					default:
-						e.requeue(fj.k, slotName)
+						e.requeue(fj.k, s)
 						die(fmt.Errorf("unexpected reply type %d for sequence %d", r.Typ, r.Seq))
 						return
 					}
@@ -871,9 +902,10 @@ func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error)
 		<-matcherDone
 		mu.Lock()
 		for _, fj := range inflight {
-			e.requeue(fj.k, slotName)
+			e.requeue(fj.k, s)
 		}
 		inflight = nil
+		s.met.inflight.Set(0)
 		mu.Unlock()
 		return settled, err
 	}
@@ -929,6 +961,8 @@ func (e *engine) drive(wc *workerConn, slotName string) (settled int, err error)
 			armStart = time.Now()
 		}
 		inflight[uint64(k)] = fj
+		s.met.dispatched.Inc()
+		s.met.inflight.Set(float64(len(inflight)))
 		mu.Unlock()
 		if err := wc.send(uint64(k), e.reqFrame, e.tasks[k].payload); err != nil {
 			return fail(err)

@@ -3,7 +3,6 @@ package dist
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sync"
 
 	"repro/internal/batch"
@@ -51,8 +50,9 @@ func Dial(cfg Config) (*Fleet, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("dist: no worker reachable: %w", errors.Join(errs...))
 	}
+	lg := logOf(cfg)
 	for _, e := range errs {
-		fmt.Fprintln(stderrOf(cfg), "dist: worker unavailable:", e)
+		lg.Warn("dist: worker unavailable", "err", e)
 	}
 	return &Fleet{cfg: cfg, slots: slots}, nil
 }
@@ -118,7 +118,7 @@ func (f *Fleet) RunStream(jobs []batch.Job, localWorkers int) (*batch.Stream, er
 // only the rest, so a single bad slot does not cost the whole batch
 // twice.
 func (f *Fleet) RunOrFallback(jobs []batch.Job, localWorkers int) ([]sim.Result, batch.Stats) {
-	return runOrFallback(jobs, localWorkers, stderrOf(f.cfg), func() (*batch.Stream, error) {
+	return runOrFallback(jobs, localWorkers, f.cfg, func() (*batch.Stream, error) {
 		return f.RunStream(jobs, localWorkers)
 	})
 }
@@ -129,7 +129,7 @@ func (f *Fleet) RunOrFallback(jobs []batch.Job, localWorkers int) ([]sim.Result,
 // spliced with an in-process run of the undelivered suffix if it fails
 // (determinism makes the splice exact).
 func (f *Fleet) StreamOrFallback(jobs []batch.Job, localWorkers int) <-chan sim.Result {
-	return streamOrFallback(jobs, localWorkers, true, stderrOf(f.cfg), func() (*batch.Stream, error) {
+	return streamOrFallback(jobs, localWorkers, true, f.cfg, func() (*batch.Stream, error) {
 		return f.RunStream(jobs, localWorkers)
 	})
 }
@@ -144,7 +144,7 @@ func RunOrFallback(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result
 	if !cfg.Enabled() {
 		return batch.Run(jobs, localWorkers)
 	}
-	return runOrFallback(jobs, localWorkers, stderrOf(cfg), func() (*batch.Stream, error) {
+	return runOrFallback(jobs, localWorkers, cfg, func() (*batch.Stream, error) {
 		return RunStream(jobs, localWorkers, cfg)
 	})
 }
@@ -153,7 +153,7 @@ func RunOrFallback(jobs []batch.Job, localWorkers int, cfg Config) ([]sim.Result
 // session (no fleet configured, unreachable, or lost mid-run all
 // degrade to in-process execution, splice-exact).
 func StreamOrFallback(jobs []batch.Job, localWorkers int, cfg Config) <-chan sim.Result {
-	return streamOrFallback(jobs, localWorkers, cfg.Enabled(), stderrOf(cfg), func() (*batch.Stream, error) {
+	return streamOrFallback(jobs, localWorkers, cfg.Enabled(), cfg, func() (*batch.Stream, error) {
 		return RunStream(jobs, localWorkers, cfg)
 	})
 }
@@ -212,11 +212,17 @@ func collect(st *batch.Stream, err error) ([]sim.Result, batch.Stats, error) {
 }
 
 // runOrFallback implements the slice-shaped degradation policy over
-// any stream starter (session-backed or ephemeral).
-func runOrFallback(jobs []batch.Job, localWorkers int, errw io.Writer, start func() (*batch.Stream, error)) ([]sim.Result, batch.Stats) {
+// any stream starter (session-backed or ephemeral). Degradations are
+// counted (rv_dist_fallbacks_total) and logged as structured events
+// carrying the wrapped error and the fleet recipe, so silent
+// in-process completion — invisible in the output bytes by design —
+// is visible to an operator.
+func runOrFallback(jobs []batch.Job, localWorkers int, cfg Config, start func() (*batch.Stream, error)) ([]sim.Result, batch.Stats) {
 	st, err := start()
 	if err != nil {
-		fmt.Fprintf(errw, "dist: distributed batch failed (%v); falling back to in-process\n", err)
+		mFallbacks.Inc()
+		logOf(cfg).Warn("dist: distributed batch failed; falling back to in-process",
+			"err", err, "hosts", hostSummary(cfg))
 		return batch.Run(jobs, localWorkers)
 	}
 	results := make([]sim.Result, 0, len(jobs))
@@ -226,7 +232,9 @@ func runOrFallback(jobs []batch.Job, localWorkers int, errw io.Writer, start fun
 	if err := st.Err(); err == nil {
 		return results, st.Stats()
 	} else {
-		fmt.Fprintf(errw, "dist: distributed batch failed after %d results (%v); finishing in-process\n", len(results), err)
+		mFallbacks.Inc()
+		logOf(cfg).Warn("dist: distributed batch failed; finishing in-process",
+			"err", err, "delivered", len(results), "hosts", hostSummary(cfg))
 	}
 	suffix, _ := batch.Run(jobs[len(results):], localWorkers)
 	results = append(results, suffix...)
@@ -240,7 +248,7 @@ func runOrFallback(jobs []batch.Job, localWorkers int, errw io.Writer, start fun
 // streamOrFallback implements the channel-shaped degradation policy
 // over any stream starter. enabled=false skips the distributed attempt
 // entirely (the ephemeral path with no configured fleet).
-func streamOrFallback(jobs []batch.Job, localWorkers int, enabled bool, errw io.Writer, start func() (*batch.Stream, error)) <-chan sim.Result {
+func streamOrFallback(jobs []batch.Job, localWorkers int, enabled bool, cfg Config, start func() (*batch.Stream, error)) <-chan sim.Result {
 	out := make(chan sim.Result, len(jobs))
 	go func() {
 		defer close(out)
@@ -256,7 +264,9 @@ func streamOrFallback(jobs []batch.Job, localWorkers int, enabled bool, errw io.
 					return
 				}
 			}
-			fmt.Fprintf(errw, "dist: distributed batch failed after %d results (%v); finishing in-process\n", delivered, err)
+			mFallbacks.Inc()
+			logOf(cfg).Warn("dist: distributed batch failed; finishing in-process",
+				"err", err, "delivered", delivered, "hosts", hostSummary(cfg))
 		}
 		for r := range batch.RunStream(jobs[delivered:], localWorkers).Results() {
 			out <- r

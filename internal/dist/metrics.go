@@ -1,0 +1,104 @@
+// The dispatch stack's flight-recorder instruments (internal/obs).
+// Everything here is observation only: counters and gauges updated
+// from paths whose control flow never depends on them, so the
+// byte-identity guarantee (DESIGN.md §6–§8, pinned by the metrics
+// on/off differential test) is untouched. Per-slot families are keyed
+// by the slot name ("tcp:host:port", "proc:N"); each slot resolves
+// its children once at assembly time so the hot paths are bare
+// atomics.
+
+package dist
+
+import "repro/internal/obs"
+
+// Coordinator-side instruments.
+var (
+	mDispatches = obs.NewCounter("rv_dist_dispatches_total",
+		"Dispatch rounds run by this coordinator (batches and sweep chunk sets).")
+	mDispatched = obs.NewCounterVec("rv_dist_dispatched_total",
+		"Request frames sent to workers.", "slot")
+	mSettled = obs.NewCounterVec("rv_dist_settled_total",
+		"Replies settled (results and deterministic job errors).", "slot")
+	mRequeued = obs.NewCounterVec("rv_dist_requeued_total",
+		"Jobs requeued after a worker death or stall.", "slot")
+	mQuarantined = obs.NewCounter("rv_dist_quarantined_total",
+		"Poison jobs quarantined as deterministic per-job errors.")
+	mDeaths = obs.NewCounterVec("rv_dist_worker_deaths_total",
+		"Worker connection losses: transport deaths, stalls, failed redials.", "slot")
+	mBreakerOpens = obs.NewCounterVec("rv_dist_breaker_opens_total",
+		"Circuit-breaker open (and half-open re-open) events.", "slot")
+	mReconnects = obs.NewCounterVec("rv_dist_reconnects_total",
+		"Successful slot reconnections after a death.", "slot")
+	mFallbacks = obs.NewCounter("rv_dist_fallbacks_total",
+		"Distributed runs (batches, streams, sweeps) degraded to in-process execution.")
+	mPings = obs.NewCounter("rv_dist_ping_total",
+		"Liveness pings sent to silent connections with jobs in flight.")
+	mPongs = obs.NewCounter("rv_dist_pong_total",
+		"Liveness pong echoes received (each carries a WorkerStats payload since wire v5).")
+
+	gBreakerOpen = obs.NewGaugeVec("rv_dist_breaker_open",
+		"1 while the slot's circuit breaker is open, 0 when closed.", "slot")
+	gInflight = obs.NewGaugeVec("rv_dist_inflight",
+		"Jobs currently in flight on the slot's connection.", "slot")
+	gWindow = obs.NewGaugeVec("rv_dist_window",
+		"Current send-window size of the slot's connection (adaptive windows only).", "slot")
+	gRTT = obs.NewGaugeVec("rv_dist_rtt_seconds",
+		"EWMA reply round-trip time of the slot's connection (adaptive windows only).", "slot")
+
+	hJobLatency = obs.NewHistogram("rv_dist_job_latency_seconds",
+		"Per-job reply round-trip latency, recorded on adaptive windows only: fixed-window dispatch deliberately skips every clock read (the PR6 hot path), so it has no timestamps to observe.",
+		obs.LatencyBuckets())
+)
+
+// Worker-side instruments (live in the rvworker process, or in the
+// same process when the coordinator spawns -worker subprocesses of
+// itself — the slot label disambiguates nothing here, these are
+// process-wide).
+var (
+	wStreams = obs.NewCounter("rv_worker_streams_total",
+		"Coordinator streams this worker has served.")
+	wJobs = obs.NewCounter("rv_worker_jobs_total",
+		"Job frames received across all streams.")
+	wReplies = obs.NewCounter("rv_worker_replies_total",
+		"Result replies produced (executions finished).")
+	wErrors = obs.NewCounter("rv_worker_errors_total",
+		"Error replies produced (decode failures, panics, job errors).")
+	wPings = obs.NewCounter("rv_worker_pings_total",
+		"Liveness pings echoed as stats-carrying pongs.")
+
+	gwInflight = obs.NewGauge("rv_worker_inflight",
+		"Jobs currently executing or queued across all streams.")
+	gwPool = obs.NewGauge("rv_worker_pool",
+		"Most recently resolved per-stream execution pool size.")
+)
+
+// slotMetrics caches one slot's children of the per-slot families, so
+// the dispatch hot path records through pre-resolved pointers.
+type slotMetrics struct {
+	dispatched   *obs.Counter
+	settled      *obs.Counter
+	requeued     *obs.Counter
+	deaths       *obs.Counter
+	breakerOpens *obs.Counter
+	reconnects   *obs.Counter
+
+	breakerOpen *obs.Gauge
+	inflight    *obs.Gauge
+	window      *obs.Gauge
+	rtt         *obs.Gauge
+}
+
+func newSlotMetrics(name string) *slotMetrics {
+	return &slotMetrics{
+		dispatched:   mDispatched.With(name),
+		settled:      mSettled.With(name),
+		requeued:     mRequeued.With(name),
+		deaths:       mDeaths.With(name),
+		breakerOpens: mBreakerOpens.With(name),
+		reconnects:   mReconnects.With(name),
+		breakerOpen:  gBreakerOpen.With(name),
+		inflight:     gInflight.With(name),
+		window:       gWindow.With(name),
+		rtt:          gRTT.With(name),
+	}
+}

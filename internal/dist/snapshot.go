@@ -1,0 +1,133 @@
+// Fleet.Snapshot: the one-call observability view of a session — the
+// coordinator's per-slot state, the newest per-worker stats each
+// connection's pong carried (wire v5), and the process-wide metric
+// snapshot. Pure observation: it serializes with dispatches on the
+// fleet mutex (so it never races a live matcher for frames) and its
+// pings recompute nothing.
+
+package dist
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// SlotStatus is one fleet slot's view in a FleetSnapshot.
+type SlotStatus struct {
+	Name     string // "tcp:host:port" or "proc:N"
+	Live     bool   // a connection is parked in the slot
+	Retired  bool   // respawn budget exhausted; the slot is done for the session
+	Attempts int    // reconnection attempts spent (session lifetime)
+
+	BreakerOpen bool // circuit breaker in its cooldown
+
+	// Adaptive-window controller state of the parked connection
+	// (zero for fixed windows or non-live slots).
+	Window int     // current window size
+	RTT    float64 // EWMA reply round-trip time, seconds
+
+	// Worker is the stream's own view as of its latest stats-carrying
+	// pong — Snapshot pings each parked live connection to refresh it.
+	// Nil when no pong has ever arrived (e.g. the probe timed out).
+	Worker *wire.WorkerStats
+}
+
+// FleetSnapshot is what Fleet.Snapshot returns: both sides of the
+// wire through one API — the coordinator's slots and the process-wide
+// flight-recorder registry (which includes the rv_dist_* families this
+// fleet advanced).
+type FleetSnapshot struct {
+	Slots   []SlotStatus
+	Metrics obs.Snapshot
+}
+
+// snapshotPongWait bounds how long Snapshot waits for one parked
+// connection's stats pong. A healthy worker echoes from its read loop
+// immediately, so this is generous; a silent one just leaves the
+// previous stats (or nil) in place — Snapshot must never wedge the
+// session the way a hung worker could.
+const snapshotPongWait = 2 * time.Second
+
+// snapshotNonceBase keys Snapshot's pings away from the dispatch
+// matcher's 0,1,2,… nonce sequence. Purely cosmetic — nonces exist
+// for debugging — but a flight recorder should not muddy the tape it
+// records.
+const snapshotNonceBase = uint64(1) << 63
+
+// Snapshot reports the session's current state. It takes the fleet
+// mutex — serializing with dispatches, like Run — and pings every
+// parked live connection so each worker's half of the report is
+// current, not a relic of the last mid-dispatch pong. On a closed
+// fleet the slots report as not live and only the metrics snapshot
+// carries information.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap := FleetSnapshot{Slots: make([]SlotStatus, 0, len(f.slots))}
+	now := time.Now()
+	for i, s := range f.slots {
+		ss := SlotStatus{
+			Name:        s.name,
+			Retired:     s.retired,
+			Attempts:    s.attempts,
+			BreakerOpen: !s.openUntil.IsZero() && now.Before(s.openUntil),
+		}
+		if s.wc != nil && !f.closed {
+			ss.Live = true
+			if !s.wc.win.fixed {
+				ss.Window = s.wc.win.cur
+				ss.RTT = s.wc.win.rtt
+			}
+			refreshWorkerStats(s.wc, snapshotNonceBase|uint64(i))
+			ss.Worker = s.wc.stats.Load()
+		}
+		snap.Slots = append(snap.Slots, ss)
+	}
+	// The metric snapshot is taken after the probes so the pongs they
+	// elicited are already counted.
+	snap.Metrics = obs.TakeSnapshot()
+	return snap
+}
+
+// refreshWorkerStats pings one parked connection and waits briefly
+// for the stats-carrying echo. Between dispatches the only frames a
+// healthy stream produces are pong echoes, and the fleet mutex keeps
+// any dispatch from attaching a matcher meanwhile, so reading
+// wc.frames here races nobody. Errors and timeouts are swallowed:
+// a probe that fails leaves stale (or nil) stats, and the next
+// dispatch will discover a dead connection through its own path.
+func refreshWorkerStats(wc *workerConn, nonce uint64) {
+	if err := wc.ping(nonce); err != nil {
+		return
+	}
+	mPings.Inc()
+	deadline := time.After(snapshotPongWait)
+	for {
+		select {
+		case f, ok := <-wc.frames:
+			if !ok {
+				return // transport died; the next dispatch redials
+			}
+			if f.typ != wire.FramePong {
+				// Not a pong: between dispatches nothing else should be
+				// in flight; drop it and keep waiting for the echo.
+				continue
+			}
+			n, ws, err := wire.DecodePong(f.payload)
+			if err != nil {
+				return
+			}
+			mPongs.Inc()
+			wc.stats.Store(&ws)
+			if n == nonce {
+				return
+			}
+			// A stale pong from an earlier probe: keep its stats (newer
+			// than nothing), keep waiting for ours.
+		case <-deadline:
+			return
+		}
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
@@ -31,14 +33,38 @@ type ServeOptions struct {
 	// several worker processes); negative forces strictly serial
 	// execution.
 	Pool int
-	// Verbose, when non-nil, receives one line per served stream —
-	// "<name>: served N jobs" — after the stream ends. The rvworker -v
-	// flag wires it to stderr; CI counts these lines to assert a
-	// shared-fleet run handshakes exactly once.
-	Verbose io.Writer
-	// Name labels the stream in Verbose output (e.g. the peer address);
+	// Log, when non-nil, receives one "stream served" Info event per
+	// served stream (peer name, job count) after the stream ends. The
+	// rvworker -v flag wires it to the process logger; CI counts these
+	// events to assert a shared-fleet run handshakes exactly once.
+	Log *slog.Logger
+	// Name labels the stream in Log events (e.g. the peer address);
 	// empty means "stream".
 	Name string
+}
+
+// streamStats is one stream's flight-recorder state, mirrored into
+// the wire.WorkerStats payload of every pong this stream echoes.
+// Counters are written by the read loop and the executor goroutines,
+// read by pong — hence atomics.
+type streamStats struct {
+	served   atomic.Uint64
+	executed atomic.Uint64
+	errors   atomic.Uint64
+	pings    atomic.Uint64
+	inflight atomic.Int64
+	pool     atomic.Int64
+}
+
+func (st *streamStats) wire() wire.WorkerStats {
+	return wire.WorkerStats{
+		Served:   st.served.Load(),
+		Executed: st.executed.Load(),
+		Errors:   st.errors.Load(),
+		Pings:    st.pings.Load(),
+		InFlight: uint32(max(st.inflight.Load(), 0)),
+		Pool:     uint32(max(st.pool.Load(), 0)),
+	}
 }
 
 // materialize rebuilds the executable batch job a wire job describes,
@@ -102,6 +128,7 @@ const coalesceAge = time.Millisecond
 type replyBatcher struct {
 	mu       sync.Mutex
 	bw       *bufio.Writer
+	st       *streamStats  // stream flight recorder; nil in unit tests of the batcher alone
 	age      time.Duration // max wait of the oldest pending reply; 0 = coalesceAge
 	err      error         // first write failure; sticks, suppressing the rest
 	inflight int
@@ -116,24 +143,49 @@ func (rb *replyBatcher) begin() {
 	rb.mu.Lock()
 	rb.inflight++
 	rb.mu.Unlock()
+	if rb.st != nil {
+		rb.st.inflight.Add(1)
+		gwInflight.Add(1)
+	}
+}
+
+// account records one produced reply in the stream and process flight
+// recorders (observation only — the reply bytes are already queued).
+func (rb *replyBatcher) account(typ byte) {
+	if rb.st == nil {
+		return
+	}
+	if typ == wire.FrameError {
+		rb.st.errors.Add(1)
+		wErrors.Inc()
+	} else {
+		rb.st.executed.Add(1)
+		wReplies.Inc()
+	}
 }
 
 // post queues one reply produced directly on the read loop (decode
 // failures answered in order, without an executor).
 func (rb *replyBatcher) post(seq uint64, typ byte, body []byte) {
 	rb.mu.Lock()
-	defer rb.mu.Unlock()
 	rb.add(seq, typ, body)
 	rb.maybeFlush()
+	rb.mu.Unlock()
+	rb.account(typ)
 }
 
 // finish queues one executor's reply and releases its in-flight slot.
 func (rb *replyBatcher) finish(seq uint64, typ byte, body []byte) {
 	rb.mu.Lock()
-	defer rb.mu.Unlock()
 	rb.inflight--
 	rb.add(seq, typ, body)
 	rb.maybeFlush()
+	rb.mu.Unlock()
+	if rb.st != nil {
+		rb.st.inflight.Add(-1)
+		gwInflight.Add(-1)
+	}
+	rb.account(typ)
 }
 
 func (rb *replyBatcher) add(seq uint64, typ byte, body []byte) {
@@ -184,19 +236,27 @@ func (rb *replyBatcher) dead() bool {
 	return rb.err != nil
 }
 
-// pong echoes a liveness probe immediately, bypassing reply
-// coalescing: the pong's entire job is to prove the process and the
+// pong answers a liveness probe immediately, bypassing reply
+// coalescing: the pong's primary job is to prove the process and the
 // link alive while slow executors keep the stream otherwise silent,
-// so it must not wait for reply company. Pending replies flush along
-// with it (the stream stays ordered enough — the coordinator matches
-// by sequence number, and a pong carries none).
+// so it must not wait for reply company. Since wire v5 the echo also
+// carries the stream's WorkerStats — a free flight-recorder read for
+// the coordinator. Pending replies flush along with it (the stream
+// stays ordered enough — the coordinator matches by sequence number,
+// and a pong carries none).
 func (rb *replyBatcher) pong(payload []byte) {
+	var ws wire.WorkerStats
+	if rb.st != nil {
+		rb.st.pings.Add(1)
+		wPings.Inc()
+		ws = rb.st.wire()
+	}
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	if rb.err != nil {
 		return
 	}
-	if err := wire.WriteFrame(rb.bw, wire.FramePong, payload); err != nil {
+	if err := wire.WriteFrame(rb.bw, wire.FramePong, wire.EncodePong(payload, ws)); err != nil {
 		rb.err = err
 		return
 	}
@@ -248,7 +308,9 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		return err
 	}
 
-	rb := &replyBatcher{bw: bw}
+	wStreams.Inc()
+	st := &streamStats{}
+	rb := &replyBatcher{bw: bw, st: st}
 	var (
 		wg      sync.WaitGroup
 		pool    chan struct{}
@@ -262,12 +324,12 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		rb.flush() // safety net; the last finish() already drained
 		werr := rb.err
 		rb.mu.Unlock()
-		if opts.Verbose != nil {
+		if opts.Log != nil {
 			name := opts.Name
 			if name == "" {
 				name = "stream"
 			}
-			fmt.Fprintf(opts.Verbose, "rvworker: %s: served %d jobs\n", name, served)
+			opts.Log.Info("rvworker: stream served", "peer", name, "jobs", served)
 		}
 		if readErr != nil {
 			return readErr
@@ -347,6 +409,8 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 			return finish(fmt.Errorf("dist: worker received unexpected frame type %d", typ))
 		}
 		served++
+		st.served.Add(1)
+		wJobs.Inc()
 
 		// Size the pool from the job's resolved parallelism. Jobs of one
 		// batch share settings, but a session stream carries many batches
@@ -357,6 +421,8 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 			wg.Wait()
 			pool = make(chan struct{}, want)
 			poolCap = want
+			st.pool.Store(int64(want))
+			gwPool.Set(float64(want))
 		}
 		rb.begin()
 		wg.Add(1)
@@ -482,7 +548,7 @@ func (s *Server) Serve(l net.Listener) error {
 			// A drain unblocks pending reads with an expired deadline;
 			// that induced error is the mechanism, not a fault.
 			if err != nil && !closing {
-				fmt.Fprintln(os.Stderr, "rvworker: connection:", err)
+				slog.Warn("rvworker: connection failed", "peer", co.Name, "err", err)
 			}
 		}()
 	}
@@ -523,6 +589,6 @@ func ListenAndServeWith(addr string, opts ServeOptions) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "rvworker: listening on", l.Addr())
+	slog.Info("rvworker: listening", "addr", l.Addr().String())
 	return ServeListenerWith(l, opts)
 }

@@ -1,0 +1,192 @@
+// Exposition: a point-in-time Snapshot of the whole registry, plus
+// Prometheus text-format and JSON renderings. Exposition is the cold
+// side of the flight recorder — it walks the registry under its mutex
+// and may allocate freely; only the record paths in obs.go are
+// alloc-pinned.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Sample is one scalar reading: a counter or gauge, optionally one
+// child of a labeled family.
+type Sample struct {
+	Name       string  `json:"name"`
+	Label      string  `json:"label,omitempty"`
+	LabelValue string  `json:"label_value,omitempty"`
+	Value      float64 `json:"value"`
+}
+
+// A HistogramSample is one histogram's full state: per-bucket counts
+// (not cumulative; Counts[i] pairs with Bounds[i], the final entry is
+// the +Inf overflow bucket), the running sum, and the total count.
+type HistogramSample struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// A Snapshot is a consistent-enough point-in-time view of the
+// registry: families and children in deterministic (sorted) order.
+// Individual readings are taken atomically but not across metrics —
+// the recorder keeps flying while the tape is read.
+type Snapshot struct {
+	Enabled    bool              `json:"enabled"`
+	Counters   []Sample          `json:"counters"`
+	Gauges     []Sample          `json:"gauges"`
+	Histograms []HistogramSample `json:"histograms"`
+}
+
+// TakeSnapshot reads every registered metric.
+func TakeSnapshot() Snapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+
+	s := Snapshot{Enabled: Enabled()}
+	for _, c := range registry.counters {
+		s.Counters = append(s.Counters, Sample{Name: c.name, Value: float64(c.Value())})
+	}
+	for _, v := range registry.counterVecs {
+		v.mu.RLock()
+		for _, val := range sortedKeys(v.children) {
+			s.Counters = append(s.Counters, Sample{
+				Name: v.name, Label: v.label, LabelValue: val,
+				Value: float64(v.children[val].Value()),
+			})
+		}
+		v.mu.RUnlock()
+	}
+	for _, g := range registry.gauges {
+		s.Gauges = append(s.Gauges, Sample{Name: g.name, Value: g.Value()})
+	}
+	for _, v := range registry.gaugeVecs {
+		v.mu.RLock()
+		for _, val := range sortedKeys(v.children) {
+			s.Gauges = append(s.Gauges, Sample{
+				Name: v.name, Label: v.label, LabelValue: val,
+				Value: v.children[val].Value(),
+			})
+		}
+		v.mu.RUnlock()
+	}
+	for _, h := range registry.histograms {
+		hs := HistogramSample{
+			Name:   h.name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.SliceStable(s.Counters, func(i, j int) bool { return sampleLess(s.Counters[i], s.Counters[j]) })
+	sort.SliceStable(s.Gauges, func(i, j int) bool { return sampleLess(s.Gauges[i], s.Gauges[j]) })
+	sort.SliceStable(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+func sampleLess(a, b Sample) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.LabelValue < b.LabelValue
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Every registered family gets its # HELP and
+// # TYPE lines even when it has no children yet — a scrape against a
+// fresh process still proves which series the binary can emit, which
+// is what the CI mid-sweep scrape asserts.
+func WritePrometheus(w io.Writer) error {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+
+	var b strings.Builder
+	for _, c := range registry.counters {
+		header(&b, c.name, c.help, "counter")
+		fmt.Fprintf(&b, "%s %s\n", c.name, fmtValue(float64(c.Value())))
+	}
+	for _, v := range registry.counterVecs {
+		header(&b, v.name, v.help, "counter")
+		v.mu.RLock()
+		for _, val := range sortedKeys(v.children) {
+			fmt.Fprintf(&b, "%s{%s=\"%s\"} %s\n", v.name, v.label, escapeLabel(val), fmtValue(float64(v.children[val].Value())))
+		}
+		v.mu.RUnlock()
+	}
+	for _, g := range registry.gauges {
+		header(&b, g.name, g.help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.name, fmtValue(g.Value()))
+	}
+	for _, v := range registry.gaugeVecs {
+		header(&b, v.name, v.help, "gauge")
+		v.mu.RLock()
+		for _, val := range sortedKeys(v.children) {
+			fmt.Fprintf(&b, "%s{%s=\"%s\"} %s\n", v.name, v.label, escapeLabel(val), fmtValue(v.children[val].Value()))
+		}
+		v.mu.RUnlock()
+	}
+	for _, h := range registry.histograms {
+		header(&b, h.name, h.help, "histogram")
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", h.name, fmtValue(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.Count())
+		fmt.Fprintf(&b, "%s_sum %s\n", h.name, fmtValue(h.Sum()))
+		fmt.Fprintf(&b, "%s_count %d\n", h.name, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func header(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+func fmtValue(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// WriteJSON renders a TakeSnapshot as indented JSON (the /statusz
+// payload).
+func WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(TakeSnapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

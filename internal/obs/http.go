@@ -1,0 +1,48 @@
+// The HTTP surface of the flight recorder: /metrics (Prometheus text),
+// /statusz (JSON snapshot), and — opt-in, because it exposes stacks
+// and heap contents — the stdlib net/http/pprof handlers. All CLIs
+// mount it through the same two calls (-metrics addr, -pprof).
+
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the flight-recorder HTTP mux. With pprofOn the
+// net/http/pprof handlers are mounted under /debug/pprof/ on the same
+// listener, so one -metrics flag serves scraping and profiling.
+func Handler(pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w)
+	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Serve binds addr and serves Handler on it for the life of the
+// process (there is no shutdown: the recorder should outlive whatever
+// it is recording). The bound address is returned so callers using
+// ":0" can report the resolved port.
+func Serve(addr string, pprofOn bool) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(l, Handler(pprofOn)) }()
+	return l.Addr(), nil
+}

@@ -1,0 +1,46 @@
+// Structured logging glue: one process-wide slog level shared by every
+// handler the CLIs install, so -log-level gates the whole binary —
+// the drain notice in rvworker, the fallback warnings in dist, the
+// breaker and redial events in the engine supervisor.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogLevel is the process-wide level gate. Handlers built by
+// InitLogging (and the per-run handlers internal/dist builds over a
+// Config.Stderr) all reference it, so changing the level takes effect
+// everywhere at once.
+var LogLevel = new(slog.LevelVar)
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// InitLogging parses level, stores it in LogLevel, and installs a
+// slog text handler writing to w as the process default logger.
+func InitLogging(w io.Writer, level string) error {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	LogLevel.Set(lv)
+	slog.SetDefault(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: LogLevel})))
+	return nil
+}

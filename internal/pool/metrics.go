@@ -1,0 +1,14 @@
+// The pool's flight-recorder instruments (internal/obs). Two atomic
+// adds per Do call — not per task — so the primitive stays as close
+// to free as its no-policy charter promises.
+
+package pool
+
+import "repro/internal/obs"
+
+var (
+	mRuns = obs.NewCounter("rv_pool_runs_total",
+		"Pool fan-out invocations (Do calls with work to do).")
+	mTasks = obs.NewCounter("rv_pool_tasks_total",
+		"Tasks claimed across all pool invocations.")
+)

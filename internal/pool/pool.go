@@ -41,6 +41,8 @@ func Do(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	mRuns.Inc()
+	mTasks.Add(uint64(n))
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)

@@ -54,8 +54,13 @@ import (
 // FramePing/FramePong liveness probes — a v4 coordinator pings a
 // silent connection and ejects it as hung if nothing comes back, and
 // a v3 worker would fatally reject the ping as an unknown frame type,
-// so mixed v3/v4 fleets are refused at hello).
-const Version = 4
+// so mixed v3/v4 fleets are refused at hello);
+// v5 — PR 8 (FramePong carries a trailing WorkerStats payload: the
+// worker's per-stream flight-recorder counters piggybacked on every
+// liveness echo, which Fleet.Snapshot surfaces — a v4 coordinator
+// would reject the longer pong as trailing bytes, so mixed v4/v5
+// fleets are refused at hello).
+const Version = 5
 
 // maxSlice bounds decoded slice and string lengths, so a corrupt or
 // hostile stream cannot request an absurd allocation.

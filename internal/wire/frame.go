@@ -55,9 +55,11 @@ const (
 	// bypassing reply coalescing. Not seq-prefixed: it probes the
 	// stream, it is not a job.
 	FramePing byte = 9
-	// FramePong answers FramePing with the ping payload echoed
-	// verbatim. Its only effect on the coordinator is resetting the
-	// connection's stall clock.
+	// FramePong answers FramePing with the ping payload echoed back
+	// followed by the stream's WorkerStats (EncodePong, v5). Its
+	// load-bearing effect on the coordinator is resetting the
+	// connection's stall clock; the stats ride along so a liveness
+	// probe doubles as a flight-recorder read (Fleet.Snapshot).
 	FramePong byte = 10
 )
 
@@ -177,6 +179,63 @@ func DecodePing(payload []byte) (uint64, error) {
 		return 0, err
 	}
 	return nonce, nil
+}
+
+// WorkerStats is the compact per-stream flight-recorder payload a
+// worker appends to every FramePong echo (wire v5): the coordinator
+// probes a connection's liveness and gets the worker's view of that
+// stream for free, which is what Fleet.Snapshot surfaces as the
+// remote half of its report. Counters are per stream, monotone for
+// the stream's life; gauges (InFlight, Pool) are instantaneous.
+type WorkerStats struct {
+	Served   uint64 // job frames received on the stream
+	Executed uint64 // result replies produced (executions finished)
+	Errors   uint64 // error replies produced (decode failures, panics)
+	Pings    uint64 // liveness pings echoed
+	InFlight uint32 // jobs executing or queued right now
+	Pool     uint32 // resolved in-worker execution pool size
+}
+
+func appendWorkerStats(b []byte, ws WorkerStats) []byte {
+	b = appendU64(b, ws.Served)
+	b = appendU64(b, ws.Executed)
+	b = appendU64(b, ws.Errors)
+	b = appendU64(b, ws.Pings)
+	b = appendU32(b, ws.InFlight)
+	return appendU32(b, ws.Pool)
+}
+
+func (d *dec) workerStats() WorkerStats {
+	return WorkerStats{
+		Served:   d.u64(),
+		Executed: d.u64(),
+		Errors:   d.u64(),
+		Pings:    d.u64(),
+		InFlight: d.u32(),
+		Pool:     d.u32(),
+	}
+}
+
+// EncodePong builds the FramePong payload: the probe's ping payload
+// echoed back (version byte + nonce) followed by the stream's
+// WorkerStats.
+func EncodePong(ping []byte, ws WorkerStats) []byte {
+	b := make([]byte, 0, len(ping)+40)
+	b = append(b, ping...)
+	return appendWorkerStats(b, ws)
+}
+
+// DecodePong inverts EncodePong, returning the echoed nonce and the
+// worker's stream stats.
+func DecodePong(payload []byte) (uint64, WorkerStats, error) {
+	d := &dec{b: payload}
+	d.version()
+	nonce := d.u64()
+	ws := d.workerStats()
+	if err := d.finish("pong"); err != nil {
+		return 0, WorkerStats{}, err
+	}
+	return nonce, ws, nil
 }
 
 // DecodePoolHint inverts EncodePoolHint.

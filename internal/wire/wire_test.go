@@ -35,6 +35,7 @@ func TestCodecCoversAllFields(t *testing.T) {
 		{"wire.SweepJob", reflect.TypeOf(SweepJob{}), 5},
 		{"measure.Box", reflect.TypeOf(measure.Box{}), 8},
 		{"measure.Stats", reflect.TypeOf(measure.Stats{}), 7},
+		{"wire.WorkerStats", reflect.TypeOf(WorkerStats{}), 6},
 	} {
 		if got := tc.typ.NumField(); got != tc.want {
 			t.Errorf("%s has %d fields, codec covers %d — extend the codec, bump wire.Version, update this test",
@@ -356,6 +357,32 @@ func TestPingRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPingPongRoundTrip covers the v5 pong: the echoed nonce and the
+// piggybacked WorkerStats survive the round trip, and a v4-shaped
+// pong (bare ping echo, no stats) is rejected as truncated.
+func TestPingPongRoundTrip(t *testing.T) {
+	ws := WorkerStats{
+		Served: 12, Executed: 9, Errors: 3, Pings: 2,
+		InFlight: 4, Pool: 8,
+	}
+	nonce, got, err := DecodePong(EncodePong(EncodePing(42), ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonce != 42 || got != ws {
+		t.Fatalf("pong round trip: nonce %d stats %+v (want 42, %+v)", nonce, got, ws)
+	}
+	if _, _, err := DecodePong(EncodePing(42)); err == nil {
+		t.Error("v4-shaped pong (no stats) accepted")
+	}
+	if _, _, err := DecodePong(append(EncodePong(EncodePing(1), ws), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, _, err := DecodePong(nil); err == nil {
+		t.Error("empty pong accepted")
+	}
+}
+
 // FuzzReadFrame feeds arbitrary byte streams (seeded with valid,
 // truncated, and length-corrupted frames) to the frame reader: it must
 // either return a frame or an error — never panic, never misattribute
@@ -366,13 +393,13 @@ func FuzzReadFrame(f *testing.F) {
 	var good bytes.Buffer
 	WriteFrame(&good, FrameJob, AppendSeq(1, EncodeJob(Job{In: testInstance(), Alg: "CGKK", Set: testSettings()})))
 	whole := good.Bytes()
-	f.Add(whole)                                        // a valid frame
-	f.Add(whole[:len(whole)-2])                         // torn mid-payload
-	f.Add(whole[:3])                                    // torn mid-header
-	f.Add([]byte{0, 0, 0, 0})                           // zero length
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})      // absurd length
-	f.Add([]byte{0x40, 0, 0, 0, 9})                     // 1 GiB claim, 1 byte present
-	f.Add(append([]byte{0, 0, 0, 2, FramePong}, 0xAB))  // small valid frame
+	f.Add(whole)                                       // a valid frame
+	f.Add(whole[:len(whole)-2])                        // torn mid-payload
+	f.Add(whole[:3])                                   // torn mid-header
+	f.Add([]byte{0, 0, 0, 0})                          // zero length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})     // absurd length
+	f.Add([]byte{0x40, 0, 0, 0, 9})                    // 1 GiB claim, 1 byte present
+	f.Add(append([]byte{0, 0, 0, 2, FramePong}, 0xAB)) // small valid frame
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {

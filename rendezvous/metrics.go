@@ -1,0 +1,48 @@
+// The public surface's flight-recorder instruments (internal/obs):
+// simulation throughput at the API boundary, plus the
+// degraded-to-in-process events an operator most wants to see.
+// Observation only — recording is gated, allocation-free, and never
+// touches the batch inputs, so the byte-identity guarantee of
+// SimulateBatch is untouched (pinned by the differential test in
+// internal/dist).
+
+package rendezvous
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	mSims = obs.NewCounter("rv_sims_total",
+		"Simulations requested through the batch entry points (memoized duplicates included).")
+	mBatches = obs.NewCounter("rv_sim_batches_total",
+		"SimulateBatch / SimulateBatchStream calls.")
+	mSettingsFallbacks = obs.NewCounter("rv_settings_fallbacks_total",
+		"Batch calls that degraded to in-process execution because the distribution settings failed to parse.")
+	gSimRate = obs.NewGauge("rv_sims_per_second",
+		"Logical simulations per wall-clock second of the most recent SimulateBatch call.")
+)
+
+// batchStart opens a throughput measurement: the clock is read only
+// when the recorder is enabled, so a metrics-off run performs not one
+// extra syscall.
+func batchStart() time.Time {
+	if !obs.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// recordBatch closes it: n logical sims over the elapsed wall clock.
+func recordBatch(n int, start time.Time) {
+	if !obs.Enabled() || start.IsZero() {
+		return
+	}
+	mBatches.Inc()
+	mSims.Add(uint64(n))
+	if el := time.Since(start).Seconds(); el > 0 {
+		gSimRate.Set(float64(n) / el)
+	}
+}

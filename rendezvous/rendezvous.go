@@ -53,8 +53,7 @@ package rendezvous
 
 import (
 	"errors"
-	"fmt"
-	"os"
+	"log/slog"
 	"strings"
 
 	"repro/internal/batch"
@@ -246,7 +245,9 @@ func distConfig(s Settings) (dist.Config, bool, error) {
 func batchConfig(s Settings) dist.Config {
 	cfg, _, err := distConfig(s)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rendezvous: %v; running in-process\n", err)
+		mSettingsFallbacks.Inc()
+		slog.Warn("rendezvous: malformed distribution settings; running in-process",
+			"err", err, "hosts", s.Hosts)
 		return dist.Config{}
 	}
 	return cfg
@@ -275,7 +276,9 @@ func batchConfig(s Settings) dist.Config {
 // core.Progress per job) would see them fire only for the first
 // occurrence — set Settings.NoBatchMemoize to run every job.
 func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
+	start := batchStart()
 	res, _ := dist.RunOrFallback(batchJobs(ins, alg, s), s.Parallelism, batchConfig(s))
+	recordBatch(len(ins), start)
 	return res
 }
 
@@ -292,6 +295,8 @@ func SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
 // a mid-run fleet failure falls back to in-process execution for the
 // undelivered suffix, seamlessly — determinism makes the splice exact.
 func SimulateBatchStream(ins []Instance, alg Algorithm, s Settings) <-chan Result {
+	mBatches.Inc()
+	mSims.Add(uint64(len(ins)))
 	return dist.StreamOrFallback(batchJobs(ins, alg, s), s.Parallelism, batchConfig(s))
 }
 
@@ -330,15 +335,26 @@ func DialFleet(s Settings) (*Fleet, error) {
 // connection setup. The distribution knobs of s (Hosts, WorkerProcs,
 // Window, …) are ignored here — the session fixed them at dial time.
 func (f *Fleet) SimulateBatch(ins []Instance, alg Algorithm, s Settings) []Result {
+	start := batchStart()
 	res, _ := f.f.RunOrFallback(batchJobs(ins, alg, s), s.Parallelism)
+	recordBatch(len(ins), start)
 	return res
 }
 
 // SimulateBatchStream is the package-level SimulateBatchStream over
 // the session's fleet.
 func (f *Fleet) SimulateBatchStream(ins []Instance, alg Algorithm, s Settings) <-chan Result {
+	mBatches.Inc()
+	mSims.Add(uint64(len(ins)))
 	return f.f.StreamOrFallback(batchJobs(ins, alg, s), s.Parallelism)
 }
+
+// Snapshot reports the session's flight-recorder state: per-slot
+// dispatch status (liveness, breaker, adaptive window) with each live
+// worker's own counters freshly probed over the wire, plus the
+// process-wide metrics registry. Observation only — the probe rides
+// the liveness ping machinery and perturbs no batch.
+func (f *Fleet) Snapshot() dist.FleetSnapshot { return f.f.Snapshot() }
 
 // Close ends the session, closing every worker connection. Closing
 // twice is a no-op.
