@@ -6,12 +6,15 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/cgkk"
@@ -275,6 +278,180 @@ func BenchmarkDistT5Chunks(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// ---- WAN benchmarks: the wire path through an emulated wide-area link. ----
+
+// benchAlgZig is the trace-dense workload of the WAN benchmarks: agents
+// zigzag without ever meeting, so every movement segment records a
+// trajectory point and each result ships thousands of TraceCap-bounded
+// points back over the link. That reply traffic is what a WAN-tuned
+// wire path must move well — the regular zigzag coordinates have sparse
+// mantissas, so flate sees long byte repeats and negotiated compression
+// cuts the transported bytes by well over half, while the chunked trace
+// stream keeps individual frames bounded. (The AURV workloads meet
+// within a few segments and cannot produce traces like these.)
+const benchAlgZig = "bench-wan-zigzag"
+
+func init() {
+	wire.RegisterAlgorithm(benchAlgZig, func(inst.Instance) prog.Program {
+		zigs := make([]prog.Instr, 0, 6000)
+		for i := 0; i < 3000; i++ {
+			zigs = append(zigs, prog.Move(prog.North, 1), prog.Move(prog.South, 1))
+		}
+		return prog.Instrs(zigs...)
+	})
+}
+
+// wanJobs builds 8 wire-formed zigzag jobs on far-apart instances (the
+// agents never meet; the traces run the full program).
+func wanJobs(b *testing.B, set sim.Settings) []batch.Job {
+	mk, ok := wire.Algorithm(benchAlgZig)
+	if !ok {
+		b.Fatalf("algorithm %q not registered", benchAlgZig)
+	}
+	jobs := make([]batch.Job, 0, 8)
+	for i := 0; i < 8; i++ {
+		chi := 1
+		if i%2 == 1 {
+			chi = -1
+		}
+		in := rendezvous.Instance{
+			R: 0.1, X: 200 + 10*float64(i), Y: float64(i%3) - 1,
+			Phi: float64(i) * 0.3, Tau: 1, V: 1, T: float64(i) * 0.25, Chi: chi,
+		}
+		wj := wire.Job{In: in, Alg: benchAlgZig, Set: set}
+		jobs = append(jobs, batch.Job{
+			A:        sim.AgentSpec{Attrs: in.AgentA(), Prog: mk(in), Radius: in.R},
+			B:        sim.AgentSpec{Attrs: in.AgentB(), Prog: mk(in), Radius: in.R},
+			Settings: set,
+			Key:      wj,
+			Wire:     &wj,
+		})
+	}
+	return jobs
+}
+
+func encodeResults(res []sim.Result) []byte {
+	var buf []byte
+	for _, r := range res {
+		buf = wire.AppendResult(buf, r)
+	}
+	return buf
+}
+
+// benchDistT2WAN runs the trace-heavy batch against one in-process TCP
+// worker behind a chaos proxy scripted as a WAN link (2ms propagation,
+// 1 MiB/s per direction). The figure of merit is sims/s with
+// compression off (raw) versus on (compressed): on a bandwidth-capped
+// link the reply traces dominate the wire, so the compressed run's
+// throughput gain is the wire path's WAN win — while every byte of the
+// results stays identical to the in-process batch.
+func benchDistT2WAN(b *testing.B, compress bool) {
+	set := sim.DefaultSettings()
+	set.MaxSegments = 50_000
+	set.TraceCap = 4096
+	set.Parallelism = 1
+	jobs := wanJobs(b, set)
+
+	want, _ := batch.Run(jobs, 1)
+	pts := 0
+	for _, r := range want {
+		pts += len(r.TraceA) + len(r.TraceB)
+	}
+	if pts < len(jobs)*4096 {
+		b.Fatalf("workload carries only %d trace points; the WAN benchmark would be vacuous", pts)
+	}
+	wantEnc := encodeResults(want)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("worker listen failed: %v", err)
+	}
+	srv := dist.NewServer(dist.ServeOptions{})
+	go srv.Serve(l)
+	defer srv.Shutdown()
+	proxy, err := dist.NewChaosProxy(l.Addr().String(), dist.ChaosPlan{
+		Default: dist.ConnScript{Delay: 2 * time.Millisecond, Bandwidth: 1 << 20},
+	})
+	if err != nil {
+		b.Fatalf("proxy start failed: %v", err)
+	}
+	defer proxy.Close()
+	hosts, err := dist.ParseHosts(proxy.Addr())
+	if err != nil {
+		b.Fatalf("parse hosts: %v", err)
+	}
+	f, err := dist.Dial(dist.Config{Hosts: hosts, Compress: compress, Window: 4})
+	if err != nil {
+		b.Fatalf("fleet dial failed: %v", err)
+	}
+	defer f.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := f.Run(jobs, 1)
+		if err != nil {
+			b.Fatalf("WAN batch failed: %v", err)
+		}
+		if !bytes.Equal(encodeResults(res), wantEnc) {
+			b.Fatal("WAN run diverged from in-process results")
+		}
+	}
+	b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+func BenchmarkDistT2WAN(b *testing.B) {
+	b.Run("raw", func(b *testing.B) { benchDistT2WAN(b, false) })
+	b.Run("compressed", func(b *testing.B) { benchDistT2WAN(b, true) })
+}
+
+// benchDistT5WAN ships the T5 Monte-Carlo chunks through the same
+// emulated WAN link (dialed fresh per iteration, so the figure includes
+// the handshake crossing the delay line). Sweep replies are small
+// scalar tallies — the contrast with DistT2WAN shows which workloads
+// compression pays on.
+func benchDistT5WAN(b *testing.B, compress bool) {
+	const n = 256_000
+	eps := []float64{0.25, 0.5}
+	box := measure.DefaultBox()
+	want := measure.SweepParallel(n, eps, box, 5, 1)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("worker listen failed: %v", err)
+	}
+	srv := dist.NewServer(dist.ServeOptions{})
+	go srv.Serve(l)
+	defer srv.Shutdown()
+	proxy, err := dist.NewChaosProxy(l.Addr().String(), dist.ChaosPlan{
+		Default: dist.ConnScript{Delay: 2 * time.Millisecond, Bandwidth: 4 << 20},
+	})
+	if err != nil {
+		b.Fatalf("proxy start failed: %v", err)
+	}
+	defer proxy.Close()
+	hosts, err := dist.ParseHosts(proxy.Addr())
+	if err != nil {
+		b.Fatalf("parse hosts: %v", err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := dist.Sweep(n, eps, box, 5, 1, dist.Config{Hosts: hosts, Compress: compress, Window: 2})
+		if err != nil {
+			b.Fatalf("WAN sweep failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			b.Fatal("WAN sweep diverged from in-process")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkDistT5WAN(b *testing.B) {
+	b.Run("raw", func(b *testing.B) { benchDistT5WAN(b, false) })
+	b.Run("compressed", func(b *testing.B) { benchDistT5WAN(b, true) })
 }
 
 // BenchmarkBatchTableT2 regenerates the full T2 table through the pool

@@ -29,6 +29,7 @@ func main() {
 	maxWindow := flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 	stall := flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
 	requeues := flag.Int("max-requeues", 0, "distinct workers a job may kill or stall before it is quarantined as a poison job (0 = 2 default; <0 = disabled)")
+	compress := flag.Bool("compress", false, "negotiate flate compression with TCP workers (WAN links; output is identical either way)")
 	metrics := flag.String("metrics", "", "HTTP address to expose the flight recorder on (/metrics, /statusz; empty: off)")
 	pprofOn := flag.Bool("pprof", false, "also expose /debug/pprof/ on the -metrics address")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -58,6 +59,7 @@ func main() {
 		Procs: *procs, Hosts: hostList,
 		Window: *window, MaxWindow: *maxWindow,
 		StallTimeout: *stall, MaxJobRequeues: *requeues,
+		Compress: *compress,
 	}
 
 	// One fleet session for all figures (see rvtable): dial once, share

@@ -41,6 +41,7 @@ func main() {
 		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 		stall     = flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
 		requeues  = flag.Int("max-requeues", 0, "distinct workers a job may kill or stall before it is quarantined as a poison job (0 = 2 default; <0 = disabled)")
+		compress  = flag.Bool("compress", false, "negotiate flate compression with TCP workers (WAN links; output is identical either way)")
 		metrics   = flag.String("metrics", "", "HTTP address to expose the flight recorder on (/metrics, /statusz; empty: off)")
 		pprofOn   = flag.Bool("pprof", false, "also expose /debug/pprof/ on the -metrics address")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -79,5 +80,5 @@ func main() {
 	// Unbuffered stdout: Fprintf issues one Write per row, so each row
 	// is visible (even through a pipe) the moment its result prefix
 	// completes.
-	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window, *maxWindow, *stall, *requeues))
+	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window, *maxWindow, *stall, *requeues, *compress))
 }

@@ -95,7 +95,7 @@ func TestStreamCSVRowBeforeBatchEnds(t *testing.T) {
 		},
 	}
 
-	set := SweepSettings(10_000, 2, "", 0, 0, 0, 0, 0)
+	set := SweepSettings(10_000, 2, "", 0, 0, 0, 0, 0, false)
 	cw := chanWriter{ch: make(chan string)}
 	done := make(chan struct{})
 	go func() {

@@ -57,8 +57,10 @@ func Points(mode string, from, to float64, steps int) (pts []Point, skipped []er
 // adaptive up to maxWindow when window == 0) and failure model (stall
 // is the liveness deadline for hung workers, maxRequeues the distinct-
 // worker-kill count that quarantines a poison job; zero keeps the
-// defaults, negative disables).
-func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWindow int, stall time.Duration, maxRequeues int) rendezvous.Settings {
+// defaults, negative disables). compress asks TCP worker connections to
+// negotiate flate compression — a WAN-link bandwidth saver that never
+// changes the emitted bytes.
+func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWindow int, stall time.Duration, maxRequeues int, compress bool) rendezvous.Settings {
 	set := rendezvous.DefaultSettings()
 	set.MaxSegments = maxSeg
 	set.Parallelism = workers
@@ -68,6 +70,7 @@ func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWi
 	set.MaxWindow = maxWindow
 	set.StallTimeout = stall
 	set.MaxJobRequeues = maxRequeues
+	set.Compress = compress
 	return set
 }
 
@@ -77,7 +80,7 @@ func SweepSettings(maxSeg, workers int, hosts string, workerProcs, window, maxWi
 // is byte-identical for every worker count.
 func SweepCSV(mode string, pts []Point, maxSeg, workers int) string {
 	var b strings.Builder
-	StreamCSV(&b, mode, pts, SweepSettings(maxSeg, workers, "", 0, 0, 0, 0, 0))
+	StreamCSV(&b, mode, pts, SweepSettings(maxSeg, workers, "", 0, 0, 0, 0, 0, false))
 	return b.String()
 }
 

@@ -1,0 +1,60 @@
+// Command rvwanproxy is a WAN emulator for the worker wire protocol: a
+// frame-aware TCP proxy that forwards coordinator↔worker traffic
+// through a delay line and a bandwidth cap, so the compression and
+// pipelining behavior of a real wide-area link can be exercised on
+// loopback.
+//
+//	rvworker -listen 127.0.0.1:9101 &
+//	rvwanproxy -listen 127.0.0.1:9102 -target 127.0.0.1:9101 -delay 20ms -bw 1048576 &
+//	rvtable -hosts 127.0.0.1:9102 -compress
+//
+// The delay is propagation (a delay line — pipelined frames overlap,
+// a window of W jobs costs one RTT, not W); the bandwidth cap is
+// serialization (each frame occupies the link for size/bw after the
+// previous frame clears). Compressed frames count at their transported
+// size, so negotiated compression genuinely buys throughput through
+// the cap. Frames are forwarded bit-exactly — the proxy never changes
+// what a run computes, only when its bytes arrive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9102", "TCP address to accept coordinator connections on")
+		target = flag.String("target", "", "rvworker -listen address to forward to (required)")
+		delay  = flag.Duration("delay", 0, "one-way propagation delay per frame, both directions (e.g. 20ms)")
+		bw     = flag.Int64("bw", 0, "per-direction bandwidth cap in bytes/sec, applied as serialization delay (0 = uncapped)")
+	)
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "rvwanproxy: -target is required")
+		os.Exit(2)
+	}
+	if *bw < 0 {
+		fmt.Fprintln(os.Stderr, "rvwanproxy: -bw must be >= 0")
+		os.Exit(2)
+	}
+
+	plan := dist.ChaosPlan{Default: dist.ConnScript{Delay: *delay, Bandwidth: *bw}}
+	p, err := dist.ListenChaosProxy(*listen, *target, plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvwanproxy:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rvwanproxy: %s -> %s (delay %s, bw %d B/s)\n", p.Addr(), *target, *delay, *bw)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	p.Close()
+}

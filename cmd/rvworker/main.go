@@ -50,6 +50,7 @@ func main() {
 		listen   = flag.String("listen", "", "TCP address to serve workers on (empty: serve stdin/stdout)")
 		list     = flag.Bool("list", false, "print the registered algorithm names and exit")
 		pool     = flag.Int("pool", 0, "in-worker execution pool per connection (0 = honor the stream's pool hint or the jobs' forwarded Parallelism; <0 = serial)")
+		compress = flag.Bool("compress", true, "accept per-connection flate compression when the coordinator offers it (-compress=false refuses, forcing raw frames)")
 		verbose  = flag.Bool("v", false, "log one line per served stream (peer and job count) to stderr")
 		metrics  = flag.String("metrics", "", "HTTP address to expose the flight recorder on (/metrics, /statusz; empty: off)")
 		pprofOn  = flag.Bool("pprof", false, "also expose /debug/pprof/ on the -metrics address")
@@ -76,7 +77,7 @@ func main() {
 		}
 		slog.Info("rvworker: metrics listening", "addr", addr.String(), "pprof", *pprofOn)
 	}
-	opts := dist.ServeOptions{Pool: *pool}
+	opts := dist.ServeOptions{Pool: *pool, NoCompress: !*compress}
 	if *verbose {
 		opts.Log = slog.Default()
 	}

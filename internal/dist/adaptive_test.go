@@ -167,18 +167,32 @@ func TestFixedWindowIgnoresObservations(t *testing.T) {
 	}
 }
 
+// flushedFrame is one frame a batcher flushed, decoded for assertions.
+type flushedFrame struct {
+	typ     byte
+	payload []byte
+}
+
 // readAllFrames drains every complete frame a batcher flushed.
-func readAllFrames(t *testing.T, buf *bytes.Buffer) []rawFrame {
+func readAllFrames(t *testing.T, buf *bytes.Buffer) []flushedFrame {
 	t.Helper()
-	var frames []rawFrame
+	var frames []flushedFrame
 	for buf.Len() > 0 {
 		typ, payload, err := wire.ReadFrame(buf)
 		if err != nil {
 			t.Fatalf("reading flushed frame: %v", err)
 		}
-		frames = append(frames, rawFrame{typ: typ, payload: payload})
+		frames = append(frames, flushedFrame{typ: typ, payload: payload})
 	}
 	return frames
+}
+
+// finishBytes adapts the pooled finish signature for literal test
+// payloads.
+func finishBytes(rb *replyBatcher, seq uint64, typ byte, body []byte) {
+	pb := wire.GetBuf()
+	pb.B = append(pb.B[:0], body...)
+	rb.finish(seq, typ, pb)
 }
 
 // TestReplyBatcherCoalescesDrain: three replies finished while the
@@ -193,12 +207,12 @@ func TestReplyBatcherCoalescesDrain(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		rb.begin()
 	}
-	rb.finish(0, wire.FrameResult, []byte("r0"))
-	rb.finish(2, wire.FrameError, []byte("e2"))
+	finishBytes(rb, 0, wire.FrameResult, []byte("r0"))
+	finishBytes(rb, 2, wire.FrameError, []byte("e2"))
 	if buf.Len() != 0 {
 		t.Fatal("batcher flushed before the window drained")
 	}
-	rb.finish(1, wire.FrameResult, []byte("r1"))
+	finishBytes(rb, 1, wire.FrameResult, []byte("r1"))
 	frames := readAllFrames(t, &buf)
 	if len(frames) != 1 || frames[0].typ != wire.FrameReplyBatch {
 		t.Fatalf("drain produced %d frames (first type %d), want one FrameReplyBatch", len(frames), frames[0].typ)
@@ -222,7 +236,7 @@ func TestReplyBatcherSingleReplyClassicFrame(t *testing.T) {
 	var buf bytes.Buffer
 	rb := &replyBatcher{bw: bufio.NewWriter(&buf)}
 	rb.begin()
-	rb.finish(5, wire.FrameResult, []byte("only"))
+	finishBytes(rb, 5, wire.FrameResult, []byte("only"))
 	frames := readAllFrames(t, &buf)
 	if len(frames) != 1 || frames[0].typ != wire.FrameResult {
 		t.Fatalf("lone reply produced %d frames (first type %d), want one FrameResult", len(frames), frames[0].typ)
@@ -242,11 +256,11 @@ func TestReplyBatcherSizeBound(t *testing.T) {
 	rb.begin()
 	rb.begin()
 	big := make([]byte, coalesceBytes)
-	rb.finish(0, wire.FrameResult, big)
+	finishBytes(rb, 0, wire.FrameResult, big)
 	if buf.Len() == 0 {
 		t.Fatal("oversized pending batch did not flush while a job was still in flight")
 	}
-	rb.finish(1, wire.FrameResult, []byte("tail"))
+	finishBytes(rb, 1, wire.FrameResult, []byte("tail"))
 	frames := readAllFrames(t, &buf)
 	if len(frames) != 2 {
 		t.Fatalf("%d frames, want 2 (size-bound flush + drain flush)", len(frames))
@@ -263,16 +277,16 @@ func TestReplyBatcherAgeBound(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		rb.begin()
 	}
-	rb.finish(0, wire.FrameResult, []byte("r0"))
+	finishBytes(rb, 0, wire.FrameResult, []byte("r0"))
 	if buf.Len() != 0 {
 		t.Fatal("fresh reply flushed before its age bound")
 	}
 	time.Sleep(5 * time.Millisecond)
-	rb.finish(1, wire.FrameResult, []byte("r1")) // r0 is now over-age: flush both
+	finishBytes(rb, 1, wire.FrameResult, []byte("r1")) // r0 is now over-age: flush both
 	if buf.Len() == 0 {
 		t.Fatal("over-age pending reply did not flush while a job was still in flight")
 	}
-	rb.finish(2, wire.FrameResult, []byte("r2"))
+	finishBytes(rb, 2, wire.FrameResult, []byte("r2"))
 	frames := readAllFrames(t, &buf)
 	if len(frames) != 2 {
 		t.Fatalf("%d frames, want 2 (age-bound flush + drain flush)", len(frames))

@@ -67,6 +67,14 @@ type ConnScript struct {
 	// read while earlier ones wait, so pipelining survives and a
 	// window of W jobs costs one RTT, not W.
 	Delay time.Duration
+	// Bandwidth caps each direction at the given bytes per second,
+	// modeled as serialization delay: each frame occupies the link for
+	// size/Bandwidth after the previous frame finishes transmitting, and
+	// Delay (propagation) stacks on top — the textbook latency model a
+	// real WAN imposes. Zero means uncapped. Frames on the wire count at
+	// their transported size, so negotiated compression genuinely buys
+	// throughput through a capped proxy.
+	Bandwidth int64
 	// ToWorker faults strike coordinator→worker frames; ToCoord faults
 	// strike worker→coordinator frames.
 	ToWorker []Fault
@@ -105,7 +113,14 @@ type ChaosProxy struct {
 // NewChaosProxy starts a proxy on a loopback port forwarding to the
 // target worker address under the plan.
 func NewChaosProxy(target string, plan ChaosPlan) (*ChaosProxy, error) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	return ListenChaosProxy("127.0.0.1:0", target, plan)
+}
+
+// ListenChaosProxy is NewChaosProxy on an explicit listen address, for
+// rigs (the CI WAN leg's rvwanproxy) that need a predictable endpoint
+// rather than a kernel-assigned port.
+func ListenChaosProxy(listen, target string, plan ChaosPlan) (*ChaosProxy, error) {
+	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
 	}
@@ -191,8 +206,8 @@ func (p *ChaosProxy) serve(in net.Conn, sc ConnScript) {
 			p.untrack(out)
 		})
 	}
-	go pump(out, in, sc.ToWorker, sc.Delay, closeBoth)
-	go pump(in, out, sc.ToCoord, sc.Delay, closeBoth)
+	go pump(out, in, sc.ToWorker, sc.Delay, sc.Bandwidth, closeBoth)
+	go pump(in, out, sc.ToCoord, sc.Delay, sc.Bandwidth, closeBoth)
 }
 
 // chunk is one scheduled write of the delay line: raw bytes due at a
@@ -204,11 +219,11 @@ type chunk struct {
 }
 
 // pump forwards frames src→dst, applying the direction's faults by
-// frame index and the script's delay. The reader half keeps consuming
-// src even while earlier frames wait in the delay line (pipelining)
-// and after a hang fault (so the sender never blocks on a full
-// buffer); the writer half performs the scheduled writes.
-func pump(dst, src net.Conn, faults []Fault, delay time.Duration, closeBoth func()) {
+// frame index and the script's delay and bandwidth cap. The reader
+// half keeps consuming src even while earlier frames wait in the delay
+// line (pipelining) and after a hang fault (so the sender never blocks
+// on a full buffer); the writer half performs the scheduled writes.
+func pump(dst, src net.Conn, faults []Fault, delay time.Duration, bw int64, closeBoth func()) {
 	line := make(chan chunk, 64)
 	go func() { // writer: drain the delay line
 		defer closeBoth()
@@ -232,6 +247,12 @@ func pump(dst, src net.Conn, faults []Fault, delay time.Duration, closeBoth func
 	defer close(line)
 	br := bufio.NewReader(src)
 	hung := false
+	// busyUntil is the serialization clock of the capped link: the
+	// instant the previous frame's last byte clears it. A frame starts
+	// transmitting at max(now, busyUntil), occupies size/bw, and then
+	// propagates for delay — so back-to-back frames queue behind each
+	// other the way they would on a real capped pipe.
+	var busyUntil time.Time
 	for i := 0; ; i++ {
 		typ, payload, err := wire.ReadFrame(br)
 		if err != nil {
@@ -261,7 +282,14 @@ func pump(dst, src net.Conn, faults []Fault, delay time.Duration, closeBoth func
 		}
 		buf := encodeRaw(typ, payload)
 		var due time.Time
-		if delay > 0 {
+		if bw > 0 {
+			now := time.Now()
+			if busyUntil.Before(now) {
+				busyUntil = now
+			}
+			busyUntil = busyUntil.Add(time.Duration(float64(len(buf)) / float64(bw) * float64(time.Second)))
+			due = busyUntil.Add(delay)
+		} else if delay > 0 {
 			due = time.Now().Add(delay)
 		}
 		if f == nil {

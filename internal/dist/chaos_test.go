@@ -277,7 +277,7 @@ func TestHungWorkerRequeued(t *testing.T) {
 			}
 			go func() {
 				defer conn.Close()
-				if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
+				if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(0)); err != nil {
 					return
 				}
 				br := bufio.NewReader(conn)
@@ -463,7 +463,7 @@ func TestBreakerOpensThenDegrades(t *testing.T) {
 			}
 			go func() {
 				defer conn.Close()
-				if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
+				if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(0)); err != nil {
 					return
 				}
 				wire.ReadFrame(conn)
@@ -534,7 +534,7 @@ func TestBreakerHalfOpenRecovery(t *testing.T) {
 			if i < 2 {
 				go func() {
 					defer conn.Close()
-					if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
+					if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(0)); err != nil {
 						return
 					}
 					wire.ReadFrame(conn)

@@ -149,7 +149,25 @@ type Config struct {
 	// re-opens, and resets when the slot completes a healthy
 	// connection. 0 selects DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// Compress negotiates flate frame compression (wire v6) with every
+	// worker whose hello advertises wire.CapCompress: frames with
+	// payloads of at least DefaultCompressMin bytes are deflated on
+	// both directions of the stream. Transport only — payloads decode
+	// bit-exactly — so it trades coordinator/worker CPU for wire bytes:
+	// a win on bandwidth-starved WAN links, a wash on localhost. A
+	// worker that does not advertise the capability simply gets an
+	// uncompressed stream; unlike a version mismatch this is not an
+	// error.
+	Compress bool
 }
+
+// DefaultCompressMin is the smallest frame payload worth deflating
+// when Config.Compress negotiates compression: below it the flate
+// header overhead and the per-frame CPU cost outweigh any plausible
+// saving (a bare job frame is ~200 bytes and ships once per job; the
+// frames that dominate WAN transfer — coalesced reply batches and
+// trace chunks — run tens of kilobytes).
+const DefaultCompressMin = 256
 
 // Enabled reports whether the config names any workers at all.
 func (c Config) Enabled() bool { return len(c.Hosts) > 0 || c.Procs > 0 }
@@ -249,11 +267,17 @@ type jobError struct{ msg string }
 func (e *jobError) Error() string { return e.msg }
 
 // rawFrame is one frame as the persistent reader pulled it off the
-// connection, type still uninterpreted.
+// connection, type still uninterpreted. The payload lives in a pooled
+// buffer: whoever consumes the frame must call release once the
+// payload — and anything aliasing it, such as DecodeReplies entries —
+// is dead.
 type rawFrame struct {
-	typ     byte
-	payload []byte
+	typ byte
+	buf *wire.Buf
 }
+
+func (f rawFrame) payload() []byte { return f.buf.B }
+func (f rawFrame) release()        { f.buf.Release() }
 
 // workerConn is one worker connection (spawned subprocess or TCP). The
 // write half is owned by whichever dispatch is driving the connection;
@@ -264,7 +288,9 @@ type workerConn struct {
 	name      string
 	br        *bufio.Reader
 	bw        *bufio.Writer
-	wmu       sync.Mutex // serializes writes: the dispatch sender vs. the matcher's liveness pings
+	fr        *wire.FrameReader // stateful framing over br (pooled buffers, inflation)
+	fw        *wire.FrameWriter // stateful framing over bw (reused assembly, deflation)
+	wmu       sync.Mutex        // serializes writes: the dispatch sender vs. the matcher's liveness pings
 	closeOnce sync.Once
 	closeFn   func()
 
@@ -297,7 +323,8 @@ func (wc *workerConn) close() {
 			// a frame the drain swallows simply leaves its task in
 			// flight, and a failing connection requeues those.
 			go func() {
-				for range wc.frames {
+				for f := range wc.frames {
+					f.release()
 				}
 			}()
 		}
@@ -313,12 +340,12 @@ func (wc *workerConn) startReader() {
 	go func() {
 		defer close(wc.frames)
 		for {
-			typ, payload, err := wire.ReadFrame(wc.br)
+			typ, buf, err := wc.fr.ReadFrame()
 			if err != nil {
 				wc.readErr = err
 				return
 			}
-			wc.frames <- rawFrame{typ: typ, payload: payload}
+			wc.frames <- rawFrame{typ: typ, buf: buf}
 		}
 	}()
 }
@@ -328,7 +355,7 @@ func (wc *workerConn) startReader() {
 func (wc *workerConn) send(seq uint64, typ byte, payload []byte) error {
 	wc.wmu.Lock()
 	defer wc.wmu.Unlock()
-	if err := wire.WriteFrame(wc.bw, typ, wire.AppendSeq(seq, payload)); err != nil {
+	if err := wc.fw.WriteFrameSeq(typ, seq, payload); err != nil {
 		return err
 	}
 	return wc.bw.Flush()
@@ -340,7 +367,7 @@ func (wc *workerConn) send(seq uint64, typ byte, payload []byte) error {
 func (wc *workerConn) ping(nonce uint64) error {
 	wc.wmu.Lock()
 	defer wc.wmu.Unlock()
-	if err := wire.WriteFrame(wc.bw, wire.FramePing, wire.EncodePing(nonce)); err != nil {
+	if err := wc.fw.WriteFrame(wire.FramePing, wire.EncodePing(nonce)); err != nil {
 		return err
 	}
 	return wc.bw.Flush()
@@ -399,9 +426,10 @@ func assemble(cfg Config) ([]*slot, []error) {
 }
 
 // awaitHello reads and validates the worker's hello frame, bounded by
-// timeout; cancel must unblock the pending read (kill the process,
-// close the connection) so the reader goroutine is always reaped.
-func awaitHello(name string, br *bufio.Reader, cancel func(), timeout time.Duration) error {
+// timeout, returning the capability bitmask the worker advertised;
+// cancel must unblock the pending read (kill the process, close the
+// connection) so the reader goroutine is always reaped.
+func awaitHello(name string, br *bufio.Reader, cancel func(), timeout time.Duration) (uint32, error) {
 	type frame struct {
 		typ     byte
 		payload []byte
@@ -415,19 +443,20 @@ func awaitHello(name string, br *bufio.Reader, cancel func(), timeout time.Durat
 	select {
 	case f := <-ch:
 		if f.err != nil {
-			return fmt.Errorf("dist: %s: reading hello: %w", name, f.err)
+			return 0, fmt.Errorf("dist: %s: reading hello: %w", name, f.err)
 		}
 		if f.typ != wire.FrameHello {
-			return fmt.Errorf("dist: %s: first frame is type %d, not hello", name, f.typ)
+			return 0, fmt.Errorf("dist: %s: first frame is type %d, not hello", name, f.typ)
 		}
-		if err := wire.CheckHello(f.payload); err != nil {
-			return fmt.Errorf("dist: %s: %w", name, err)
+		caps, err := wire.CheckHello(f.payload)
+		if err != nil {
+			return 0, fmt.Errorf("dist: %s: %w", name, err)
 		}
-		return nil
+		return caps, nil
 	case <-time.After(timeout):
 		cancel()
 		<-ch
-		return fmt.Errorf("dist: %s: no hello within %v (is the peer a worker?)", name, timeout)
+		return 0, fmt.Errorf("dist: %s: no hello within %v (is the peer a worker?)", name, timeout)
 	}
 }
 
@@ -438,10 +467,31 @@ func sendPoolHint(wc *workerConn, pool int) error {
 	if pool <= 0 {
 		return nil
 	}
-	if err := wire.WriteFrame(wc.bw, wire.FramePool, wire.EncodePoolHint(pool)); err != nil {
+	if err := wc.fw.WriteFrame(wire.FramePool, wire.EncodePoolHint(pool)); err != nil {
 		return err
 	}
 	return wc.bw.Flush()
+}
+
+// negotiateCompress turns compression on for the stream when the
+// config asks for it and the worker's hello advertised the capability.
+// The FrameCompress hint goes out uncompressed (the writer is enabled
+// only after it is flushed), before any job; the worker compresses
+// nothing before processing it, so enabling our reader here cannot
+// race. A worker without the capability just gets a raw stream.
+func negotiateCompress(wc *workerConn, cfg Config, caps uint32) error {
+	if !cfg.Compress || caps&wire.CapCompress == 0 {
+		return nil
+	}
+	if err := wc.fw.WriteFrame(wire.FrameCompress, wire.EncodeCompressHint(DefaultCompressMin)); err != nil {
+		return err
+	}
+	if err := wc.bw.Flush(); err != nil {
+		return err
+	}
+	wc.fw.EnableCompression(DefaultCompressMin)
+	wc.fr.EnableCompression()
+	return nil
 }
 
 // dialWorker connects to a TCP worker endpoint. Keepalives are enabled
@@ -463,13 +513,20 @@ func dialWorker(h Host, cfg Config) (*workerConn, error) {
 		bw:      bufio.NewWriter(conn),
 		closeFn: func() { conn.Close() },
 	}
-	if err := awaitHello(wc.name, wc.br, func() { conn.Close() }, cfg.helloTimeout()); err != nil {
+	wc.fr = wire.NewFrameReader(wc.br)
+	wc.fw = wire.NewFrameWriter(wc.bw)
+	caps, err := awaitHello(wc.name, wc.br, func() { conn.Close() }, cfg.helloTimeout())
+	if err != nil {
 		wc.close()
 		return nil, err
 	}
 	if err := sendPoolHint(wc, h.Pool); err != nil {
 		wc.close()
 		return nil, fmt.Errorf("dist: %s: sending pool hint: %w", wc.name, err)
+	}
+	if err := negotiateCompress(wc, cfg, caps); err != nil {
+		wc.close()
+		return nil, fmt.Errorf("dist: %s: negotiating compression: %w", wc.name, err)
 	}
 	wc.startReader()
 	return wc, nil
@@ -521,9 +578,16 @@ func spawnWorker(cfg Config, ordinal int) (*workerConn, error) {
 			}
 		},
 	}
-	if err := awaitHello(name, wc.br, kill, cfg.helloTimeout()); err != nil {
+	wc.fr = wire.NewFrameReader(wc.br)
+	wc.fw = wire.NewFrameWriter(wc.bw)
+	caps, err := awaitHello(name, wc.br, kill, cfg.helloTimeout())
+	if err != nil {
 		wc.close()
 		return nil, err
+	}
+	if err := negotiateCompress(wc, cfg, caps); err != nil {
+		wc.close()
+		return nil, fmt.Errorf("dist: %s: negotiating compression: %w", name, err)
 	}
 	wc.startReader()
 	return wc, nil

@@ -192,7 +192,7 @@ func flakyWorker(t *testing.T, l net.Listener) {
 		return
 	}
 	defer conn.Close()
-	if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
+	if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(0)); err != nil {
 		t.Error(err)
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -310,6 +311,53 @@ type task struct {
 	// the bytes are corrupt, which retires the connection that produced
 	// them and requeues the task elsewhere.
 	deliver func(body []byte) error
+	// deliverStreamed, when non-nil, consumes a streamed result: the
+	// closing frame's body plus the trace points the matcher assembled
+	// from the preceding FrameTraceChunk frames (wire v6). Tasks that
+	// leave it nil (sweep chunks) treat any trace chunk as a protocol
+	// violation.
+	deliverStreamed func(body []byte, a, b []sim.TracePoint) error
+}
+
+// traceAssembly accumulates one in-flight job's streamed trace chunks
+// until its closing result frame arrives. Chunks arrive in worker
+// write order — all of trace A, then all of trace B, indexes
+// sequential within each — and anything else is stream corruption.
+type traceAssembly struct {
+	a, b         []sim.TracePoint
+	nextA, nextB uint32
+}
+
+func (as *traceAssembly) add(body []byte) error {
+	// Peek the which byte (offset 1, after the version byte) to pick
+	// the destination slice, so the decoder appends straight into the
+	// assembly instead of through a throwaway intermediate.
+	dst := as.a
+	if len(body) >= 2 && body[1] == wire.TraceChunkB {
+		dst = as.b
+	}
+	which, index, out, err := wire.DecodeTraceChunk(body, dst)
+	if err != nil {
+		return err
+	}
+	switch which {
+	case wire.TraceChunkA:
+		if as.nextB != 0 {
+			return fmt.Errorf("dist: trace chunk for trace A after trace B began")
+		}
+		if index != as.nextA {
+			return fmt.Errorf("dist: trace A chunk %d arrived, expected %d", index, as.nextA)
+		}
+		as.nextA++
+		as.a = out
+	default:
+		if index != as.nextB {
+			return fmt.Errorf("dist: trace B chunk %d arrived, expected %d", index, as.nextB)
+		}
+		as.nextB++
+		as.b = out
+	}
+	return nil
 }
 
 // slot is one position in the worker fleet: a (possibly live)
@@ -724,6 +772,25 @@ func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 			cond.Broadcast()
 			mu.Unlock()
 		}
+		// Streamed-trace reassembly (wire v6), keyed by sequence number.
+		// Local to this matcher: a connection death discards its partial
+		// assemblies with it, and the requeued jobs start their streams
+		// over on a survivor.
+		var asm map[uint64]*traceAssembly
+		// Wire byte counters: fold this connection's per-frame tallies
+		// into the process counters as deltas, and surface the combined
+		// compression ratio per slot.
+		var lastTxW, lastRxW uint64
+		bytesTick := func() {
+			tx, rx := wc.fw.Stats(), wc.fr.Stats()
+			mWireTxBytes.Add(tx.Wire - lastTxW)
+			mWireRxBytes.Add(rx.Wire - lastRxW)
+			lastTxW, lastRxW = tx.Wire, rx.Wire
+			if onWire := tx.Wire + rx.Wire; onWire > 0 && wc.fw.Compressing() {
+				s.met.compression.Set(float64(tx.Raw+rx.Raw) / float64(onWire))
+			}
+		}
+		defer bytesTick()
 		// The stall deadline and its check interval, recomputed per
 		// fire because the RTT EWMA moves. The interval quarters the
 		// deadline so a stall is declared within ~1.25× the configured
@@ -790,21 +857,24 @@ func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 					lastRecv = time.Now()
 					mu.Unlock()
 				}
+				bytesTick()
 				var replies []wire.Reply
+				var single [1]wire.Reply
 				switch f.typ {
 				case wire.FrameReplyBatch:
 					var err error
-					if replies, err = wire.DecodeReplies(f.payload); err != nil {
+					if replies, err = wire.DecodeReplies(f.payload()); err != nil {
 						die(err)
 						return
 					}
-				case e.resFrame, wire.FrameError:
-					seq, body, err := wire.SplitSeq(f.payload)
+				case e.resFrame, wire.FrameError, wire.FrameTraceChunk:
+					seq, body, err := wire.SplitSeq(f.payload())
 					if err != nil {
 						die(err)
 						return
 					}
-					replies = []wire.Reply{{Seq: seq, Typ: f.typ, Body: body}}
+					single[0] = wire.Reply{Seq: seq, Typ: f.typ, Body: body}
+					replies = single[:]
 				case wire.FramePong:
 					// Liveness echo: its arrival already reset the stall
 					// clock, which is its load-bearing meaning. Since wire
@@ -813,9 +883,10 @@ func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 					// ignored rather than fatal — the probe did its job by
 					// arriving.
 					mPongs.Inc()
-					if _, ws, perr := wire.DecodePong(f.payload); perr == nil {
+					if _, ws, perr := wire.DecodePong(f.payload()); perr == nil {
 						wc.stats.Store(&ws)
 					}
+					f.release()
 					continue
 				default:
 					die(fmt.Errorf("unexpected frame type %d", f.typ))
@@ -838,6 +909,38 @@ func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 					gap, adapt = wc.win.settleGap(now, len(replies))
 				}
 				for _, r := range replies {
+					if r.Typ == wire.FrameTraceChunk {
+						// One bounded run of a streamed trace: accumulate it
+						// against the job's assembly and move on. The job
+						// stays in flight — only its closing result frame
+						// settles it — so a connection death mid-stream
+						// requeues the job and discards the partial assembly
+						// with this matcher.
+						mu.Lock()
+						fj, ok := inflight[r.Seq]
+						mu.Unlock()
+						if !ok {
+							die(fmt.Errorf("trace chunk for sequence %d that is not in flight", r.Seq))
+							return
+						}
+						if e.tasks[fj.k].deliverStreamed == nil {
+							die(fmt.Errorf("unexpected trace chunk for job %d", e.tasks[fj.k].id))
+							return
+						}
+						as := asm[r.Seq]
+						if as == nil {
+							if asm == nil {
+								asm = make(map[uint64]*traceAssembly)
+							}
+							as = &traceAssembly{}
+							asm[r.Seq] = as
+						}
+						if err := as.add(r.Body); err != nil {
+							die(err)
+							return
+						}
+						continue
+					}
 					mu.Lock()
 					fj, ok := inflight[r.Seq]
 					if ok {
@@ -863,7 +966,17 @@ func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 					}
 					switch r.Typ {
 					case e.resFrame:
-						if derr := e.tasks[fj.k].deliver(r.Body); derr != nil {
+						var derr error
+						if as, streamed := asm[r.Seq]; streamed {
+							// The chunks came first (per-stream order), so an
+							// existing assembly is what marks this result as
+							// the streamed closer.
+							delete(asm, r.Seq)
+							derr = e.tasks[fj.k].deliverStreamed(r.Body, as.a, as.b)
+						} else {
+							derr = e.tasks[fj.k].deliver(r.Body)
+						}
+						if derr != nil {
 							// Corrupt reply: requeue the task (it already left
 							// the in-flight map) and retire the connection.
 							e.requeue(fj.k, s)
@@ -876,7 +989,9 @@ func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 					case wire.FrameError:
 						// Deterministic job failure: requeueing would fail
 						// identically on every worker. Count it settled so the
-						// run drains; the overall error reports it.
+						// run drains; the overall error reports it. Any
+						// partial trace stream is abandoned with it.
+						delete(asm, r.Seq)
 						e.failJob(fmt.Errorf("dist: job %d on %s: %w", e.tasks[fj.k].id, wc.name, &jobError{msg: string(r.Body)}))
 						settled++
 						s.met.settled.Inc()
@@ -887,6 +1002,7 @@ func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
 						return
 					}
 				}
+				f.release()
 			}
 		}
 	}()

@@ -359,6 +359,23 @@ func run(f *Fleet, jobs []batch.Job, canon, uniq, remote, local []int, localWork
 					deliver(i, res)
 					return nil
 				},
+				// Long traces arrive as chunk frames the matcher assembled;
+				// the closer carries only the scalars plus the point counts
+				// the worker streamed, cross-checked here so a dropped or
+				// duplicated chunk can never settle silently.
+				deliverStreamed: func(body []byte, a, b []sim.TracePoint) error {
+					res, nA, nB, err := wire.DecodeStreamedResult(body)
+					if err != nil {
+						return err
+					}
+					if nA != uint32(len(a)) || nB != uint32(len(b)) {
+						return fmt.Errorf("streamed result trace counts %d/%d do not match assembled %d/%d",
+							nA, nB, len(a), len(b))
+					}
+					res.TraceA, res.TraceB = a, b
+					deliver(i, res)
+					return nil
+				},
 			}
 		}
 		wg.Add(1)

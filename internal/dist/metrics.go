@@ -35,6 +35,10 @@ var (
 		"Liveness pings sent to silent connections with jobs in flight.")
 	mPongs = obs.NewCounter("rv_dist_pong_total",
 		"Liveness pong echoes received (each carries a WorkerStats payload since wire v5).")
+	mWireTxBytes = obs.NewCounter("rv_wire_tx_bytes_total",
+		"Bytes this coordinator put on worker connections, after any negotiated compression.")
+	mWireRxBytes = obs.NewCounter("rv_wire_rx_bytes_total",
+		"Bytes this coordinator took off worker connections, before any negotiated decompression.")
 
 	gBreakerOpen = obs.NewGaugeVec("rv_dist_breaker_open",
 		"1 while the slot's circuit breaker is open, 0 when closed.", "slot")
@@ -44,6 +48,8 @@ var (
 		"Current send-window size of the slot's connection (adaptive windows only).", "slot")
 	gRTT = obs.NewGaugeVec("rv_dist_rtt_seconds",
 		"EWMA reply round-trip time of the slot's connection (adaptive windows only).", "slot")
+	gCompressionRatio = obs.NewGaugeVec("rv_dist_compression_ratio",
+		"Uncompressed-to-wire byte ratio of the slot's connection, both directions combined; 1 when compression was not negotiated.", "slot")
 
 	hJobLatency = obs.NewHistogram("rv_dist_job_latency_seconds",
 		"Per-job reply round-trip latency, recorded on adaptive windows only: fixed-window dispatch deliberately skips every clock read (the PR6 hot path), so it has no timestamps to observe.",
@@ -65,11 +71,19 @@ var (
 		"Error replies produced (decode failures, panics, job errors).")
 	wPings = obs.NewCounter("rv_worker_pings_total",
 		"Liveness pings echoed as stats-carrying pongs.")
+	wWireTxBytes = obs.NewCounter("rv_worker_wire_tx_bytes_total",
+		"Bytes this worker put on coordinator streams, after any negotiated compression.")
+	wWireRawBytes = obs.NewCounter("rv_worker_wire_raw_bytes_total",
+		"Bytes this worker's outgoing frames would have occupied uncompressed.")
+	wWireRxBytes = obs.NewCounter("rv_worker_wire_rx_bytes_total",
+		"Bytes this worker took off coordinator streams, before any negotiated decompression.")
 
 	gwInflight = obs.NewGauge("rv_worker_inflight",
 		"Jobs currently executing or queued across all streams.")
 	gwPool = obs.NewGauge("rv_worker_pool",
 		"Most recently resolved per-stream execution pool size.")
+	gwCompressionRatio = obs.NewGauge("rv_worker_compression_ratio",
+		"Uncompressed-to-wire byte ratio of this worker's outgoing frames on its most recently flushed compressing stream; 0 until compression is negotiated.")
 )
 
 // slotMetrics caches one slot's children of the per-slot families, so
@@ -86,6 +100,7 @@ type slotMetrics struct {
 	inflight    *obs.Gauge
 	window      *obs.Gauge
 	rtt         *obs.Gauge
+	compression *obs.Gauge
 }
 
 func newSlotMetrics(name string) *slotMetrics {
@@ -100,5 +115,6 @@ func newSlotMetrics(name string) *slotMetrics {
 		inflight:     gInflight.With(name),
 		window:       gWindow.With(name),
 		rtt:          gRTT.With(name),
+		compression:  gCompressionRatio.With(name),
 	}
 }

@@ -113,9 +113,11 @@ func refreshWorkerStats(wc *workerConn, nonce uint64) {
 			if f.typ != wire.FramePong {
 				// Not a pong: between dispatches nothing else should be
 				// in flight; drop it and keep waiting for the echo.
+				f.release()
 				continue
 			}
-			n, ws, err := wire.DecodePong(f.payload)
+			n, ws, err := wire.DecodePong(f.payload())
+			f.release()
 			if err != nil {
 				return
 			}

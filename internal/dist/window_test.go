@@ -44,7 +44,7 @@ func maybeFlakyStdio() {
 		os.Exit(1)
 	}
 	bw := bufio.NewWriter(os.Stdout)
-	wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHello())
+	wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHello(0))
 	bw.Flush()
 	wire.ReadFrame(bufio.NewReader(os.Stdin)) // swallow one job
 	os.Exit(1)
@@ -85,7 +85,7 @@ func windowedFlakyWorker(t *testing.T, l net.Listener, swallow int) {
 		return
 	}
 	defer conn.Close()
-	if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
+	if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(0)); err != nil {
 		t.Error(err)
 		return
 	}
@@ -266,7 +266,7 @@ func TestRespawnBudgetExhausted(t *testing.T) {
 			}
 			go func() {
 				defer conn.Close()
-				if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
+				if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(0)); err != nil {
 					return
 				}
 				wire.ReadFrame(conn)
@@ -341,7 +341,7 @@ func TestSweepFallbackSplicesDeliveredChunks(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello()); err != nil {
+		if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello(0)); err != nil {
 			return
 		}
 		for k := 0; k < 2; k++ {

@@ -41,6 +41,11 @@ type ServeOptions struct {
 	// Name labels the stream in Log events (e.g. the peer address);
 	// empty means "stream".
 	Name string
+	// NoCompress stops the stream's hello from advertising
+	// wire.CapCompress, so a coordinator asking for compression gets a
+	// plain stream (the rvworker -compress=false flag: a worker whose
+	// CPU is its scarce resource opts out fleet-wide).
+	NoCompress bool
 }
 
 // streamStats is one stream's flight-recorder state, mirrored into
@@ -128,13 +133,18 @@ const coalesceAge = time.Millisecond
 type replyBatcher struct {
 	mu       sync.Mutex
 	bw       *bufio.Writer
-	st       *streamStats  // stream flight recorder; nil in unit tests of the batcher alone
-	age      time.Duration // max wait of the oldest pending reply; 0 = coalesceAge
-	err      error         // first write failure; sticks, suppressing the rest
+	fw       *wire.FrameWriter // framing over bw; nil in unit tests makes newReplyBatcher wrap bw
+	st       *streamStats      // stream flight recorder; nil in unit tests of the batcher alone
+	age      time.Duration     // max wait of the oldest pending reply; 0 = coalesceAge
+	err      error             // first write failure; sticks, suppressing the rest
 	inflight int
 	pending  []wire.Reply
+	owned    []*wire.Buf // pooled bodies to release once flushed; index-parallel with pending, entries may be nil
 	bytes    int
+	scratch  []byte    // reused FrameReplyBatch assembly
 	oldest   time.Time // when the oldest pending reply was added
+	lastRaw  uint64    // fw.Stats() watermark for the tx byte counters
+	lastWire uint64
 }
 
 // begin reserves an in-flight slot for a job entering the executor
@@ -168,17 +178,19 @@ func (rb *replyBatcher) account(typ byte) {
 // failures answered in order, without an executor).
 func (rb *replyBatcher) post(seq uint64, typ byte, body []byte) {
 	rb.mu.Lock()
-	rb.add(seq, typ, body)
+	rb.add(seq, typ, body, nil)
 	rb.maybeFlush()
 	rb.mu.Unlock()
 	rb.account(typ)
 }
 
-// finish queues one executor's reply and releases its in-flight slot.
-func (rb *replyBatcher) finish(seq uint64, typ byte, body []byte) {
+// finish queues one executor's reply — its body living in a pooled
+// buffer the batcher releases after the flush — and releases the
+// executor's in-flight slot.
+func (rb *replyBatcher) finish(seq uint64, typ byte, pb *wire.Buf) {
 	rb.mu.Lock()
 	rb.inflight--
-	rb.add(seq, typ, body)
+	rb.add(seq, typ, pb.B, pb)
 	rb.maybeFlush()
 	rb.mu.Unlock()
 	if rb.st != nil {
@@ -188,14 +200,30 @@ func (rb *replyBatcher) finish(seq uint64, typ byte, body []byte) {
 	rb.account(typ)
 }
 
-func (rb *replyBatcher) add(seq uint64, typ byte, body []byte) {
+// chunk queues one trace chunk of a streamed result. Chunks keep the
+// job's in-flight slot (only the closing finish releases it) and are
+// not replies in the flight recorder's sense; each chunk runs tens of
+// kilobytes, so the byte bound flushes the batch promptly and a
+// streamed trace never accumulates in worker memory.
+func (rb *replyBatcher) chunk(seq uint64, pb *wire.Buf) {
+	rb.mu.Lock()
+	rb.add(seq, wire.FrameTraceChunk, pb.B, pb)
+	rb.maybeFlush()
+	rb.mu.Unlock()
+}
+
+func (rb *replyBatcher) add(seq uint64, typ byte, body []byte, owned *wire.Buf) {
 	if rb.err != nil {
+		if owned != nil {
+			owned.Release()
+		}
 		return
 	}
 	if len(rb.pending) == 0 {
 		rb.oldest = time.Now()
 	}
 	rb.pending = append(rb.pending, wire.Reply{Seq: seq, Typ: typ, Body: body})
+	rb.owned = append(rb.owned, owned)
 	rb.bytes += 13 + len(body)
 }
 
@@ -210,24 +238,55 @@ func (rb *replyBatcher) maybeFlush() {
 	}
 }
 
-// flush writes the pending replies as one frame. Callers hold mu.
+// writer returns the stream's frame writer, wrapping the raw buffered
+// writer on first use (unit tests construct bare batchers).
+func (rb *replyBatcher) writer() *wire.FrameWriter {
+	if rb.fw == nil {
+		rb.fw = wire.NewFrameWriter(rb.bw)
+	}
+	return rb.fw
+}
+
+// flush writes the pending replies as one frame and releases their
+// pooled bodies. Callers hold mu.
 func (rb *replyBatcher) flush() {
 	if rb.err != nil || len(rb.pending) == 0 {
 		return
 	}
+	fw := rb.writer()
 	var err error
 	if len(rb.pending) == 1 {
 		r := rb.pending[0]
-		err = wire.WriteFrame(rb.bw, r.Typ, wire.AppendSeq(r.Seq, r.Body))
+		err = fw.WriteFrameSeq(r.Typ, r.Seq, r.Body)
 	} else {
-		err = wire.WriteFrame(rb.bw, wire.FrameReplyBatch, wire.EncodeReplies(rb.pending))
+		rb.scratch = wire.AppendReplies(rb.scratch[:0], rb.pending)
+		err = fw.WriteFrame(wire.FrameReplyBatch, rb.scratch)
 	}
 	if err == nil {
 		err = rb.bw.Flush()
 	}
 	rb.err = err
+	for i := range rb.owned {
+		rb.owned[i].Release()
+	}
+	for i := range rb.pending {
+		rb.pending[i] = wire.Reply{}
+	}
+	for i := range rb.owned {
+		rb.owned[i] = nil
+	}
 	rb.pending = rb.pending[:0]
+	rb.owned = rb.owned[:0]
 	rb.bytes = 0
+	if rb.st != nil {
+		tx := fw.Stats()
+		wWireRawBytes.Add(tx.Raw - rb.lastRaw)
+		wWireTxBytes.Add(tx.Wire - rb.lastWire)
+		rb.lastRaw, rb.lastWire = tx.Raw, tx.Wire
+		if fw.Compressing() && tx.Wire > 0 {
+			gwCompressionRatio.Set(float64(tx.Raw) / float64(tx.Wire))
+		}
+	}
 }
 
 func (rb *replyBatcher) dead() bool {
@@ -256,7 +315,7 @@ func (rb *replyBatcher) pong(payload []byte) {
 	if rb.err != nil {
 		return
 	}
-	if err := wire.WriteFrame(rb.bw, wire.FramePong, wire.EncodePong(payload, ws)); err != nil {
+	if err := rb.writer().WriteFrame(wire.FramePong, wire.EncodePong(payload, ws)); err != nil {
 		rb.err = err
 		return
 	}
@@ -265,19 +324,58 @@ func (rb *replyBatcher) pong(payload []byte) {
 	}
 }
 
+// enableCompression turns on deflation for the stream's outgoing
+// frames (the coordinator sent FrameCompress). Under mu so it cannot
+// interleave with a flush in progress.
+func (rb *replyBatcher) enableCompression(minSize int) {
+	rb.mu.Lock()
+	rb.writer().EnableCompression(minSize)
+	rb.mu.Unlock()
+}
+
 // safeExecute runs one job's executor, converting a panic into the
 // deterministic per-job FrameError reply: a simulation is a pure
 // function of its job, so a panicking job would panic identically on
 // every worker it is requeued to — report it once as a job failure
 // instead of killing a worker process (and, requeue by requeue, the
 // fleet's whole respawn budget) per retry.
-func safeExecute(execute func() (byte, []byte)) (typ byte, body []byte) {
+func safeExecute(execute func() (byte, *wire.Buf)) (typ byte, body *wire.Buf) {
 	defer func() {
 		if p := recover(); p != nil {
-			typ, body = wire.FrameError, fmt.Appendf(nil, "job panicked on worker: %v", p)
+			pb := wire.GetBuf()
+			pb.B = fmt.Appendf(pb.B, "job panicked on worker: %v", p)
+			typ, body = wire.FrameError, pb
 		}
 	}()
 	return execute()
+}
+
+// traceChunkPoints is the trace streaming knob: a result whose traces
+// total more points than this streams as FrameTraceChunk frames of at
+// most this many points each, closed by a streamed-result frame,
+// instead of materializing one giant result frame. 4096 points ≈ 96KiB
+// per chunk — big enough to amortize framing, small enough that the
+// coordinator's torn-frame defenses and the batcher's byte bound keep
+// working. A var, not a const, so tests can lower it to exercise
+// streaming with small traces.
+var traceChunkPoints = 4096
+
+// streamTraces posts a result's traces as bounded chunk frames through
+// the reply batcher, in order: all of trace A, then all of trace B,
+// then the caller's streamed-result closer. Per-stream write order is
+// what lets the coordinator reassemble by plain append.
+func streamTraces(rb *replyBatcher, seq uint64, res sim.Result) {
+	streamOne := func(which byte, tr []sim.TracePoint) {
+		for i, idx := 0, uint32(0); i < len(tr); idx++ {
+			end := min(i+traceChunkPoints, len(tr))
+			cb := wire.GetBuf()
+			cb.B = wire.AppendTraceChunk(cb.B, which, idx, tr[i:end])
+			rb.chunk(seq, cb)
+			i = end
+		}
+	}
+	streamOne(wire.TraceChunkA, res.TraceA)
+	streamOne(wire.TraceChunkB, res.TraceB)
 }
 
 // Serve runs the worker side of the protocol on one byte stream: send
@@ -301,7 +399,11 @@ func Serve(r io.Reader, w io.Writer) error { return ServeWith(r, w, ServeOptions
 func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
-	if err := wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHello()); err != nil {
+	caps := wire.CapCompress
+	if opts.NoCompress {
+		caps = 0
+	}
+	if err := wire.WriteFrame(bw, wire.FrameHello, wire.EncodeHello(caps)); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -310,7 +412,8 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 
 	wStreams.Inc()
 	st := &streamStats{}
-	rb := &replyBatcher{bw: bw, st: st}
+	fr := wire.NewFrameReader(br)
+	rb := &replyBatcher{bw: bw, fw: wire.NewFrameWriter(bw), st: st}
 	var (
 		wg      sync.WaitGroup
 		pool    chan struct{}
@@ -337,24 +440,32 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		return werr
 	}
 
+	var lastRx uint64
 	for {
-		typ, payload, err := wire.ReadFrame(br)
+		typ, pb, err := fr.ReadFrame()
 		if err == io.EOF {
 			return finish(nil) // coordinator closed the stream: done
 		}
 		if err != nil {
 			return finish(err)
 		}
+		if rx := fr.Stats(); rx.Wire != lastRx {
+			wWireRxBytes.Add(rx.Wire - lastRx)
+			lastRx = rx.Wire
+		}
+		payload := pb.B
 		if rb.dead() {
 			// A reply already failed to write: the coordinator is gone.
 			// Executing jobs still buffered on the read side would burn
 			// CPU on results nobody can receive.
+			pb.Release()
 			return finish(nil)
 		}
 		if typ == wire.FramePing {
 			// Liveness probe: echo the payload verbatim, from the read
 			// loop, so the answer never queues behind the executors.
 			rb.pong(payload)
+			pb.Release()
 			continue
 		}
 		if typ == wire.FramePool {
@@ -362,6 +473,7 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 			// sent before the first job (late hints cannot resize a pool
 			// already running and are ignored).
 			h, err := wire.DecodePoolHint(payload)
+			pb.Release()
 			if err != nil {
 				return finish(err)
 			}
@@ -370,18 +482,36 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 			}
 			continue
 		}
+		if typ == wire.FrameCompress {
+			// Stream configuration: the coordinator saw our CapCompress
+			// and turned compression on. Everything it sends from here
+			// on may be compressed; our replies deflate symmetrically.
+			minSize, err := wire.DecodeCompressHint(payload)
+			pb.Release()
+			if err != nil {
+				return finish(err)
+			}
+			if !opts.NoCompress {
+				fr.EnableCompression()
+				rb.enableCompression(minSize)
+			}
+			continue
+		}
 		seq, body, err := wire.SplitSeq(payload)
 		if err != nil {
+			pb.Release()
 			return finish(err)
 		}
 
 		// Decode on the read loop (cheap, and malformed jobs answer
-		// FrameError in order); execute on the pool.
-		var execute func() (byte, []byte)
+		// FrameError in order); execute on the pool. Decoding copies
+		// everything out of the frame buffer, so it is released here.
+		var execute func() (byte, *wire.Buf)
 		var par int
 		switch typ {
 		case wire.FrameJob:
 			j, err := wire.DecodeJob(body)
+			pb.Release()
 			if err != nil {
 				rb.post(seq, wire.FrameError, []byte(err.Error()))
 				continue
@@ -392,20 +522,32 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 				continue
 			}
 			par = j.Set.Parallelism
-			execute = func() (byte, []byte) {
-				return wire.FrameResult, wire.EncodeResult(sim.Run(bj.A, bj.B, bj.Settings))
+			execute = func() (byte, *wire.Buf) {
+				res := sim.Run(bj.A, bj.B, bj.Settings)
+				out := wire.GetBuf()
+				if len(res.TraceA)+len(res.TraceB) > traceChunkPoints {
+					streamTraces(rb, seq, res)
+					out.B = wire.AppendStreamedResult(out.B, res)
+				} else {
+					out.B = wire.AppendResult(out.B, res)
+				}
+				return wire.FrameResult, out
 			}
 		case wire.FrameSweepJob:
 			sj, err := wire.DecodeSweepJob(body)
+			pb.Release()
 			if err != nil {
 				rb.post(seq, wire.FrameError, []byte(err.Error()))
 				continue
 			}
 			par = sj.Par
-			execute = func() (byte, []byte) {
-				return wire.FrameSweepResult, wire.EncodeMeasureStats(measure.Sweep(sj.N, sj.Eps, sj.Box, sj.Seed))
+			execute = func() (byte, *wire.Buf) {
+				out := wire.GetBuf()
+				out.B = append(out.B, wire.EncodeMeasureStats(measure.Sweep(sj.N, sj.Eps, sj.Box, sj.Seed))...)
+				return wire.FrameSweepResult, out
 			}
 		default:
+			pb.Release()
 			return finish(fmt.Errorf("dist: worker received unexpected frame type %d", typ))
 		}
 		served++
@@ -434,7 +576,7 @@ func ServeWith(r io.Reader, w io.Writer, opts ServeOptions) error {
 		// bounds how many run. Each goroutine captures the semaphore it
 		// was enqueued under — a later resize happens only after
 		// wg.Wait has drained every holder of the old one.
-		go func(seq uint64, pool chan struct{}, execute func() (byte, []byte)) {
+		go func(seq uint64, pool chan struct{}, execute func() (byte, *wire.Buf)) {
 			defer wg.Done()
 			pool <- struct{}{}
 			defer func() { <-pool }()

@@ -133,6 +133,13 @@ type Settings struct {
 	// 0 selects the default (currently 2); negative disables the
 	// quarantine. A single Run and an in-process batch ignore it.
 	MaxJobRequeues int
+	// Compress asks the distributed coordinator to negotiate flate
+	// frame compression with every worker that advertises the
+	// capability (wire v6), shrinking large frames — trace-carrying
+	// results above all — on bandwidth-starved links. Transport only:
+	// payloads decode bit-exactly, so no value can change a byte of
+	// output. A single Run and an in-process batch ignore it.
+	Compress bool
 }
 
 // DefaultSettings returns permissive bounds suitable for tests:

@@ -59,8 +59,16 @@ import (
 // worker's per-stream flight-recorder counters piggybacked on every
 // liveness echo, which Fleet.Snapshot surfaces — a v4 coordinator
 // would reject the longer pong as trailing bytes, so mixed v4/v5
+// fleets are refused at hello);
+// v6 — PR 9 (Settings.Compress; the hello carries a capability
+// bitmask — CapCompress advertises flate frame compression, which the
+// coordinator enables per connection with FrameCompress; long traces
+// stream as bounded FrameTraceChunk frames closed by a
+// streamed-result message instead of one giant result frame — a v5
+// coordinator would reject the capability word as trailing hello
+// bytes and misparse a compressed or chunked stream, so mixed v5/v6
 // fleets are refused at hello).
-const Version = 5
+const Version = 6
 
 // maxSlice bounds decoded slice and string lengths, so a corrupt or
 // hostile stream cannot request an absurd allocation.
@@ -246,7 +254,8 @@ func appendSettings(b []byte, s sim.Settings) []byte {
 	b = appendI64(b, int64(s.Window))
 	b = appendI64(b, int64(s.MaxWindow))
 	b = appendI64(b, int64(s.StallTimeout))
-	return appendI64(b, int64(s.MaxJobRequeues))
+	b = appendI64(b, int64(s.MaxJobRequeues))
+	return appendBool(b, s.Compress)
 }
 
 func (d *dec) settings() sim.Settings {
@@ -265,6 +274,7 @@ func (d *dec) settings() sim.Settings {
 	s.MaxWindow = int(d.i64())
 	s.StallTimeout = time.Duration(d.i64())
 	s.MaxJobRequeues = int(d.i64())
+	s.Compress = d.boolean()
 	return s
 }
 
@@ -349,11 +359,7 @@ func (d *dec) trace() []sim.TracePoint {
 	return tr
 }
 
-// EncodeResult serializes a simulation result, traces included. Every
-// float crosses as its exact bit pattern, so the decoded result is
-// indistinguishable from one computed in-process.
-func EncodeResult(r sim.Result) []byte {
-	b := append([]byte(nil), Version)
+func appendResultScalars(b []byte, r sim.Result) []byte {
 	b = appendBool(b, r.Met)
 	b = appendI64(b, int64(r.Reason))
 	b = appendDD(b, r.MeetTime)
@@ -362,15 +368,10 @@ func EncodeResult(r sim.Result) []byte {
 	b = appendVec(b, r.EndA)
 	b = appendVec(b, r.EndB)
 	b = appendI64(b, int64(r.Segments))
-	b = appendDD(b, r.EndTime)
-	b = appendTrace(b, r.TraceA)
-	return appendTrace(b, r.TraceB)
+	return appendDD(b, r.EndTime)
 }
 
-// DecodeResult inverts EncodeResult.
-func DecodeResult(b []byte) (sim.Result, error) {
-	d := &dec{b: b}
-	d.version()
+func (d *dec) resultScalars() sim.Result {
 	var r sim.Result
 	r.Met = d.boolean()
 	r.Reason = sim.StopReason(d.i64())
@@ -381,7 +382,123 @@ func DecodeResult(b []byte) (sim.Result, error) {
 	r.EndB = d.vec()
 	r.Segments = int(d.i64())
 	r.EndTime = d.ddT()
+	return r
+}
+
+// AppendResult appends the serialized result — version byte, scalars,
+// traces — to b and returns the extended slice, so hot paths can encode
+// into a pooled buffer instead of allocating per call.
+func AppendResult(b []byte, r sim.Result) []byte {
+	b = append(b, Version)
+	b = appendResultScalars(b, r)
+	b = appendTrace(b, r.TraceA)
+	return appendTrace(b, r.TraceB)
+}
+
+// EncodeResult serializes a simulation result, traces included. Every
+// float crosses as its exact bit pattern, so the decoded result is
+// indistinguishable from one computed in-process.
+func EncodeResult(r sim.Result) []byte {
+	return AppendResult(nil, r)
+}
+
+// DecodeResult inverts EncodeResult.
+func DecodeResult(b []byte) (sim.Result, error) {
+	d := &dec{b: b}
+	d.version()
+	r := d.resultScalars()
 	r.TraceA = d.trace()
 	r.TraceB = d.trace()
 	return r, d.finish("result")
+}
+
+// ---- streamed result + trace chunks ----
+//
+// A trace-capped run can carry megabytes of trace in one result frame.
+// Streaming splits that into bounded FrameTraceChunk frames — each a
+// run of consecutive points from one trace — followed by a closing
+// FrameResult whose body is a streamed result: the scalars plus the
+// point counts the coordinator must have assembled. The chunks and the
+// closer travel on the same reply stream as ordinary results, so
+// per-job ordering is preserved and reassembly is a straight append.
+
+// TraceChunkA and TraceChunkB tag which of the two walker traces a
+// chunk extends.
+const (
+	TraceChunkA byte = 0
+	TraceChunkB byte = 1
+)
+
+// AppendTraceChunk appends a serialized trace chunk — version byte,
+// which trace, chunk index within that trace, and the points — to b.
+func AppendTraceChunk(b []byte, which byte, index uint32, pts []sim.TracePoint) []byte {
+	b = append(b, Version)
+	b = append(b, which)
+	b = appendU32(b, index)
+	return appendTrace(b, pts)
+}
+
+// EncodeTraceChunk serializes a trace chunk as a standalone message.
+func EncodeTraceChunk(which byte, index uint32, pts []sim.TracePoint) []byte {
+	return AppendTraceChunk(nil, which, index, pts)
+}
+
+// DecodeTraceChunk decodes a trace chunk, appending its points to dst
+// (which may be nil) and returning the extended slice. Chunks are
+// required to be non-empty: an empty trace sends no chunks at all, so
+// a zero-point chunk is a protocol violation, not a degenerate case.
+func DecodeTraceChunk(b []byte, dst []sim.TracePoint) (which byte, index uint32, out []sim.TracePoint, err error) {
+	d := &dec{b: b}
+	d.version()
+	which = d.u8()
+	if d.err == nil && which != TraceChunkA && which != TraceChunkB {
+		d.fail("trace chunk tags unknown trace %d", which)
+	}
+	index = d.u32()
+	n := d.u32()
+	if d.err == nil && n == 0 {
+		d.fail("empty trace chunk")
+	}
+	if n > maxSlice/24 {
+		d.fail("trace chunk length %d exceeds limit", n)
+	}
+	out = dst
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		t := d.f64()
+		out = append(out, sim.TracePoint{T: t, Pos: d.vec()})
+	}
+	if err = d.finish("trace chunk"); err != nil {
+		return 0, 0, dst, err
+	}
+	return which, index, out, nil
+}
+
+// AppendStreamedResult appends the closing message of a streamed
+// result: the scalars plus the total point count of each trace, which
+// the coordinator checks against what the chunks delivered.
+func AppendStreamedResult(b []byte, r sim.Result) []byte {
+	b = append(b, Version)
+	b = appendResultScalars(b, r)
+	b = appendU32(b, uint32(len(r.TraceA)))
+	return appendU32(b, uint32(len(r.TraceB)))
+}
+
+// EncodeStreamedResult serializes the streamed-result closer as a
+// standalone message.
+func EncodeStreamedResult(r sim.Result) []byte {
+	return AppendStreamedResult(nil, r)
+}
+
+// DecodeStreamedResult decodes a streamed-result closer, returning the
+// scalar result (traces nil) and the expected point counts.
+func DecodeStreamedResult(b []byte) (r sim.Result, nA, nB uint32, err error) {
+	d := &dec{b: b}
+	d.version()
+	r = d.resultScalars()
+	nA = d.u32()
+	nB = d.u32()
+	if err = d.finish("streamed result"); err != nil {
+		return sim.Result{}, 0, 0, err
+	}
+	return r, nA, nB, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Framing: every message on a coordinator↔worker byte stream (stdio
@@ -61,7 +62,37 @@ const (
 	// connection's stall clock; the stats ride along so a liveness
 	// probe doubles as a flight-recorder read (Fleet.Snapshot).
 	FramePong byte = 10
+	// FrameTraceChunk carries a u64 sequence number followed by
+	// EncodeTraceChunk: one bounded run of trace points for the job that
+	// seq identifies (wire v6). A worker streams a long trace as chunk
+	// frames on the reply stream and closes with a FrameResult whose
+	// body is EncodeStreamedResult; the coordinator appends chunks in
+	// arrival order — per-job reply order is already guaranteed — and a
+	// chunk does not settle the job or free a window slot.
+	FrameTraceChunk byte = 11
+	// FrameCompress is sent by a coordinator after validating a hello
+	// that advertises CapCompress: EncodeCompressHint of the minimum
+	// payload size worth compressing. Like FramePool it is not
+	// seq-prefixed — it configures the stream — and must precede the
+	// first job frame. From the moment each side processes it, frames
+	// on the stream may arrive with the compressedBit set on the type
+	// byte; it is never itself compressed.
+	FrameCompress byte = 12
 )
+
+// compressedBit marks a frame whose payload is flate-compressed on the
+// type byte (see stream.go). The bit keeps plain frame types below 128
+// readable by any peer; a stream that never negotiated compression
+// rejects the bit as an unknown frame type instead of misparsing.
+const compressedBit byte = 0x80
+
+// CapCompress is the hello capability bit a worker sets to advertise
+// that it accepts flate-compressed frames (wire v6). The coordinator
+// turns the capability on per connection with FrameCompress; a worker
+// that advertised it must accept compressed frames, but either side
+// may still send any frame uncompressed (small payloads, incompressible
+// payloads).
+const CapCompress uint32 = 1 << 0
 
 // MaxFrame bounds a frame payload; traces are capped by TraceCap, so
 // real frames are far smaller and anything larger is stream corruption.
@@ -111,12 +142,34 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	if n < 1 || n > MaxFrame {
 		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
 	}
-	body := make([]byte, 0, min(n, frameChunk))
-	for len(body) < n {
-		c := min(n-len(body), frameChunk)
-		off := len(body)
-		body = append(body, make([]byte, c)...)
-		if _, err := io.ReadFull(r, body[off:]); err != nil {
+	var body []byte
+	if n <= frameChunk {
+		body = make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
+		}
+	} else {
+		// A length prefix larger than one chunk is only believed after
+		// the first chunk actually arrives: the probe reads into a
+		// pooled scratch buffer, so a corrupt header fails with a clean
+		// truncation error before the full allocation is committed —
+		// and the surviving path costs one allocation for the body
+		// instead of a fresh zero-filled temp per chunk.
+		probe := chunkScratch.Get().(*[]byte)
+		if _, err := io.ReadFull(r, *probe); err != nil {
+			chunkScratch.Put(probe)
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
+		}
+		body = make([]byte, n)
+		copy(body, *probe)
+		chunkScratch.Put(probe)
+		if _, err := io.ReadFull(r, body[frameChunk:]); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
@@ -126,27 +179,68 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	return body[0], body[1:], nil
 }
 
-// EncodeHello builds the hello payload a worker sends on connect.
-func EncodeHello() []byte {
+// chunkScratch pools the probe buffers ReadFrame uses for bodies larger
+// than one chunk.
+var chunkScratch = sync.Pool{New: func() any {
+	b := make([]byte, frameChunk)
+	return &b
+}}
+
+// EncodeHello builds the hello payload a worker sends on connect: the
+// protocol magic, the wire version, and the capability bitmask (v6) —
+// CapCompress is the only bit defined today.
+func EncodeHello(caps uint32) []byte {
 	b := appendStr(nil, helloMagic)
-	return appendU32(b, Version)
+	b = appendU32(b, Version)
+	return appendU32(b, caps)
 }
 
-// CheckHello validates a hello payload against this build's protocol.
-func CheckHello(payload []byte) error {
+// CheckHello validates a hello payload against this build's protocol
+// and returns the peer's capability bitmask. Magic and version are
+// checked before the capability word is even looked at, so a v5 hello
+// (which has no capability word) fails with a version message, not a
+// truncation message.
+func CheckHello(payload []byte) (uint32, error) {
 	d := &dec{b: payload}
 	magic := d.str()
 	ver := d.u32()
-	if err := d.finish("hello"); err != nil {
-		return err
+	if d.err != nil {
+		return 0, d.finish("hello")
 	}
 	if magic != helloMagic {
-		return fmt.Errorf("wire: peer is not a rendezvous worker (magic %q)", magic)
+		return 0, fmt.Errorf("wire: peer is not a rendezvous worker (magic %q)", magic)
 	}
 	if ver != Version {
-		return fmt.Errorf("wire: worker speaks wire version %d, this build speaks %d", ver, Version)
+		return 0, fmt.Errorf("wire: worker speaks wire version %d, this build speaks %d", ver, Version)
 	}
-	return nil
+	caps := d.u32()
+	if err := d.finish("hello"); err != nil {
+		return 0, err
+	}
+	return caps, nil
+}
+
+// EncodeCompressHint builds the FrameCompress payload: the minimum
+// frame payload size, in bytes, the coordinator considers worth
+// compressing on this stream. Both sides apply the same threshold so
+// neither wastes cycles deflating frames the other would rather have
+// raw.
+func EncodeCompressHint(minSize int) []byte {
+	return appendU32([]byte{Version}, uint32(minSize))
+}
+
+// DecodeCompressHint inverts EncodeCompressHint.
+func DecodeCompressHint(payload []byte) (int, error) {
+	d := &dec{b: payload}
+	d.version()
+	minSize := d.u32()
+	if err := d.finish("compress hint"); err != nil {
+		return 0, err
+	}
+	if minSize == 0 || minSize > MaxFrame {
+		return 0, fmt.Errorf("wire: compress threshold %d out of range", minSize)
+	}
+	return int(minSize), nil
 }
 
 // AppendSeq prefixes a payload with the u64 job sequence number.
@@ -262,14 +356,11 @@ type Reply struct {
 	Body []byte
 }
 
-// EncodeReplies builds a FrameReplyBatch payload from the coalesced
-// replies, in the order the worker finished them.
-func EncodeReplies(replies []Reply) []byte {
-	n := 4
-	for _, r := range replies {
-		n += 13 + len(r.Body)
-	}
-	b := appendU32(make([]byte, 0, n), uint32(len(replies)))
+// AppendReplies appends a FrameReplyBatch payload to b — the coalesced
+// replies in the order the worker finished them — so the worker's
+// flush path can encode into a pooled buffer.
+func AppendReplies(b []byte, replies []Reply) []byte {
+	b = appendU32(b, uint32(len(replies)))
 	for _, r := range replies {
 		b = appendU64(b, r.Seq)
 		b = append(b, r.Typ)
@@ -277,6 +368,16 @@ func EncodeReplies(replies []Reply) []byte {
 		b = append(b, r.Body...)
 	}
 	return b
+}
+
+// EncodeReplies builds a FrameReplyBatch payload from the coalesced
+// replies, in the order the worker finished them.
+func EncodeReplies(replies []Reply) []byte {
+	n := 4
+	for _, r := range replies {
+		n += 13 + len(r.Body)
+	}
+	return AppendReplies(make([]byte, 0, n), replies)
 }
 
 // DecodeReplies inverts EncodeReplies. Entry bodies alias the payload

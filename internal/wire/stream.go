@@ -1,0 +1,323 @@
+package wire
+
+// Stateful frame I/O for the hot path. The package-level WriteFrame /
+// ReadFrame allocate per call and know nothing about compression —
+// right for handshakes, tests, and the chaos proxy, which forwards
+// compressed frames opaquely. A long-lived connection instead owns a
+// FrameWriter / FrameReader pair: reusable assembly buffers, pooled
+// payload buffers, and optional negotiated flate compression
+// (CapCompress at hello, enabled per stream by FrameCompress).
+//
+// A compressed frame keeps the outer framing — 4-byte length, type
+// byte, body — but sets compressedBit on the type byte and lays the
+// body out as
+//
+//	4 bytes  big-endian raw payload length
+//	n bytes  flate (DEFLATE) stream of the raw payload
+//
+// Decoded bytes are bit-exact, so compression is invisible above the
+// framing layer: the byte-identity determinism argument (DESIGN.md
+// §6–§8) never sees it. Either side may send any frame raw — the
+// writer falls back when deflate fails to shrink the payload — but a
+// stream that never negotiated the capability rejects compressedBit as
+// an unknown frame type instead of misparsing.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// maxPooledBuf bounds the capacity a pooled buffer may keep between
+// uses; anything larger (a trace-heavy result on a stream that did not
+// negotiate chunking) is dropped rather than pinned in the pool.
+const maxPooledBuf = 4 << 20
+
+// Buf is a pooled byte buffer. The pool holds *Buf, not []byte, so a
+// round trip through it moves no slice header into an interface and
+// the steady state stays at zero allocations.
+type Buf struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+
+// GetBuf returns a pooled buffer with an empty (length-0) slice.
+func GetBuf() *Buf { return bufPool.Get().(*Buf) }
+
+// Release returns the buffer to the pool. The caller must not touch
+// b.B afterwards; oversized backing arrays are dropped, not pooled.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	if cap(b.B) > maxPooledBuf {
+		b.B = nil
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}
+
+// grow returns b extended to length n, preserving its contents;
+// reallocation happens only when the capacity is insufficient.
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	nb := make([]byte, n)
+	copy(nb, b)
+	return nb
+}
+
+// IOStats is a point-in-time read of one direction of a stream: the
+// bytes frames would have occupied uncompressed and the bytes actually
+// put on (or taken off) the wire. Raw/Wire is the compression ratio;
+// the two are equal on a stream that never negotiated compression.
+type IOStats struct {
+	Raw  uint64
+	Wire uint64
+}
+
+// ioCount is the shared atomic tally behind IOStats.
+type ioCount struct {
+	raw  atomic.Uint64
+	wire atomic.Uint64
+}
+
+func (c *ioCount) add(raw, wire int) {
+	c.raw.Add(uint64(raw))
+	c.wire.Add(uint64(wire))
+}
+
+func (c *ioCount) stats() IOStats {
+	return IOStats{Raw: c.raw.Load(), Wire: c.wire.Load()}
+}
+
+// appendWriter is the reusable sink the flate encoder deflates into.
+type appendWriter struct{ b []byte }
+
+func (aw *appendWriter) Write(p []byte) (int, error) {
+	aw.b = append(aw.b, p...)
+	return len(p), nil
+}
+
+// FrameWriter writes frames through a reused assembly buffer, with
+// optional negotiated compression. Not safe for concurrent use; every
+// stream already serializes writes (the worker's replyBatcher mutex,
+// the coordinator's per-connection write mutex).
+type FrameWriter struct {
+	w       io.Writer
+	minSize int // compress payloads >= this; 0 disables
+	buf     []byte
+	seq     []byte
+	aw      appendWriter
+	enc     *flate.Writer
+	n       ioCount
+}
+
+// NewFrameWriter wraps w. Compression is off until EnableCompression.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w}
+}
+
+// EnableCompression turns on flate compression for payloads of at
+// least minSize bytes. The caller is responsible for ordering: nothing
+// compressed may be written before the peer has processed the
+// negotiation (hello capability + FrameCompress).
+func (fw *FrameWriter) EnableCompression(minSize int) {
+	if minSize < 1 {
+		minSize = 1
+	}
+	fw.minSize = minSize
+}
+
+// Compressing reports whether compression has been enabled.
+func (fw *FrameWriter) Compressing() bool { return fw.minSize > 0 }
+
+// Stats returns the writer's byte tallies. Safe to call concurrently
+// with writes.
+func (fw *FrameWriter) Stats() IOStats { return fw.n.stats() }
+
+// WriteFrame writes one frame, compressing the payload when the stream
+// negotiated it, the payload is large enough, and deflate actually
+// shrinks it; otherwise the frame goes out raw, bit-identical to
+// package-level WriteFrame.
+func (fw *FrameWriter) WriteFrame(typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds limit", len(payload))
+	}
+	rawN := 5 + len(payload)
+	if fw.minSize > 0 && len(payload) >= fw.minSize {
+		fw.aw.b = fw.aw.b[:0]
+		if fw.enc == nil {
+			// BestSpeed: the wire path is latency-sensitive and the
+			// payloads (trace floats with sparse mantissas) compress
+			// well even at the fastest setting.
+			enc, err := flate.NewWriter(&fw.aw, flate.BestSpeed)
+			if err != nil {
+				return fmt.Errorf("wire: flate init: %w", err)
+			}
+			fw.enc = enc
+		} else {
+			fw.enc.Reset(&fw.aw)
+		}
+		if _, err := fw.enc.Write(payload); err != nil {
+			return fmt.Errorf("wire: deflate: %w", err)
+		}
+		if err := fw.enc.Close(); err != nil {
+			return fmt.Errorf("wire: deflate: %w", err)
+		}
+		if len(fw.aw.b)+4 < len(payload) {
+			fw.buf = fw.buf[:0]
+			fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(fw.aw.b)+5))
+			fw.buf = append(fw.buf, typ|compressedBit)
+			fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(payload)))
+			fw.buf = append(fw.buf, fw.aw.b...)
+			_, err := fw.w.Write(fw.buf)
+			fw.n.add(rawN, len(fw.buf))
+			return err
+		}
+		// Incompressible: send raw. The receiver never needs to know.
+	}
+	fw.buf = fw.buf[:0]
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(len(payload)+1))
+	fw.buf = append(fw.buf, typ)
+	fw.buf = append(fw.buf, payload...)
+	_, err := fw.w.Write(fw.buf)
+	fw.n.add(rawN, rawN)
+	return err
+}
+
+// WriteFrameSeq writes one seq-prefixed frame — the stateful, zero-
+// allocation equivalent of WriteFrame(w, typ, AppendSeq(seq, payload)).
+func (fw *FrameWriter) WriteFrameSeq(typ byte, seq uint64, payload []byte) error {
+	fw.seq = binary.BigEndian.AppendUint64(fw.seq[:0], seq)
+	fw.seq = append(fw.seq, payload...)
+	return fw.WriteFrame(typ, fw.seq)
+}
+
+// FrameReader reads frames into pooled buffers, inflating negotiated
+// compression transparently. Not safe for concurrent use; each stream
+// has exactly one reader goroutine.
+type FrameReader struct {
+	r      io.Reader
+	accept bool // compressed frames are legal on this stream
+	src    *bytes.Reader
+	inf    io.ReadCloser
+	n      ioCount
+	// hdr and one live here, not on ReadFrame's stack: a local array
+	// sliced into an interface-typed Read escapes, and that one heap
+	// allocation per frame is exactly what the pooled path exists to
+	// avoid (pinned by TestWirePoolAllocFree).
+	hdr [5]byte
+	one [1]byte
+}
+
+// NewFrameReader wraps r. Compressed frames are rejected until
+// EnableCompression.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, src: bytes.NewReader(nil)}
+}
+
+// EnableCompression makes compressed frames legal on this stream.
+func (fr *FrameReader) EnableCompression() { fr.accept = true }
+
+// Stats returns the reader's byte tallies. Safe to call concurrently
+// with reads.
+func (fr *FrameReader) Stats() IOStats { return fr.n.stats() }
+
+// ReadFrame reads one frame into a pooled buffer, which the caller
+// must Release once the payload — and anything aliasing it, such as
+// DecodeReplies entries — is dead. EOF semantics match package-level
+// ReadFrame: bare io.EOF between frames, wrapped ErrUnexpectedEOF for
+// a stream torn mid-frame.
+func (fr *FrameReader) ReadFrame() (typ byte, pb *Buf, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := int(binary.BigEndian.Uint32(fr.hdr[:4]))
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	typ = fr.hdr[4]
+	m := n - 1 // payload bytes after the type byte
+	pb = GetBuf()
+	// Probe-first, as in package ReadFrame: commit at most one chunk
+	// of buffer growth before the stream proves a large length prefix
+	// credible by actually delivering the first chunk.
+	c := min(m, frameChunk)
+	pb.B = grow(pb.B[:0], c)
+	if _, err := io.ReadFull(fr.r, pb.B); err != nil {
+		pb.Release()
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
+	}
+	if m > c {
+		pb.B = grow(pb.B, m)
+		if _, err := io.ReadFull(fr.r, pb.B[c:]); err != nil {
+			pb.Release()
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, fmt.Errorf("wire: reading %d-byte frame: %w", n, err)
+		}
+	}
+	if typ&compressedBit == 0 {
+		fr.n.add(5+m, 5+m)
+		return typ, pb, nil
+	}
+	raw, err := fr.inflate(typ, pb)
+	pb.Release()
+	if err != nil {
+		return 0, nil, err
+	}
+	fr.n.add(5+len(raw.B), 5+m)
+	return typ &^ compressedBit, raw, nil
+}
+
+// inflate decodes a compressed frame body into a fresh pooled buffer.
+func (fr *FrameReader) inflate(typ byte, pb *Buf) (*Buf, error) {
+	if !fr.accept {
+		return nil, fmt.Errorf("wire: compressed frame (type %d) on a stream that never negotiated compression", typ&^compressedBit)
+	}
+	if len(pb.B) < 4 {
+		return nil, fmt.Errorf("wire: compressed frame body %d bytes is shorter than its length prefix", len(pb.B))
+	}
+	rawLen := binary.BigEndian.Uint32(pb.B[:4])
+	if rawLen == 0 || rawLen > MaxFrame {
+		return nil, fmt.Errorf("wire: compressed frame declares %d raw bytes, out of range", rawLen)
+	}
+	fr.src.Reset(pb.B[4:])
+	if fr.inf == nil {
+		fr.inf = flate.NewReader(fr.src)
+	} else if err := fr.inf.(flate.Resetter).Reset(fr.src, nil); err != nil {
+		return nil, fmt.Errorf("wire: inflate reset: %w", err)
+	}
+	out := GetBuf()
+	out.B = grow(out.B[:0], int(rawLen))
+	if _, err := io.ReadFull(fr.inf, out.B); err != nil {
+		out.Release()
+		return nil, fmt.Errorf("wire: inflating %d-byte payload: %w", rawLen, err)
+	}
+	// The declared length must be exact: more decompressed bytes or
+	// undrained compressed input is stream corruption.
+	if k, err := fr.inf.Read(fr.one[:]); k != 0 {
+		out.Release()
+		return nil, fmt.Errorf("wire: compressed payload longer than declared %d bytes", rawLen)
+	} else if err != io.EOF {
+		out.Release()
+		return nil, fmt.Errorf("wire: inflating %d-byte payload: %v", rawLen, err)
+	}
+	if fr.src.Len() != 0 {
+		out.Release()
+		return nil, fmt.Errorf("wire: %d trailing bytes after deflate stream", fr.src.Len())
+	}
+	return out, nil
+}

@@ -29,7 +29,7 @@ func TestCodecCoversAllFields(t *testing.T) {
 		want int
 	}{
 		{"inst.Instance", reflect.TypeOf(inst.Instance{}), 8},
-		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 14},
+		{"sim.Settings", reflect.TypeOf(sim.Settings{}), 15},
 		{"sim.Result", reflect.TypeOf(sim.Result{}), 11},
 		{"sim.TracePoint", reflect.TypeOf(sim.TracePoint{}), 2},
 		{"wire.SweepJob", reflect.TypeOf(SweepJob{}), 5},
@@ -60,6 +60,7 @@ func testSettings() sim.Settings {
 	s.MaxWindow = 16
 	s.StallTimeout = 1500 * time.Millisecond
 	s.MaxJobRequeues = 3
+	s.Compress = true
 	return s
 }
 
@@ -169,7 +170,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := WriteFrame(&buf, FrameJob, payload); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFrame(&buf, FrameHello, EncodeHello()); err != nil {
+	if err := WriteFrame(&buf, FrameHello, EncodeHello(CapCompress)); err != nil {
 		t.Fatal(err)
 	}
 	typ, got, err := ReadFrame(&buf)
@@ -187,8 +188,12 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil || typ != FrameHello {
 		t.Fatalf("second frame: typ %d err %v", typ, err)
 	}
-	if err := CheckHello(got); err != nil {
+	caps, err := CheckHello(got)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if caps != CapCompress {
+		t.Fatalf("hello capabilities = %#x, want CapCompress", caps)
 	}
 	if _, _, err := ReadFrame(&buf); err != io.EOF {
 		t.Fatalf("want io.EOF at stream end, got %v", err)
@@ -257,11 +262,36 @@ func TestRepliesRejectBadInput(t *testing.T) {
 }
 
 func TestCheckHelloRejectsStrangers(t *testing.T) {
-	if err := CheckHello(appendU32(appendStr(nil, "http/1.1"), Version)); err == nil {
+	if _, err := CheckHello(append(appendU32(appendStr(nil, "http/1.1"), uint32(Version)), 0, 0, 0, 0)); err == nil {
 		t.Error("wrong magic accepted")
 	}
-	if err := CheckHello(appendU32(appendStr(nil, helloMagic), Version+7)); err == nil {
+	if _, err := CheckHello(append(appendU32(appendStr(nil, helloMagic), uint32(Version+7)), 0, 0, 0, 0)); err == nil {
 		t.Error("wrong version accepted")
+	}
+	// A v5-era hello has no capability word: the version is checked
+	// before the capabilities are decoded, so a mixed-version fleet is
+	// refused with a version message, not a truncation complaint.
+	v5 := appendU32(appendStr(nil, helloMagic), uint32(Version-1))
+	if _, err := CheckHello(v5); err == nil {
+		t.Error("v5 hello accepted")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("version")) {
+		t.Errorf("v5 hello refused with %q, want a version mismatch message", err)
+	}
+	// Trailing bytes after the capability word are a framing error.
+	if _, err := CheckHello(append(EncodeHello(0), 0)); err == nil {
+		t.Error("hello with trailing bytes accepted")
+	}
+}
+
+func TestHelloCapabilitiesRoundTrip(t *testing.T) {
+	for _, caps := range []uint32{0, CapCompress, 0xffffffff} {
+		got, err := CheckHello(EncodeHello(caps))
+		if err != nil {
+			t.Fatalf("caps %#x: %v", caps, err)
+		}
+		if got != caps {
+			t.Fatalf("hello round trip changed caps %#x to %#x", caps, got)
+		}
 	}
 }
 
@@ -400,6 +430,16 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})     // absurd length
 	f.Add([]byte{0x40, 0, 0, 0, 9})                    // 1 GiB claim, 1 byte present
 	f.Add(append([]byte{0, 0, 0, 2, FramePong}, 0xAB)) // small valid frame
+	// Compressed frames (wire v6): package ReadFrame forwards them
+	// opaquely — the fuzz target must stay panic-free and canonical on
+	// them too, intact and torn.
+	var comp bytes.Buffer
+	cw := NewFrameWriter(&comp)
+	cw.EnableCompression(1)
+	cw.WriteFrame(FrameResult, AppendSeq(2, EncodeResult(testResult())))
+	f.Add(append([]byte(nil), comp.Bytes()...))
+	f.Add(comp.Bytes()[:comp.Len()-3])
+	f.Add(append([]byte{0, 0, 0, 6, FrameResult | 0x80}, 0, 0, 0, 1, 0)) // corrupt deflate body
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {

@@ -232,6 +232,7 @@ func distConfig(s Settings) (dist.Config, bool, error) {
 		MaxWindow:      s.MaxWindow,
 		StallTimeout:   s.StallTimeout,
 		MaxJobRequeues: s.MaxJobRequeues,
+		Compress:       s.Compress,
 	}
 	if s.WorkerCmd != "" {
 		cfg.Cmd = strings.Fields(s.WorkerCmd)

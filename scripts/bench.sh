@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Regenerate a kernel-benchmark JSON record: the instruction-stream
 # engine (cursor vs iter.Pull), the batch pool, the memoization
-# pre-pass, and the distributed coordinator (local worker subprocesses;
+# pre-pass, the distributed coordinator (local worker subprocesses;
 # synchronous vs windowed dispatch; per-call fleets vs a reused
-# session; distributed Monte-Carlo chunks).
+# session; distributed Monte-Carlo chunks), and the WAN wire path
+# (emulated delay/bandwidth link with compression on vs off; pooled
+# frame write/read micro-benchmarks).
 #
 # Usage:  scripts/bench.sh [benchtime] [out.json] [note]
 # e.g.    scripts/bench.sh                               # 2s -> BENCH_local.json
@@ -20,7 +22,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2s}"
 OUT="${2:-BENCH_local.json}"
 NOTE="${3:-Local benchmark run (benchtime=$BENCHTIME). Not a committed PR record: pass an output name and note to label one, see DESIGN.md §9.}"
-PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDedup|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT2Session|BenchmarkDistT5Chunks|BenchmarkPlanarWalkGen'
+PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDedup|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT2Session|BenchmarkDistT5Chunks|BenchmarkDistT2WAN|BenchmarkDistT5WAN|BenchmarkFrameWrite|BenchmarkFrameRoundTrip|BenchmarkPlanarWalkGen'
 
 # Write to a temp file and move into place only on success, so a
 # failed bench run never clobbers the committed perf record.
