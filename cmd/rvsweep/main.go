@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/obs"
+	"repro/rendezvous"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS)")
 		procs     = flag.Int("worker", 0, "local worker subprocesses to spawn (distributed execution)")
 		hosts     = flag.String("hosts", "", "comma-separated rvworker -listen endpoints, each addr or addr*pool (distributed execution)")
+		hostsFile = flag.String("hosts-file", "", "file of rvworker endpoints (-hosts syntax, newline- or comma-separated, '#' comments), watched for edits while the sweep is live; mutually exclusive with -hosts")
 		window    = flag.Int("window", 0, "jobs in flight per worker connection (0 = adaptive; 1 = synchronous)")
 		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 		stall     = flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
@@ -68,6 +70,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *hosts != "" && *hostsFile != "" {
+		fmt.Fprintln(os.Stderr, "rvsweep: -hosts and -hosts-file are mutually exclusive")
+		os.Exit(2)
+	}
+	hostStr := *hosts
+	if *hostsFile != "" {
+		fileHosts, ferr := dist.LoadHostsFile(*hostsFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(2)
+		}
+		hostStr = dist.FormatHosts(fileHosts)
+	}
 
 	pts, skipped, err := Points(*sweep, *from, *to, *steps)
 	if err != nil {
@@ -80,5 +95,26 @@ func main() {
 	// Unbuffered stdout: Fprintf issues one Write per row, so each row
 	// is visible (even through a pipe) the moment its result prefix
 	// completes.
-	StreamCSV(os.Stdout, *sweep, pts, SweepSettings(*seg, *workers, *hosts, *procs, *window, *maxWindow, *stall, *requeues, *compress))
+	set := SweepSettings(*seg, *workers, hostStr, *procs, *window, *maxWindow, *stall, *requeues, *compress)
+	if *hostsFile == "" {
+		StreamCSV(os.Stdout, *sweep, pts, set)
+		return
+	}
+	// A watched hosts file needs a fleet session the watcher can reshape
+	// while the sweep streams; an unreachable initial fleet degrades to
+	// in-process execution, which determinism makes invisible in the CSV.
+	f, derr := rendezvous.DialFleet(set)
+	if derr != nil {
+		slog.Warn("rvsweep: fleet unavailable (running in-process)", "err", derr)
+		StreamCSV(os.Stdout, *sweep, pts, set)
+		return
+	}
+	defer f.Close()
+	stop, werr := f.WatchHosts(*hostsFile, 0)
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(1)
+	}
+	defer stop()
+	StreamCSVOn(os.Stdout, *sweep, pts, set, f)
 }

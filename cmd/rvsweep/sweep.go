@@ -95,16 +95,36 @@ func StreamCSV(w io.Writer, mode string, pts []Point, set rendezvous.Settings) {
 	streamCSV(w, mode, pts, set, rendezvous.AlmostUniversalRV())
 }
 
+// StreamCSVOn is StreamCSV over an open fleet session instead of the
+// one-shot batch entry point: the session's connections (and its live
+// membership — WatchHosts may be reshaping the fleet mid-sweep) serve
+// the points, and the emitted bytes stay identical to every other
+// execution shape.
+func StreamCSVOn(w io.Writer, mode string, pts []Point, set rendezvous.Settings, f *rendezvous.Fleet) {
+	alg := rendezvous.AlmostUniversalRV()
+	emitRows(w, mode, pts, f.SimulateBatchStream(sweepInstances(pts), alg, set))
+}
+
 // streamCSV is StreamCSV with the algorithm injectable (tests gate a
 // custom algorithm to observe rows appearing before the batch ends).
 func streamCSV(w io.Writer, mode string, pts []Point, set rendezvous.Settings, alg rendezvous.Algorithm) {
+	emitRows(w, mode, pts, rendezvous.SimulateBatchStream(sweepInstances(pts), alg, set))
+}
+
+func sweepInstances(pts []Point) []rendezvous.Instance {
 	ins := make([]rendezvous.Instance, len(pts))
 	for i, p := range pts {
 		ins[i] = p.Inst
 	}
+	return ins
+}
+
+// emitRows renders the CSV header and one row per streamed result, in
+// sweep order — the one formatter behind both execution shapes.
+func emitRows(w io.Writer, mode string, pts []Point, results <-chan rendezvous.Result) {
 	fmt.Fprintf(w, "%s,meet_time,min_gap,segments\n", mode)
 	i := 0
-	for res := range rendezvous.SimulateBatchStream(ins, alg, set) {
+	for res := range results {
 		meet := math.NaN()
 		if res.Met {
 			meet = res.MeetTime.Float64()

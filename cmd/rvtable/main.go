@@ -31,6 +31,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "batch-pool size, in-process and per worker process (0 = GOMAXPROCS); output is identical for every value")
 		procs     = flag.Int("worker", 0, "local worker subprocesses for wire-formed jobs (distributed execution)")
 		hosts     = flag.String("hosts", "", "comma-separated rvworker -listen endpoints, each addr or addr*pool (distributed execution)")
+		hostsFile = flag.String("hosts-file", "", "file of rvworker endpoints (-hosts syntax, newline- or comma-separated, '#' comments), watched for edits while the run is live; mutually exclusive with -hosts")
 		window    = flag.Int("window", 0, "jobs in flight per worker connection (0 = adaptive; 1 = synchronous)")
 		maxWindow = flag.Int("max-window", 0, "adaptive window growth cap per connection (0 = default; <0 = fixed default window)")
 		stall     = flag.Duration("stall", 0, "liveness deadline for a silent worker connection with jobs in flight (0 = 30s default; <0 = disabled)")
@@ -55,10 +56,20 @@ func main() {
 		slog.Info("rvtable: metrics listening", "addr", addr.String(), "pprof", *pprofOn)
 	}
 
+	if *hosts != "" && *hostsFile != "" {
+		fmt.Fprintln(os.Stderr, "rvtable: -hosts and -hosts-file are mutually exclusive")
+		os.Exit(2)
+	}
 	hostList, err := dist.ParseHosts(*hosts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *hostsFile != "" {
+		if hostList, err = dist.LoadHostsFile(*hostsFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	b := exps.DefaultBudgets()
 	b.Workers = *workers
@@ -97,6 +108,16 @@ func main() {
 		} else {
 			b.Fleet = f
 			defer f.Close()
+			if *hostsFile != "" {
+				// Live membership: edits to the hosts file grow or shrink
+				// the session while tables are still generating.
+				stop, werr := f.WatchHosts(*hostsFile, 0)
+				if werr != nil {
+					fmt.Fprintln(os.Stderr, werr)
+					os.Exit(1)
+				}
+				defer stop()
+			}
 		}
 	}
 

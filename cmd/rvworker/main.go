@@ -95,17 +95,28 @@ func main() {
 		}
 		slog.Info("rvworker: listening", "addr", l.Addr().String())
 		srv := dist.NewServer(opts)
+		drained := make(chan struct{})
 		go func() {
 			<-sigc
 			draining.Store(true)
 			slog.Info("rvworker: signal received; draining")
-			srv.Shutdown()
+			flushed := srv.Shutdown()
+			slog.Info("rvworker: drained", "jobs", flushed)
+			close(drained)
 		}()
 		err = srv.Serve(l)
+		if draining.Load() {
+			// Serve and Shutdown unblock on the same drain barrier;
+			// don't let main's return race the drain goroutine's final
+			// log line out of existence.
+			<-drained
+		}
 	} else {
+		var atSignal atomic.Uint64
 		go func() {
 			<-sigc
 			draining.Store(true)
+			atSignal.Store(dist.RepliesFlushed())
 			slog.Info("rvworker: signal received; draining")
 			// Unblock the pending stdin read; ServeWith's finish path
 			// drains the executors and flushes before returning. Works
@@ -118,6 +129,7 @@ func main() {
 		err = dist.ServeWith(os.Stdin, os.Stdout, opts)
 		if draining.Load() {
 			err = nil // the induced read-deadline error is the drain, not a fault
+			slog.Info("rvworker: drained", "jobs", dist.RepliesFlushed()-atSignal.Load())
 		}
 	}
 	if err != nil {

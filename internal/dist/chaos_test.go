@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -212,6 +213,23 @@ func TestChaosMetricsExactCounts(t *testing.T) {
 	}
 }
 
+// soakSeedCount is how many random fault schedules TestChaosSoakSeeds
+// sweeps: 3 by default (fast enough for every CI run), widened by the
+// RV_CHAOS_SOAK_SEEDS environment variable for the nightly soak — a
+// failing seed is its own replay handle regardless of how wide the
+// sweep that found it was.
+func soakSeedCount(t *testing.T) int64 {
+	raw := os.Getenv("RV_CHAOS_SOAK_SEEDS")
+	if raw == "" {
+		return 3
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || n < 1 {
+		t.Fatalf("RV_CHAOS_SOAK_SEEDS=%q: want a positive integer", raw)
+	}
+	return n
+}
+
 // TestChaosSoakSeeds sweeps seeded random fault plans (the replay
 // handle: a failing seed reproduces its exact fault schedule) through
 // RunOrFallback and asserts the one invariant that must survive any
@@ -231,7 +249,7 @@ func TestChaosSoakSeeds(t *testing.T) {
 	set := testSettings()
 	want, wantStats := batch.Run(aurvJobs(t, ins, set), 1)
 
-	for seed := int64(1); seed <= 3; seed++ {
+	for seed := int64(1); seed <= soakSeedCount(t); seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			p, err := NewChaosProxy(wl.Addr().String(), ChaosPlan{Scripts: RandomScripts(seed, 6)})
 			if err != nil {

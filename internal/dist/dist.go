@@ -159,6 +159,12 @@ type Config struct {
 	// uncompressed stream; unlike a version mismatch this is not an
 	// error.
 	Compress bool
+	// Fairness picks which live dispatch an idle connection claims
+	// from when several run concurrently over this fleet (multi-tenant
+	// scheduling, PR 10). nil selects FIFO — oldest dispatch first —
+	// via a zero-allocation fast path. Any policy is pure scheduling:
+	// per-tenant output bytes are identical under all of them.
+	Fairness Fairness
 }
 
 // DefaultCompressMin is the smallest frame payload worth deflating
@@ -207,6 +213,23 @@ func ParseHosts(s string) ([]Host, error) {
 		hosts = append(hosts, h)
 	}
 	return hosts, nil
+}
+
+// FormatHosts renders a Host list back into the -hosts flag syntax
+// ParseHosts reads ("addr,addr*pool,…") — the round-trip CLIs use to
+// seed string-typed settings from a parsed hosts file.
+func FormatHosts(hosts []Host) string {
+	var b strings.Builder
+	for i, h := range hosts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(h.Addr)
+		if h.Pool > 0 {
+			fmt.Fprintf(&b, "*%d", h.Pool)
+		}
+	}
+	return b.String()
 }
 
 // stderrMu serializes every write the distribution subsystem makes to
@@ -300,9 +323,9 @@ type workerConn struct {
 	frames  chan rawFrame
 	readErr error
 
-	// win is the connection's (possibly adaptive) send window, owned
-	// by the dispatch currently driving the connection; dispatches are
-	// serialized per fleet.
+	// win is the connection's (possibly adaptive) send window, guarded
+	// by the fleet's scheduler mutex (Fleet.mu) while the connection
+	// is live; fixed is immutable after construction.
 	win adaptiveWindow
 
 	// stats caches the newest WorkerStats payload a pong carried

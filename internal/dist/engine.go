@@ -3,10 +3,8 @@ package dist
 import (
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -23,9 +21,12 @@ import (
 // engine, and since PR 5 the engine runs over a persistent Fleet
 // session (fleet.go): connections survive from one dispatch to the
 // next, so a session pays one dial and one handshake per host no
-// matter how many batches it runs.
+// matter how many batches it runs. Since PR 10 dispatches are
+// concurrent: each is a tenant in the shared scheduler (sched.go),
+// with its own ready queue and sequence space, and idle connections
+// claim across tenants under a fairness policy (fairness.go).
 //
-// Throughput comes from three mechanisms layered on the claim channel:
+// Throughput comes from three mechanisms layered on the scheduler:
 //
 //   - Pipelined adaptive windows. Each connection keeps up to its
 //     window of requests in flight (the sender claims and writes, the
@@ -362,36 +363,68 @@ func (as *traceAssembly) add(body []byte) error {
 
 // slot is one position in the worker fleet: a (possibly live)
 // connection plus the recipe for re-establishing it after a death.
-// Between dispatches the session parks the live connection in wc; the
-// reconnection budget (attempts) spans the slot's whole life, and a
-// slot whose budget is spent retires for good. All fields are owned by
-// the single supervise goroutine a dispatch runs per slot; dispatches
-// over one fleet are serialized by the fleet mutex.
+// Every slot is driven by one persistent runner goroutine (runSlot)
+// for the life of the fleet session: the runner drives the live
+// connection while it lasts, reconnects with exponential backoff when
+// it dies, and parks when there is nothing to do. The reconnection
+// budget (attempts) spans the slot's whole life, and a slot whose
+// budget is spent retires for good; Retire drains a slot early, by
+// the same requeue path a death takes. All scheduling fields are
+// guarded by the fleet mutex; stopC/done belong to the runner's
+// lifecycle.
 type slot struct {
 	name     string
 	dial     func() (*workerConn, error)
 	wc       *workerConn
 	attempts int
 	retired  bool
+	draining bool // Retire requested: finish in-flight bookkeeping, then retire
 	met      *slotMetrics // per-slot flight-recorder children, resolved at assembly
 
+	// Connection-scoped scheduling state, guarded by the fleet mutex.
+	// inflightN mirrors len(connState.inflight); perDisp counts this
+	// connection's in-flight jobs per dispatch id (the per-dispatch
+	// clamp); lastDisp is the dispatch the connection last claimed
+	// from, for steal accounting; connErr is the first transport error
+	// (matcher or sender) — the signal that retires the connection.
+	inflightN int
+	perDisp   map[uint32]int
+	lastDisp  uint32
+	connErr   error
+
+	// Runner lifecycle. backoff is the next redial wait (doubles per
+	// consecutive attempt, resets on success); stopC interrupts sleeps
+	// and in-flight dials when the fleet closes or the slot is
+	// retired.
+	backoff  time.Duration
+	stopC    chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
 	// Circuit breaker: consecutive connection failures (dead drives,
-	// failed redials) open the breaker — the slot sits dispatches out
-	// until openUntil passes, then runs half-open: the next dispatch's
-	// reconnection dial is the probe, one more failure re-opens the
-	// breaker with a doubled cooldown, and a connection that drains
-	// healthily closes it. Like every slot field, owned by the single
-	// supervise goroutine of the current dispatch (dispatches are
-	// serialized per fleet); dispatch start reads openUntil under the
-	// same fleet mutex.
+	// failed redials) open the breaker — the slot sits out until
+	// openUntil passes, then runs half-open: the next reconnection
+	// dial is the probe, one more failure re-opens the breaker with a
+	// doubled cooldown, and a connection that settles real work closes
+	// it. Guarded by the fleet mutex.
 	fails     int           // consecutive connection failures
 	cooldown  time.Duration // current breaker cooldown; doubles per re-open
 	openUntil time.Time     // breaker open until then; zero = closed
 }
 
+// interrupt aborts the runner's current sleep or dial; idempotent.
+func (s *slot) interrupt() {
+	s.stopOnce.Do(func() { close(s.stopC) })
+}
+
+// cooling reports whether the slot's breaker is open at now.
+func (s *slot) cooling(now time.Time) bool {
+	return !s.openUntil.IsZero() && now.Before(s.openUntil)
+}
+
 // fail records one connection failure and reports whether it opened
-// (or re-opened) the slot's circuit breaker, in which case the
-// supervisor sits the rest of the dispatch out.
+// (or re-opened) the slot's circuit breaker, in which case the runner
+// sits the cooldown out before probing half-open.
 func (s *slot) fail(cfg Config) bool {
 	th := cfg.breakerThreshold()
 	if th <= 0 {
@@ -424,664 +457,9 @@ func (s *slot) recover() {
 	s.met.breakerOpen.Set(0)
 }
 
-// inflightJob is one request awaiting its reply: the task index and
-// the send timestamp the adaptive controller derives RTT from.
-type inflightJob struct {
-	k    int
-	sent time.Time
-}
-
-// engine carries the shared state of one dispatch: the claim channel,
-// the settle counter, and the two error severities (a deterministic
-// job failure poisons the run; a worker death only matters if jobs are
-// stranded when every slot has retired).
-type engine struct {
-	tasks    []task
-	reqFrame byte
-	resFrame byte
-	// clamp caps every connection's window at ⌈tasks/fleet⌉ for this
-	// dispatch: the largest share a connection could hold if the batch
-	// spread evenly, so a small batch on a wide fleet doesn't reserve
-	// in-flight slots no schedule could fill.
-	clamp int
-
-	// work is the claim channel. Its buffer holds every task, and an
-	// unsettled task is never in more than one place (queued, or in
-	// exactly one connection's in-flight map), so a death can always
-	// requeue its in-flight tasks without blocking and never races the
-	// close: close happens only when no unsettled task remains.
-	work      chan int
-	remaining atomic.Int64
-	done      chan struct{} // closed with work: aborts backoffs and dials
-
-	// stall is the resolved liveness deadline floor (0: detection
-	// disabled); maxKills the resolved quarantine threshold (0:
-	// disabled).
-	stall    time.Duration
-	maxKills int
-
-	// killers tracks, per task, the distinct slots whose death or
-	// stall requeued it — the poison-job evidence. Touched only on
-	// failure paths, so the map and its mutex cost nothing on a
-	// healthy run.
-	killMu  sync.Mutex
-	killers map[int]map[string]struct{}
-
-	errMu    sync.Mutex
-	jobErrs  []error
-	deadErrs []error
-}
-
-func (e *engine) settle() {
-	if e.remaining.Add(-1) == 0 {
-		close(e.work)
-		close(e.done)
-	}
-}
-
-func (e *engine) failJob(err error) {
-	e.errMu.Lock()
-	e.jobErrs = append(e.jobErrs, err)
-	e.errMu.Unlock()
-}
-
-func (e *engine) noteDeath(err error) {
-	e.errMu.Lock()
-	e.deadErrs = append(e.deadErrs, err)
-	e.errMu.Unlock()
-}
-
-// requeue returns a task to the claim channel after the failure of the
-// named slot — unless the task has now been in flight on maxKills
-// distinct failing slots, in which case it is quarantined: settled as
-// a deterministic per-job error, so a poison job that crashes or hangs
-// every worker it lands on cannot exhaust the whole session's respawn
-// budget. Requeue-on-death is pure scheduling either way: a requeued
-// task recomputes the identical pure result, and a quarantined one
-// reports an error exactly where a clean run reports a result, leaving
-// every other task's bytes untouched.
-func (e *engine) requeue(k int, s *slot) {
-	if e.maxKills > 0 {
-		e.killMu.Lock()
-		m := e.killers[k]
-		if m == nil {
-			if e.killers == nil {
-				e.killers = make(map[int]map[string]struct{})
-			}
-			m = make(map[string]struct{})
-			e.killers[k] = m
-		}
-		m[s.name] = struct{}{}
-		n := len(m)
-		e.killMu.Unlock()
-		if n >= e.maxKills {
-			mQuarantined.Inc()
-			e.failJob(fmt.Errorf("dist: job %d quarantined after its dispatch killed or stalled %d distinct workers (poison job?)", e.tasks[k].id, n))
-			e.settle()
-			return
-		}
-	}
-	s.met.requeued.Inc()
-	e.work <- k
-}
-
 // ErrAllBreakersOpen reports a dispatch that could not start because
 // every non-retired slot's circuit breaker is in its cooldown. Callers
 // with a fallback path (RunOrFallback, StreamOrFallback) degrade to
 // in-process execution — byte-identical by the determinism guarantee —
 // instead of hammering a fleet that just failed repeatedly.
 var ErrAllBreakersOpen = errors.New("dist: every fleet slot's circuit breaker is open")
-
-// dispatch runs every task to completion across the session's live
-// slots and returns the overall verdict: nil when every task settled
-// by delivery, the joined job errors when workers reported
-// deterministic failures, and the joined death log when tasks were
-// stranded by total fleet loss. Dispatches over one fleet are
-// serialized; connections left healthy at the end stay open for the
-// next call.
-func (f *Fleet) dispatch(tasks []task, reqFrame, resFrame byte) error {
-	if len(tasks) == 0 {
-		return nil
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return errors.New("dist: fleet is closed")
-	}
-	now := time.Now()
-	var active []*slot
-	cooling := 0
-	for _, s := range f.slots {
-		if s.retired {
-			continue
-		}
-		// An open breaker whose cooldown has not elapsed sits this
-		// dispatch out; one whose cooldown has passed joins half-open
-		// (its reconnection dial is the probe).
-		if !s.openUntil.IsZero() && now.Before(s.openUntil) {
-			cooling++
-			continue
-		}
-		active = append(active, s)
-	}
-	if len(active) == 0 {
-		if cooling > 0 {
-			return fmt.Errorf("%w (%d slots cooling down)", ErrAllBreakersOpen, cooling)
-		}
-		return errors.New("dist: every fleet slot has retired")
-	}
-	// More connections than tasks buys nothing (pigeonhole: some could
-	// never claim one); the surplus slots simply sit this dispatch out.
-	if len(active) > len(tasks) {
-		active = active[:len(tasks)]
-	}
-	mDispatches.Inc()
-	e := &engine{
-		tasks:    tasks,
-		reqFrame: reqFrame,
-		resFrame: resFrame,
-		clamp:    (len(tasks) + len(active) - 1) / len(active),
-		work:     make(chan int, len(tasks)),
-		done:     make(chan struct{}),
-		stall:    f.cfg.stallTimeout(),
-		maxKills: f.cfg.maxJobRequeues(),
-	}
-	e.remaining.Store(int64(len(tasks)))
-	for i := range tasks {
-		e.work <- i
-	}
-	var wg sync.WaitGroup
-	for _, s := range active {
-		wg.Add(1)
-		go func(s *slot) {
-			defer wg.Done()
-			e.supervise(s, f.cfg)
-		}(s)
-	}
-	wg.Wait()
-	if rem := e.remaining.Load(); rem > 0 {
-		return errors.Join(append(e.deadErrs,
-			fmt.Errorf("dist: %d jobs undone after every worker failed", rem))...)
-	}
-	if len(e.jobErrs) > 0 {
-		return errors.Join(e.jobErrs...)
-	}
-	return nil
-}
-
-// supervise drives one slot until the work drains, the slot's lifetime
-// respawn budget is exhausted, or its circuit breaker opens: drive the
-// live connection, and on a transport death reconnect with exponential
-// backoff. A drained dispatch parks the still-healthy connection back
-// in the slot for the session's next dispatch; the budget never
-// resets, so a slot that keeps dying retires and dispatch terminates.
-// Consecutive failures — dead drives that settled nothing, failed
-// redials — feed the breaker, and a tripped breaker makes the slot sit
-// out the rest of this dispatch (and every dispatch until its cooldown
-// elapses) without burning further respawn attempts on a host that is
-// clearly down.
-func (e *engine) supervise(s *slot, cfg Config) {
-	lg := logOf(cfg)
-	wc := s.wc
-	s.wc = nil
-	backoff := cfg.redialWait()
-	for {
-		if wc == nil {
-			// A dispatch that completed while (or because) this slot's
-			// connection died needs no reconnection — and must not spend
-			// an attempt of the slot's session-lifetime budget on one.
-			select {
-			case <-e.done:
-				return
-			default:
-			}
-			if s.attempts >= cfg.maxRespawns() {
-				s.retired = true
-				return
-			}
-			s.attempts++
-			select {
-			case <-e.done:
-				return
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-			var err error
-			if wc, err = e.redial(s); err != nil {
-				if errors.Is(err, errDispatchDone) {
-					return
-				}
-				s.met.deaths.Inc()
-				e.noteDeath(fmt.Errorf("dist: %s: reconnect attempt %d: %w", s.name, s.attempts, err))
-				if s.fail(cfg) {
-					lg.Warn("dist: circuit breaker open", "slot", s.name, "failures", s.fails, "cooldown", s.cooldown)
-					return
-				}
-				wc = nil
-				continue
-			}
-			wc.win = newAdaptiveWindow(cfg)
-			s.met.reconnects.Inc()
-			lg.Info("dist: worker reconnected", "slot", s.name, "attempt", s.attempts)
-		}
-		settled, err := e.drive(wc, s)
-		if err == nil {
-			s.wc = wc // work drained: the session keeps the live connection
-			s.recover()
-			return
-		}
-		wc.close()
-		wc = nil
-		s.met.deaths.Inc()
-		e.noteDeath(fmt.Errorf("dist: worker %s: %w", s.name, err))
-		// A connection that settled real work before dying broke a
-		// consecutive-failure streak: the host is reachable and
-		// executing, just unlucky or flaky — not breaker material.
-		if settled > 0 {
-			s.recover()
-		}
-		if s.fail(cfg) {
-			lg.Warn("dist: circuit breaker open", "slot", s.name, "failures", s.fails, "cooldown", s.cooldown)
-			return
-		}
-		if s.attempts < cfg.maxRespawns() {
-			lg.Warn("dist: worker died; reconnecting", "slot", s.name, "err", err)
-		}
-	}
-}
-
-// errDispatchDone aborts a reconnect that lost its reason to exist:
-// every task settled while the slot was dialing.
-var errDispatchDone = errors.New("dispatch complete")
-
-// redial re-establishes the slot's connection, abandoning the attempt
-// the moment the run completes (the dial goroutine cleans up its own
-// connection if one materializes late).
-func (e *engine) redial(s *slot) (*workerConn, error) {
-	type res struct {
-		wc  *workerConn
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		wc, err := s.dial()
-		ch <- res{wc, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.wc, r.err
-	case <-e.done:
-		go func() {
-			if r := <-ch; r.wc != nil {
-				r.wc.close()
-			}
-		}()
-		return nil, errDispatchDone
-	}
-}
-
-// drive runs the windowed pipeline on one live connection: the calling
-// goroutine claims tasks and writes request frames while the adaptive
-// window has a free slot; a matcher goroutine consumes the
-// connection's persistent frame reader, settles replies by sequence
-// number (coalesced batches entry by entry), and feeds the window
-// controller. It returns a nil error when the work channel closed
-// (every task settled — necessarily including this connection's, so
-// the in-flight map is empty and the connection is still healthy for
-// the session to keep), or the transport error after requeueing every
-// task still in flight, exactly once each: a task leaves the in-flight
-// map either by being answered (matcher, before settling) or by the
-// final requeue (after the matcher has provably exited), never both.
-// settled counts the replies this connection turned into settlements —
-// the supervisor's evidence that a later death was not part of a
-// consecutive-failure streak.
-//
-// Liveness: while jobs are in flight the matcher arms a stall detector
-// — no frame of any kind within max(e.stall, stallRTTFactor·rttEWMA)
-// declares the connection hung and retires it through the same path as
-// a death, requeueing its window. At half the deadline the matcher
-// pings the worker; a healthy worker echoes from its read loop even
-// while its executors grind, so only a dead process, a blackholed
-// link, or a truly wedged worker ever reaches the deadline. Stall
-// handling is pure scheduling: a requeued job recomputes the identical
-// pure result on a survivor.
-func (e *engine) drive(wc *workerConn, s *slot) (settled int, err error) {
-	var (
-		mu       sync.Mutex
-		cond     = sync.NewCond(&mu)
-		inflight = make(map[uint64]inflightJob)
-		dead     bool
-		lastRecv time.Time // last frame arrival (any type)
-		armStart time.Time // when in-flight went 0→1: the stall clock floor
-	)
-	matchErr := make(chan error, 1)    // the matcher's verdict (capacity: it reports once)
-	matcherDone := make(chan struct{}) // closed when the matcher exits
-	stop := make(chan struct{})        // drained dispatch: release the matcher, keep the conn
-
-	// Idle time between dispatches is not service time: reset the
-	// controller's reply clock (its RTT/gap estimates survive — the
-	// link didn't change, the workload pause did).
-	wc.win.lastReply = time.Time{}
-
-	go func() { // matcher
-		defer close(matcherDone)
-		die := func(err error) {
-			matchErr <- err
-			mu.Lock()
-			dead = true
-			cond.Broadcast()
-			mu.Unlock()
-		}
-		// Streamed-trace reassembly (wire v6), keyed by sequence number.
-		// Local to this matcher: a connection death discards its partial
-		// assemblies with it, and the requeued jobs start their streams
-		// over on a survivor.
-		var asm map[uint64]*traceAssembly
-		// Wire byte counters: fold this connection's per-frame tallies
-		// into the process counters as deltas, and surface the combined
-		// compression ratio per slot.
-		var lastTxW, lastRxW uint64
-		bytesTick := func() {
-			tx, rx := wc.fw.Stats(), wc.fr.Stats()
-			mWireTxBytes.Add(tx.Wire - lastTxW)
-			mWireRxBytes.Add(rx.Wire - lastRxW)
-			lastTxW, lastRxW = tx.Wire, rx.Wire
-			if onWire := tx.Wire + rx.Wire; onWire > 0 && wc.fw.Compressing() {
-				s.met.compression.Set(float64(tx.Raw+rx.Raw) / float64(onWire))
-			}
-		}
-		defer bytesTick()
-		// The stall deadline and its check interval, recomputed per
-		// fire because the RTT EWMA moves. The interval quarters the
-		// deadline so a stall is declared within ~1.25× the configured
-		// deadline in the worst phase alignment.
-		deadline := func() time.Duration {
-			d := e.stall
-			if r := time.Duration(wc.win.rtt * float64(time.Second) * stallRTTFactor); r > d {
-				d = r
-			}
-			return d
-		}
-		var stallC <-chan time.Time
-		var stallTimer *time.Timer
-		if e.stall > 0 {
-			iv := max(deadline()/4, time.Millisecond)
-			stallTimer = time.NewTimer(iv)
-			defer stallTimer.Stop()
-			stallC = stallTimer.C
-		}
-		var pingNonce uint64
-		for {
-			select {
-			case <-stop:
-				return
-			case now := <-stallC:
-				mu.Lock()
-				n := len(inflight)
-				clock := lastRecv
-				if armStart.After(clock) {
-					clock = armStart
-				}
-				mu.Unlock()
-				if n > 0 {
-					d := deadline()
-					idle := now.Sub(clock)
-					if idle >= d {
-						die(fmt.Errorf("no frame for %v with %d jobs in flight (liveness deadline %v): presumed hung", idle.Round(time.Millisecond), n, d))
-						return
-					}
-					if idle >= d/2 {
-						// Silent but not yet condemned: probe. Only a received
-						// frame resets the stall clock, so a worker that eats
-						// pings without echoing still hits the deadline.
-						if err := wc.ping(pingNonce); err != nil {
-							die(fmt.Errorf("liveness ping: %w", err))
-							return
-						}
-						mPings.Inc()
-						pingNonce++
-					}
-				}
-				stallTimer.Reset(max(deadline()/4, time.Millisecond))
-			case f, ok := <-wc.frames:
-				if !ok {
-					err := wc.readErr
-					if err == nil {
-						err = io.ErrUnexpectedEOF
-					}
-					die(err)
-					return
-				}
-				if stallC != nil {
-					mu.Lock()
-					lastRecv = time.Now()
-					mu.Unlock()
-				}
-				bytesTick()
-				var replies []wire.Reply
-				var single [1]wire.Reply
-				switch f.typ {
-				case wire.FrameReplyBatch:
-					var err error
-					if replies, err = wire.DecodeReplies(f.payload()); err != nil {
-						die(err)
-						return
-					}
-				case e.resFrame, wire.FrameError, wire.FrameTraceChunk:
-					seq, body, err := wire.SplitSeq(f.payload())
-					if err != nil {
-						die(err)
-						return
-					}
-					single[0] = wire.Reply{Seq: seq, Typ: f.typ, Body: body}
-					replies = single[:]
-				case wire.FramePong:
-					// Liveness echo: its arrival already reset the stall
-					// clock, which is its load-bearing meaning. Since wire
-					// v5 it also carries the worker's per-stream stats;
-					// cache them for Fleet.Snapshot. A malformed payload is
-					// ignored rather than fatal — the probe did its job by
-					// arriving.
-					mPongs.Inc()
-					if _, ws, perr := wire.DecodePong(f.payload()); perr == nil {
-						wc.stats.Store(&ws)
-					}
-					f.release()
-					continue
-				default:
-					die(fmt.Errorf("unexpected frame type %d", f.typ))
-					return
-				}
-				// A coalesced batch is k replies that arrived at once:
-				// spread the observed arrival gap over them so the
-				// controller sees the true per-reply service rate. A
-				// fixed window observes nothing and pays for no clock
-				// reads at all — the in-process-adjacent loopback path
-				// is exactly where time.Now() per reply showed up in
-				// profiles.
-				var (
-					now   time.Time
-					gap   time.Duration
-					adapt bool
-				)
-				if !wc.win.fixed {
-					now = time.Now()
-					gap, adapt = wc.win.settleGap(now, len(replies))
-				}
-				for _, r := range replies {
-					if r.Typ == wire.FrameTraceChunk {
-						// One bounded run of a streamed trace: accumulate it
-						// against the job's assembly and move on. The job
-						// stays in flight — only its closing result frame
-						// settles it — so a connection death mid-stream
-						// requeues the job and discards the partial assembly
-						// with this matcher.
-						mu.Lock()
-						fj, ok := inflight[r.Seq]
-						mu.Unlock()
-						if !ok {
-							die(fmt.Errorf("trace chunk for sequence %d that is not in flight", r.Seq))
-							return
-						}
-						if e.tasks[fj.k].deliverStreamed == nil {
-							die(fmt.Errorf("unexpected trace chunk for job %d", e.tasks[fj.k].id))
-							return
-						}
-						as := asm[r.Seq]
-						if as == nil {
-							if asm == nil {
-								asm = make(map[uint64]*traceAssembly)
-							}
-							as = &traceAssembly{}
-							asm[r.Seq] = as
-						}
-						if err := as.add(r.Body); err != nil {
-							die(err)
-							return
-						}
-						continue
-					}
-					mu.Lock()
-					fj, ok := inflight[r.Seq]
-					if ok {
-						delete(inflight, r.Seq)
-						if adapt {
-							rtt := now.Sub(fj.sent)
-							wc.win.observe(rtt, gap)
-							// The latency histogram piggybacks on the adaptive
-							// controller's timestamps; fixed windows skip every
-							// clock read (the PR6 hot path) and so observe
-							// nothing here either.
-							hJobLatency.Observe(rtt.Seconds())
-							s.met.window.Set(float64(wc.win.cur))
-							s.met.rtt.Set(wc.win.rtt)
-						}
-						s.met.inflight.Set(float64(len(inflight)))
-						cond.Broadcast()
-					}
-					mu.Unlock()
-					if !ok {
-						die(fmt.Errorf("answer for sequence %d that is not in flight", r.Seq))
-						return
-					}
-					switch r.Typ {
-					case e.resFrame:
-						var derr error
-						if as, streamed := asm[r.Seq]; streamed {
-							// The chunks came first (per-stream order), so an
-							// existing assembly is what marks this result as
-							// the streamed closer.
-							delete(asm, r.Seq)
-							derr = e.tasks[fj.k].deliverStreamed(r.Body, as.a, as.b)
-						} else {
-							derr = e.tasks[fj.k].deliver(r.Body)
-						}
-						if derr != nil {
-							// Corrupt reply: requeue the task (it already left
-							// the in-flight map) and retire the connection.
-							e.requeue(fj.k, s)
-							die(fmt.Errorf("reply for job %d: %w", e.tasks[fj.k].id, derr))
-							return
-						}
-						settled++
-						s.met.settled.Inc()
-						e.settle()
-					case wire.FrameError:
-						// Deterministic job failure: requeueing would fail
-						// identically on every worker. Count it settled so the
-						// run drains; the overall error reports it. Any
-						// partial trace stream is abandoned with it.
-						delete(asm, r.Seq)
-						e.failJob(fmt.Errorf("dist: job %d on %s: %w", e.tasks[fj.k].id, wc.name, &jobError{msg: string(r.Body)}))
-						settled++
-						s.met.settled.Inc()
-						e.settle()
-					default:
-						e.requeue(fj.k, s)
-						die(fmt.Errorf("unexpected reply type %d for sequence %d", r.Typ, r.Seq))
-						return
-					}
-				}
-				f.release()
-			}
-		}
-	}()
-
-	// fail retires the connection: unblock and join the matcher, then
-	// requeue everything still in flight (the matcher being gone is
-	// what makes "still in flight" unambiguous; each requeue may
-	// quarantine its job instead, if this slot was the job's Kth
-	// distinct killer). settled is read after the join, so the
-	// matcher's writes are visible.
-	fail := func(err error) (int, error) {
-		wc.close()
-		<-matcherDone
-		mu.Lock()
-		for _, fj := range inflight {
-			e.requeue(fj.k, s)
-		}
-		inflight = nil
-		s.met.inflight.Set(0)
-		mu.Unlock()
-		return settled, err
-	}
-
-	for { // sender: wait for a window slot, claim a task, ship it
-		mu.Lock()
-		for !dead && len(inflight) >= min(wc.win.cur, e.clamp) {
-			cond.Wait()
-		}
-		d := dead
-		mu.Unlock()
-		if d {
-			return fail(<-matchErr)
-		}
-		var k int
-		var ok bool
-		select {
-		case err := <-matchErr:
-			return fail(err)
-		case k, ok = <-e.work:
-			if !ok {
-				// Drained. The matcher has settled every reply (the close
-				// implies no task anywhere is unanswered), so the stream
-				// is quiet; release the matcher and keep the connection —
-				// unless the transport died in the same instant the batch
-				// drained (the select can pick the closed work channel
-				// over a pending matchErr): a dead connection must not be
-				// parked as healthy, or the session's next dispatch burns
-				// a respawn attempt discovering it. Nothing is in flight
-				// either way, so the fail path requeues nothing.
-				close(stop)
-				<-matcherDone
-				mu.Lock()
-				d := dead
-				mu.Unlock()
-				if d {
-					return fail(<-matchErr)
-				}
-				return settled, nil
-			}
-		}
-		fj := inflightJob{k: k}
-		if !wc.win.fixed {
-			// The send timestamp only feeds the adaptive controller's
-			// RTT estimate; a fixed window skips the clock read.
-			fj.sent = time.Now()
-		}
-		mu.Lock()
-		if e.stall > 0 && len(inflight) == 0 {
-			// In-flight going 0→1 re-arms the stall clock: lastRecv may
-			// be long stale after an idle stretch, and idleness is not a
-			// stall — only silence with work outstanding is.
-			armStart = time.Now()
-		}
-		inflight[uint64(k)] = fj
-		s.met.dispatched.Inc()
-		s.met.inflight.Set(float64(len(inflight)))
-		mu.Unlock()
-		if err := wc.send(uint64(k), e.reqFrame, e.tasks[k].payload); err != nil {
-			return fail(err)
-		}
-	}
-}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/sim"
@@ -18,24 +19,50 @@ import (
 // parameter, a service handling request after request) pays one dial
 // and one handshake per host instead of one per batch.
 //
-// Dispatches over one fleet are serialized (concurrent Run calls
-// queue); the in-process halves of a batch still run concurrently
-// with the remote dispatch. A connection that dies is re-dialed or
+// The fleet is multi-tenant (PR 10): concurrent Run/RunStream/Sweep
+// calls do not queue behind each other — each becomes a dispatch with
+// its own id and sequence space, and every connection interleaves
+// jobs from all live dispatches under the fleet's fairness policy
+// (sched.go, fairness.go). A connection that dies is re-dialed or
 // respawned under the slot's session-lifetime respawn budget
 // (Config.MaxRespawns — it never resets, so a host that keeps dying
 // retires for good); adaptive window state lives on the connection
 // and survives from one batch to the next, so a later batch starts
-// with the window the earlier batches learned.
+// with the window the earlier batches learned. Slots can join and
+// drain mid-session: AddHost and Retire (membership.go).
 //
 // Every determinism property of the one-shot path carries over
-// verbatim: session reuse is pure scheduling, so any sequence of
-// batches over any fleet produces byte-identical results to the same
-// calls run in-process serially.
+// verbatim: session reuse, tenant interleaving, work stealing, and
+// fairness are all pure scheduling, so any mix of concurrent batches
+// and sweeps over any fleet produces per-call byte-identical results
+// to the same calls run in-process serially.
 type Fleet struct {
-	cfg    Config
-	mu     sync.Mutex // serializes dispatches and Close
+	cfg Config
+
+	// mu is THE scheduler lock: dispatch queues, per-connection
+	// in-flight bookkeeping, window controllers, breaker state, and
+	// membership all live under it; cond wakes idle senders and parked
+	// runners when any of that changes.
+	mu     sync.Mutex
+	cond   *sync.Cond
 	slots  []*slot
 	closed bool
+
+	// Resolved-once config (the scheduler reads them on hot paths).
+	stall    time.Duration
+	maxKills int
+	fair     Fairness
+
+	// Live dispatches in admission order, plus the fleet-wide ready
+	// total mirrored into the queue-depth gauge.
+	nextID  uint32
+	arrival uint64
+	live    []*dispatch
+	queued  int
+
+	// Scratch for pickLocked's fairness path, reused between claims.
+	elig  []*dispatch
+	views []DispatchView
 }
 
 // Dial assembles the worker fleet the config names and returns the
@@ -54,17 +81,38 @@ func Dial(cfg Config) (*Fleet, error) {
 	for _, e := range errs {
 		lg.Warn("dist: worker unavailable", "err", e)
 	}
-	return &Fleet{cfg: cfg, slots: slots}, nil
+	f := &Fleet{
+		cfg:      cfg,
+		slots:    slots,
+		stall:    cfg.stallTimeout(),
+		maxKills: cfg.maxJobRequeues(),
+		fair:     cfg.Fairness,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for _, s := range slots {
+		f.startSlot(s)
+	}
+	return f, nil
 }
 
-// Size reports the number of fleet slots that have not retired. It is
-// the worker count Stats reports for distributed batches.
+// startSlot initializes a slot's runner lifecycle and launches its
+// persistent runner goroutine. Called at assembly and by AddHost.
+func (f *Fleet) startSlot(s *slot) {
+	s.backoff = f.cfg.redialWait()
+	s.stopC = make(chan struct{})
+	s.done = make(chan struct{})
+	go f.runSlot(s)
+}
+
+// Size reports the number of fleet slots that have not retired (or
+// begun draining). It is the worker count Stats reports for
+// distributed batches.
 func (f *Fleet) Size() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := 0
 	for _, s := range f.slots {
-		if !s.retired {
+		if !s.retired && !s.draining {
 			n++
 		}
 	}
@@ -72,20 +120,30 @@ func (f *Fleet) Size() int {
 }
 
 // Close ends the session: every live connection is closed (stdio
-// workers exit on the EOF, TCP workers see the stream end) and later
-// dispatches fail. Closing an already-closed fleet is a no-op.
+// workers exit on the EOF, TCP workers see the stream end), every
+// still-live dispatch is finalized with an error, and later
+// dispatches fail. Close blocks until every slot runner has exited.
+// Closing an already-closed fleet is a no-op.
 func (f *Fleet) Close() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.closed {
+		f.mu.Unlock()
 		return nil
 	}
 	f.closed = true
-	for _, s := range f.slots {
-		if s.wc != nil {
-			s.wc.close()
-			s.wc = nil
-		}
+	for len(f.live) > 0 {
+		d := f.live[0]
+		f.finishLocked(d, errors.Join(append(append([]error(nil), d.deadErrs...),
+			fmt.Errorf("dist: fleet closed with %d jobs undone", d.remaining))...))
+	}
+	f.cond.Broadcast()
+	slots := f.slots
+	f.mu.Unlock()
+	for _, s := range slots {
+		s.interrupt()
+	}
+	for _, s := range slots {
+		<-s.done
 	}
 	return nil
 }
@@ -301,20 +359,27 @@ func streamJobs(f *Fleet, jobs []batch.Job, localWorkers int, closeFleet bool) (
 
 	s, p := batch.NewStream(len(jobs))
 	go func() {
-		run(f, jobs, canon, uniq, remote, local, localWorkers, p)
+		workers, distErr := run(f, jobs, canon, uniq, remote, local, localWorkers, p)
 		if closeFleet && f != nil {
+			// Tear the ephemeral session down BEFORE the stream settles:
+			// Close joins every slot runner, so by the time the caller
+			// sees the verdict no goroutine of this run still touches
+			// the config's stderr (or anything else).
 			f.Close()
 		}
+		p.Close(len(uniq), workers, distErr)
 	}()
 	return s, nil
 }
 
-// run is the coordinator engine: the windowed dispatch engine
-// (engine.go) pipelines remote jobs over the session's fleet, an
+// run is the coordinator engine: the multi-tenant scheduler
+// (sched.go) pipelines remote jobs over the session's fleet, an
 // in-process pool runs the local jobs concurrently, and every
 // completion releases the job's result (and its memoized duplicates)
-// into the stream.
-func run(f *Fleet, jobs []batch.Job, canon, uniq, remote, local []int, localWorkers int, p *batch.Producer) {
+// into the stream. It returns the worker count and distributed
+// verdict for the caller's Producer.Close — the caller settles the
+// stream itself, after any session teardown it owes.
+func run(f *Fleet, jobs []batch.Job, canon, uniq, remote, local []int, localWorkers int, p *batch.Producer) (workers int, distErr error) {
 	dups := batch.DupsOf(canon)
 	deliver := func(i int, r sim.Result) {
 		p.Put(i, r)
@@ -337,7 +402,6 @@ func run(f *Fleet, jobs []batch.Job, canon, uniq, remote, local []int, localWork
 		}()
 	}
 
-	var distErr error
 	fleetSize := 0
 	if len(remote) > 0 {
 		// Stats report the connections this batch could actually use:
@@ -386,5 +450,5 @@ func run(f *Fleet, jobs []batch.Job, canon, uniq, remote, local []int, localWork
 	}
 
 	wg.Wait()
-	p.Close(len(uniq), fleetSize+localPool, distErr)
+	return fleetSize + localPool, distErr
 }

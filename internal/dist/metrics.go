@@ -39,6 +39,10 @@ var (
 		"Bytes this coordinator put on worker connections, after any negotiated compression.")
 	mWireRxBytes = obs.NewCounter("rv_wire_rx_bytes_total",
 		"Bytes this coordinator took off worker connections, before any negotiated decompression.")
+	mSchedClaims = obs.NewCounterVec("rv_sched_claims_total",
+		"Tasks claimed by the slot's connection from any dispatch's ready queue.", "slot")
+	mSchedSteals = obs.NewCounterVec("rv_sched_steals_total",
+		"Claims that switched the slot's connection to a different live dispatch (work stealing across tenants).", "slot")
 
 	gBreakerOpen = obs.NewGaugeVec("rv_dist_breaker_open",
 		"1 while the slot's circuit breaker is open, 0 when closed.", "slot")
@@ -50,6 +54,10 @@ var (
 		"EWMA reply round-trip time of the slot's connection (adaptive windows only).", "slot")
 	gCompressionRatio = obs.NewGaugeVec("rv_dist_compression_ratio",
 		"Uncompressed-to-wire byte ratio of the slot's connection, both directions combined; 1 when compression was not negotiated.", "slot")
+	gSchedDispatchesLive = obs.NewGauge("rv_sched_dispatches_live",
+		"Dispatches (tenants) currently live on this fleet.")
+	gSchedQueuedJobs = obs.NewGauge("rv_sched_queued_jobs",
+		"Tasks waiting in all live dispatches' ready queues (claimed and in-flight tasks excluded).")
 
 	hJobLatency = obs.NewHistogram("rv_dist_job_latency_seconds",
 		"Per-job reply round-trip latency, recorded on adaptive windows only: fixed-window dispatch deliberately skips every clock read (the PR6 hot path), so it has no timestamps to observe.",
@@ -95,6 +103,8 @@ type slotMetrics struct {
 	deaths       *obs.Counter
 	breakerOpens *obs.Counter
 	reconnects   *obs.Counter
+	claims       *obs.Counter
+	steals       *obs.Counter
 
 	breakerOpen *obs.Gauge
 	inflight    *obs.Gauge
@@ -111,6 +121,8 @@ func newSlotMetrics(name string) *slotMetrics {
 		deaths:       mDeaths.With(name),
 		breakerOpens: mBreakerOpens.With(name),
 		reconnects:   mReconnects.With(name),
+		claims:       mSchedClaims.With(name),
+		steals:       mSchedSteals.With(name),
 		breakerOpen:  gBreakerOpen.With(name),
 		inflight:     gInflight.With(name),
 		window:       gWindow.With(name),

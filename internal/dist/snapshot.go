@@ -1,13 +1,17 @@
 // Fleet.Snapshot: the one-call observability view of a session — the
 // coordinator's per-slot state, the newest per-worker stats each
 // connection's pong carried (wire v5), and the process-wide metric
-// snapshot. Pure observation: it serializes with dispatches on the
-// fleet mutex (so it never races a live matcher for frames) and its
-// pings recompute nothing.
+// snapshot. Pure observation: it copies the scheduler's state under
+// the fleet mutex, then probes live connections with the lock
+// RELEASED — since the multi-tenant scheduler (PR 10) every live
+// connection has a persistent matcher consuming its frames, and that
+// matcher needs the fleet mutex to settle; holding it while waiting
+// for a pong would deadlock the very stream being observed.
 
 package dist
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -17,20 +21,21 @@ import (
 // SlotStatus is one fleet slot's view in a FleetSnapshot.
 type SlotStatus struct {
 	Name     string // "tcp:host:port" or "proc:N"
-	Live     bool   // a connection is parked in the slot
-	Retired  bool   // respawn budget exhausted; the slot is done for the session
+	Live     bool   // a connection is live in the slot
+	Retired  bool   // respawn budget exhausted (or slot drained); done for the session
+	Draining bool   // Retire in progress: finishing in-flight bookkeeping
 	Attempts int    // reconnection attempts spent (session lifetime)
 
 	BreakerOpen bool // circuit breaker in its cooldown
 
-	// Adaptive-window controller state of the parked connection
+	// Adaptive-window controller state of the live connection
 	// (zero for fixed windows or non-live slots).
 	Window int     // current window size
 	RTT    float64 // EWMA reply round-trip time, seconds
 
 	// Worker is the stream's own view as of its latest stats-carrying
-	// pong — Snapshot pings each parked live connection to refresh it.
-	// Nil when no pong has ever arrived (e.g. the probe timed out).
+	// pong — Snapshot pings each live connection to refresh it. Nil
+	// when no pong has ever arrived (e.g. the probe timed out).
 	Worker *wire.WorkerStats
 }
 
@@ -43,36 +48,39 @@ type FleetSnapshot struct {
 	Metrics obs.Snapshot
 }
 
-// snapshotPongWait bounds how long Snapshot waits for one parked
+// snapshotPongWait bounds how long Snapshot waits for one live
 // connection's stats pong. A healthy worker echoes from its read loop
 // immediately, so this is generous; a silent one just leaves the
 // previous stats (or nil) in place — Snapshot must never wedge the
 // session the way a hung worker could.
 const snapshotPongWait = 2 * time.Second
 
-// snapshotNonceBase keys Snapshot's pings away from the dispatch
-// matcher's 0,1,2,… nonce sequence. Purely cosmetic — nonces exist
-// for debugging — but a flight recorder should not muddy the tape it
+// snapshotNonceBase keys Snapshot's pings away from the matchers'
+// 0,1,2,… nonce sequences. Purely cosmetic — nonces exist for
+// debugging — but a flight recorder should not muddy the tape it
 // records.
 const snapshotNonceBase = uint64(1) << 63
 
-// Snapshot reports the session's current state. It takes the fleet
-// mutex — serializing with dispatches, like Run — and pings every
-// parked live connection so each worker's half of the report is
-// current, not a relic of the last mid-dispatch pong. On a closed
-// fleet the slots report as not live and only the metrics snapshot
-// carries information.
+// Snapshot reports the session's current state, safe to call at any
+// time — mid-dispatch, with several tenants live, or on an idle or
+// closed fleet. Slot states are copied under the fleet mutex (one
+// consistent cut of the scheduler), then each live connection is
+// pinged with the mutex released: the connection's own matcher
+// consumes the pong and caches the worker's stats, and Snapshot polls
+// that cache. On a closed fleet the slots report as not live and only
+// the metrics snapshot carries information.
 func (f *Fleet) Snapshot() FleetSnapshot {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	snap := FleetSnapshot{Slots: make([]SlotStatus, 0, len(f.slots))}
 	now := time.Now()
-	for i, s := range f.slots {
+	conns := make([]*workerConn, 0, len(f.slots))
+	for _, s := range f.slots {
 		ss := SlotStatus{
 			Name:        s.name,
 			Retired:     s.retired,
+			Draining:    s.draining,
 			Attempts:    s.attempts,
-			BreakerOpen: !s.openUntil.IsZero() && now.Before(s.openUntil),
+			BreakerOpen: s.cooling(now),
 		}
 		if s.wc != nil && !f.closed {
 			ss.Live = true
@@ -80,56 +88,51 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 				ss.Window = s.wc.win.cur
 				ss.RTT = s.wc.win.rtt
 			}
-			refreshWorkerStats(s.wc, snapshotNonceBase|uint64(i))
-			ss.Worker = s.wc.stats.Load()
+			conns = append(conns, s.wc)
+		} else {
+			conns = append(conns, nil)
 		}
 		snap.Slots = append(snap.Slots, ss)
 	}
+	f.mu.Unlock()
+	var wg sync.WaitGroup
+	for i := range snap.Slots {
+		wc := conns[i]
+		if wc == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, wc *workerConn) {
+			defer wg.Done()
+			refreshWorkerStats(wc, snapshotNonceBase|uint64(i))
+			snap.Slots[i].Worker = wc.stats.Load()
+		}(i, wc)
+	}
+	wg.Wait()
 	// The metric snapshot is taken after the probes so the pongs they
 	// elicited are already counted.
 	snap.Metrics = obs.TakeSnapshot()
 	return snap
 }
 
-// refreshWorkerStats pings one parked connection and waits briefly
-// for the stats-carrying echo. Between dispatches the only frames a
-// healthy stream produces are pong echoes, and the fleet mutex keeps
-// any dispatch from attaching a matcher meanwhile, so reading
-// wc.frames here races nobody. Errors and timeouts are swallowed:
-// a probe that fails leaves stale (or nil) stats, and the next
-// dispatch will discover a dead connection through its own path.
+// refreshWorkerStats pings one live connection and waits briefly for
+// the stats-carrying echo to land in the connection's stats cache.
+// The connection's matcher owns the frame stream — it decodes the
+// pong, counts it, and stores the stats — so the probe just watches
+// the cached pointer change. Errors and timeouts are swallowed: a
+// probe that fails leaves stale (or nil) stats, and the scheduler
+// discovers a dead connection through its own path.
 func refreshWorkerStats(wc *workerConn, nonce uint64) {
+	before := wc.stats.Load()
 	if err := wc.ping(nonce); err != nil {
 		return
 	}
 	mPings.Inc()
-	deadline := time.After(snapshotPongWait)
-	for {
-		select {
-		case f, ok := <-wc.frames:
-			if !ok {
-				return // transport died; the next dispatch redials
-			}
-			if f.typ != wire.FramePong {
-				// Not a pong: between dispatches nothing else should be
-				// in flight; drop it and keep waiting for the echo.
-				f.release()
-				continue
-			}
-			n, ws, err := wire.DecodePong(f.payload())
-			f.release()
-			if err != nil {
-				return
-			}
-			mPongs.Inc()
-			wc.stats.Store(&ws)
-			if n == nonce {
-				return
-			}
-			// A stale pong from an earlier probe: keep its stats (newer
-			// than nothing), keep waiting for ours.
-		case <-deadline:
+	deadline := time.Now().Add(snapshotPongWait)
+	for time.Now().Before(deadline) {
+		if wc.stats.Load() != before {
 			return
 		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

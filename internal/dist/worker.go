@@ -701,9 +701,13 @@ func (s *Server) Serve(l net.Listener) error {
 // read deadline — ServeWith's finish path then waits for its in-flight
 // executors and flushes the reply batcher (the write half keeps no
 // deadline, so final replies always land) — and Shutdown returns when
-// every handler has exited. Safe to call at any time, including before
-// Serve and more than once.
-func (s *Server) Shutdown() {
+// every handler has exited. The return value is the number of replies
+// (results and errors) this process flushed while the drain settled:
+// jobs that were in flight when the signal landed and still made it
+// back to their coordinator. Safe to call at any time, including
+// before Serve and more than once.
+func (s *Server) Shutdown() int {
+	before := RepliesFlushed()
 	s.mu.Lock()
 	s.closing = true
 	l := s.l
@@ -719,7 +723,16 @@ func (s *Server) Shutdown() {
 		c.SetReadDeadline(time.Now())
 	}
 	s.wg.Wait()
+	return int(RepliesFlushed() - before)
 }
+
+// RepliesFlushed reports the process-lifetime count of worker replies
+// queued to coordinators (results plus error replies). Drain paths
+// sample it before and after settling to report how many in-flight
+// jobs actually made it out — the flight-recorder counters are the
+// single source of truth, so the drain log can never disagree with
+// /metrics.
+func RepliesFlushed() uint64 { return wReplies.Value() + wErrors.Value() }
 
 // ListenAndServe listens on the TCP address and serves worker
 // connections forever (the cmd/rvworker -listen mode).

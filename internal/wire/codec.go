@@ -67,8 +67,16 @@ import (
 // streamed-result message instead of one giant result frame — a v5
 // coordinator would reject the capability word as trailing hello
 // bytes and misparse a compressed or chunked stream, so mixed v5/v6
-// fleets are refused at hello).
-const Version = 6
+// fleets are refused at hello);
+// v7 — PR 10 (multi-tenant scheduler: every sequence number now packs
+// a dispatch id in its high 32 bits and a task index in its low 32
+// (DispatchSeq/SplitDispatchSeq), so concurrent dispatches interleave
+// their jobs on one stream and replies route back to the right tenant.
+// Workers echo sequence numbers verbatim and never interpret the
+// packing, but a v6 coordinator assumes the whole u64 is one dispatch's
+// task index, which would collide concurrent dispatches' sequence
+// spaces, so mixed v6/v7 fleets are refused at hello).
+const Version = 7
 
 // maxSlice bounds decoded slice and string lengths, so a corrupt or
 // hostile stream cannot request an absurd allocation.

@@ -248,6 +248,21 @@ func AppendSeq(seq uint64, payload []byte) []byte {
 	return append(appendU64(make([]byte, 0, 8+len(payload)), seq), payload...)
 }
 
+// DispatchSeq packs a dispatch id and a task index into one wire
+// sequence number (wire v7): dispatch in the high 32 bits, task index
+// in the low 32. Workers echo sequence numbers verbatim, so the
+// packing is invisible to them; the coordinator routes each reply to
+// its dispatch by splitting the seq back apart. Two concurrent
+// dispatches' task 0 therefore never collide on a shared connection.
+func DispatchSeq(dispatch, k uint32) uint64 {
+	return uint64(dispatch)<<32 | uint64(k)
+}
+
+// SplitDispatchSeq inverts DispatchSeq.
+func SplitDispatchSeq(seq uint64) (dispatch, k uint32) {
+	return uint32(seq >> 32), uint32(seq)
+}
+
 // EncodePoolHint builds the FramePool payload: the execution-pool size
 // a coordinator asks this stream's worker to use (a host:port*pool
 // hint, overriding the jobs' forwarded Parallelism — see dist.Serve).

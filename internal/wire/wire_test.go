@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -291,6 +293,45 @@ func TestHelloCapabilitiesRoundTrip(t *testing.T) {
 		}
 		if got != caps {
 			t.Fatalf("hello round trip changed caps %#x to %#x", caps, got)
+		}
+	}
+}
+
+// TestHelloRefusesV6 pins the v7 refusal of a v6 peer: a v6
+// coordinator would treat the whole u64 seq as one dispatch's task
+// index, colliding concurrent dispatches' sequence spaces, so the
+// hello must fail with a version message (not a truncation or
+// capability error).
+func TestHelloRefusesV6(t *testing.T) {
+	hello := appendStr(nil, "rvdist")
+	hello = appendU32(hello, 6) // last pre-scheduler version
+	hello = appendU32(hello, CapCompress)
+	_, err := CheckHello(hello)
+	if err == nil {
+		t.Fatal("v6 hello accepted by a v7 build")
+	}
+	want := fmt.Sprintf("worker speaks wire version 6, this build speaks %d", Version)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("v6 hello error %q, want it to contain %q", err, want)
+	}
+}
+
+// TestDispatchSeq pins the v7 seq packing round trip and the layout
+// itself (dispatch high, task low) so a re-ordering of the halves
+// cannot slip through as a matched encode/decode pair.
+func TestDispatchSeq(t *testing.T) {
+	cases := []struct{ d, k uint32 }{
+		{0, 0}, {1, 0}, {0, 1}, {7, 42},
+		{0xffffffff, 0}, {0, 0xffffffff}, {0xffffffff, 0xffffffff},
+	}
+	for _, c := range cases {
+		seq := DispatchSeq(c.d, c.k)
+		if want := uint64(c.d)<<32 | uint64(c.k); seq != want {
+			t.Fatalf("DispatchSeq(%d, %d) = %#x, want %#x", c.d, c.k, seq, want)
+		}
+		d, k := SplitDispatchSeq(seq)
+		if d != c.d || k != c.k {
+			t.Fatalf("SplitDispatchSeq(%#x) = (%d, %d), want (%d, %d)", seq, d, k, c.d, c.k)
 		}
 	}
 }

@@ -55,6 +55,7 @@ import (
 	"errors"
 	"log/slog"
 	"strings"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/cgkk"
@@ -305,9 +306,13 @@ func SimulateBatchStream(ins []Instance, alg Algorithm, s Settings) <-chan Resul
 // fleet a Settings value names once (DialFleet), run any number of
 // SimulateBatch / SimulateBatchStream calls over the open connections,
 // and Close once — one dial and one protocol handshake per host for
-// the whole session instead of one per batch. Session reuse is pure
-// scheduling: every batch remains byte-identical to the in-process
-// serial run, exactly as for the one-shot entry points.
+// the whole session instead of one per batch. The session is
+// multi-tenant: concurrent calls from different goroutines share the
+// workers through one scheduler, each call keeping its own result
+// space (DESIGN.md §13). Session reuse, tenancy, and live membership
+// (AddHost / Retire / WatchHosts) are all pure scheduling: every batch
+// remains byte-identical to the in-process serial run, exactly as for
+// the one-shot entry points.
 type Fleet struct {
 	f *dist.Fleet
 }
@@ -357,8 +362,37 @@ func (f *Fleet) SimulateBatchStream(ins []Instance, alg Algorithm, s Settings) <
 // the liveness ping machinery and perturbs no batch.
 func (f *Fleet) Snapshot() dist.FleetSnapshot { return f.f.Snapshot() }
 
-// Close ends the session, closing every worker connection. Closing
-// twice is a no-op.
+// AddHost dials one "host:port" (optionally "host:port*pool") TCP
+// worker endpoint and adds it to the running session; its connection
+// starts serving live batches immediately. Adding an address that
+// already has an active slot is an error.
+func (f *Fleet) AddHost(addr string) error {
+	hosts, err := dist.ParseHosts(addr)
+	if err != nil {
+		return err
+	}
+	if len(hosts) != 1 {
+		return errors.New("rendezvous: AddHost takes exactly one host address")
+	}
+	return f.f.AddHost(hosts[0])
+}
+
+// Retire drains the worker at addr out of the session: in-flight jobs
+// requeue to the remaining workers and the slot leaves service. It
+// blocks until the drain completes.
+func (f *Fleet) Retire(addr string) error { return f.f.Retire(addr) }
+
+// WatchHosts keeps the session's TCP membership reconciled against a
+// hosts file (ParseHosts syntax, newline- or comma-separated, '#'
+// comments), polling every interval (0 selects 2s). Call the returned
+// stop function before Close.
+func (f *Fleet) WatchHosts(path string, interval time.Duration) (stop func(), err error) {
+	return f.f.WatchHosts(path, interval)
+}
+
+// Close ends the session, closing every worker connection. Any still-
+// running batches are stranded with an error (their OrFallback
+// variants then finish in-process). Closing twice is a no-op.
 func (f *Fleet) Close() error { return f.f.Close() }
 
 // SimulateRadii runs the Section 5 extension with distinct sight radii.

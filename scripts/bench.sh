@@ -3,7 +3,8 @@
 # engine (cursor vs iter.Pull), the batch pool, the memoization
 # pre-pass, the distributed coordinator (local worker subprocesses;
 # synchronous vs windowed dispatch; per-call fleets vs a reused
-# session; distributed Monte-Carlo chunks), and the WAN wire path
+# session; concurrent tenants vs serialized dispatches; distributed
+# Monte-Carlo chunks), and the WAN wire path
 # (emulated delay/bandwidth link with compression on vs off; pooled
 # frame write/read micro-benchmarks).
 #
@@ -22,7 +23,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2s}"
 OUT="${2:-BENCH_local.json}"
 NOTE="${3:-Local benchmark run (benchtime=$BENCHTIME). Not a committed PR record: pass an output name and note to label one, see DESIGN.md §9.}"
-PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDedup|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT2Session|BenchmarkDistT5Chunks|BenchmarkDistT2WAN|BenchmarkDistT5WAN|BenchmarkFrameWrite|BenchmarkFrameRoundTrip|BenchmarkPlanarWalkGen'
+PATTERN='BenchmarkInstrStream|BenchmarkEngineThroughput|BenchmarkT2Type|BenchmarkBatchT2Workers|BenchmarkDedup|BenchmarkDistT2Procs|BenchmarkDistT2Window|BenchmarkDistT2Session|BenchmarkDistT5Chunks|BenchmarkDistT2WAN|BenchmarkDistT5WAN|BenchmarkDistMultiTenant|BenchmarkFrameWrite|BenchmarkFrameRoundTrip|BenchmarkPlanarWalkGen'
 
 # Write to a temp file and move into place only on success, so a
 # failed bench run never clobbers the committed perf record.

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI network helpers. Every readiness poll and scrape in the workflows
+# goes through here so the bounds live in one place:
+#
+#   ci_net.sh wait-port HOST PORT [TIMEOUT_S]
+#       Poll until HOST:PORT accepts a TCP connection (via /dev/tcp),
+#       failing after TIMEOUT_S seconds (default 15). A bounded poll,
+#       not a trusted sleep: the workflows must not be timing-sensitive,
+#       but a worker that never comes up must fail the job in seconds,
+#       not hang it until the job-level timeout.
+#
+#   ci_net.sh curl-retry URL [OUT]
+#       GET URL (10s per-attempt cap) writing to OUT (default stdout,
+#       pass - explicitly for a status-only probe). Retries ONCE after
+#       a 1s pause: a shared-runner scrape can lose a race with the
+#       server's accept loop, and one retry distinguishes that blip
+#       from an endpoint that is actually broken — more retries would
+#       only mask real failures.
+set -euo pipefail
+
+cmd="${1:?usage: ci_net.sh wait-port|curl-retry ...}"
+shift
+
+case "$cmd" in
+  wait-port)
+    host="${1:?wait-port needs HOST PORT}"
+    port="${2:?wait-port needs HOST PORT}"
+    timeout_s="${3:-15}"
+    deadline=$((SECONDS + timeout_s))
+    while ! (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null; do
+      if [ "$SECONDS" -ge "$deadline" ]; then
+        echo "ci_net: $host:$port not accepting after ${timeout_s}s" >&2
+        exit 1
+      fi
+      sleep 0.1
+    done
+    exec 3>&- 3<&- || true
+    ;;
+  curl-retry)
+    url="${1:?curl-retry needs URL}"
+    out="${2:--}"
+    if curl -sf --max-time 10 "$url" --output "$out"; then exit 0; fi
+    echo "ci_net: retrying $url once" >&2
+    sleep 1
+    curl -sf --max-time 10 "$url" --output "$out"
+    ;;
+  *)
+    echo "ci_net: unknown command $cmd (want wait-port or curl-retry)" >&2
+    exit 2
+    ;;
+esac
